@@ -1,0 +1,50 @@
+"""E12 / E14 — Corollary 6.11: Clio-style tractable query answering at scale.
+
+The certain-answer pipeline over nested-relational (univocal) target DTDs is
+polynomial; both series below (company scenario and the synthetic scaling
+setting) should grow smoothly with the source size.
+"""
+
+import pytest
+
+from repro.exchange import canonical_solution, certain_answers, order_tree
+from repro.workloads import nested_relational as nr
+
+
+@pytest.mark.parametrize("n_departments", [2, 6, 12])
+def test_company_exchange_scaling(benchmark, n_departments):
+    setting = nr.company_setting()
+    source = nr.generate_company_source(n_departments, employees_per_dept=3,
+                                        projects_per_dept=2, seed=5)
+
+    result = benchmark(lambda: canonical_solution(setting, source))
+    assert result.success
+    persons = [c for c in result.tree.children(result.tree.root)
+               if result.tree.label(c) == "person"]
+    assert len(persons) == 3 * n_departments
+
+
+@pytest.mark.parametrize("n_departments", [2, 6, 12])
+def test_company_certain_answers_scaling(benchmark, n_departments):
+    setting = nr.company_setting()
+    source = nr.generate_company_source(n_departments, employees_per_dept=3,
+                                        projects_per_dept=2, seed=5)
+    query = nr.query_projects_of("Dept-0")
+
+    outcome = benchmark(lambda: certain_answers(setting, source, query))
+    assert outcome.has_solution and len(outcome.answers) == 2
+
+
+@pytest.mark.parametrize("fanout", [2, 4, 8])
+def test_synthetic_scaling_setting(benchmark, fanout):
+    setting = nr.scaling_setting(2, branching=2, n_stds=4)
+    source = nr.scaling_source(setting, fanout=fanout)
+
+    def pipeline():
+        result = canonical_solution(setting, source)
+        ordered = order_tree(result.tree, setting.target_dtd)
+        return result, ordered
+
+    result, ordered = benchmark(pipeline)
+    assert result.success
+    assert setting.target_dtd.conforms(ordered)

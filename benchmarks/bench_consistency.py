@@ -1,0 +1,82 @@
+"""E3 / E4 / E5 — the consistency problem.
+
+* E5 (Theorem 4.5): the nested-relational check on settings of growing DTD
+  size ``n`` and growing dependency size ``m`` — the time should scale roughly
+  like ``n·m²`` (linear in the DTD series, quadratic-ish in the STD series).
+* E3 (Theorem 4.1): the general procedure on the Section 4 example and on the
+  nested-relational settings (much more expensive than the fast path).
+* E4 (Proposition 4.4): consistency of 3-SAT-encoded instances — exponential
+  in the number of variables, and the answer tracks satisfiability.
+"""
+
+import pytest
+
+from repro.exchange import (DataExchangeSetting, check_consistency,
+                            check_consistency_general,
+                            check_consistency_nested_relational, std)
+from repro.reductions import proposition_4_4
+from repro.reductions.sat import dpll_satisfiable, random_3cnf
+from repro.workloads import nested_relational as nr
+from repro.xmlmodel import DTD
+
+
+# ----------------------------- E5: n sweep ----------------------------- #
+
+@pytest.mark.parametrize("levels", [1, 2, 3])
+def test_nested_relational_consistency_dtd_size_sweep(benchmark, levels):
+    setting = nr.scaling_setting(levels, branching=2, n_stds=4)
+    outcome = benchmark(lambda: check_consistency_nested_relational(setting))
+    assert outcome.consistent
+
+
+# ----------------------------- E5: m sweep ----------------------------- #
+
+@pytest.mark.parametrize("n_stds", [2, 8, 16])
+def test_nested_relational_consistency_std_size_sweep(benchmark, n_stds):
+    setting = nr.scaling_setting(2, branching=2, n_stds=n_stds)
+    outcome = benchmark(lambda: check_consistency_nested_relational(setting))
+    assert outcome.consistent
+
+
+# ----------------------------- E3: general ----------------------------- #
+
+def _section_4_setting(consistent: bool) -> DataExchangeSetting:
+    source_dtd = DTD("rs", {"rs": ""})
+    if consistent:
+        target_dtd = DTD("r", {"r": "l1 | l2", "l1": "l2?", "l2": ""}, {"l2": ["a"]})
+    else:
+        target_dtd = DTD("r", {"r": "l1 | l2", "l1": "", "l2": ""}, {"l2": ["a"]})
+    return DataExchangeSetting(source_dtd, target_dtd,
+                               [std("r[l1[l2(@a=x)]]", "rs")])
+
+
+@pytest.mark.parametrize("consistent", [True, False])
+def test_general_consistency_section_4_example(benchmark, consistent):
+    setting = _section_4_setting(consistent)
+    result = benchmark(lambda: check_consistency_general(setting))
+    assert result.consistent is consistent
+
+
+def test_general_consistency_on_clio_setting(benchmark):
+    setting = nr.company_setting()
+    result = benchmark(lambda: check_consistency(setting, method="general"))
+    assert result.consistent
+
+
+def test_fast_path_vs_general_gap(benchmark):
+    """The headline comparison: the Theorem 4.5 fast path on the same setting
+    the general procedure was benchmarked on above."""
+    setting = nr.company_setting()
+    result = benchmark(lambda: check_consistency(setting, method="nested-relational"))
+    assert result.consistent
+
+
+# ----------------------------- E4: SAT-encoded ----------------------------- #
+
+@pytest.mark.parametrize("n_variables", [3, 4])
+def test_consistency_of_sat_instances(benchmark, n_variables):
+    formula = random_3cnf(n_variables, n_clauses=2 * n_variables, seed=7)
+    setting = proposition_4_4.consistency_instance(formula)
+    expected = dpll_satisfiable(formula) is not None
+    result = benchmark(lambda: check_consistency(setting))
+    assert result.consistent is expected

@@ -1,0 +1,27 @@
+"""E2 — DTD machinery: conformance checking and Lemma 2.2 trimming."""
+
+import pytest
+
+from repro.workloads import library
+from repro.xmlmodel import DTD
+
+
+@pytest.mark.parametrize("n_books", [10, 50, 200])
+def test_conformance_check_scaling(benchmark, n_books):
+    dtd = library.source_dtd()
+    source = library.generate_source(n_books, authors_per_book=3, seed=2)
+    assert benchmark(lambda: dtd.conforms(source)) is True
+
+
+@pytest.mark.parametrize("n_dead_types", [2, 6, 10])
+def test_lemma_2_2_trimming(benchmark, n_dead_types):
+    """Trimming a DTD with an increasing number of unusable element types."""
+    rules = {"r": "a* " + " ".join(f"(dead{i} | EPSILON)" for i in range(n_dead_types)),
+             "a": ""}
+    for i in range(n_dead_types):
+        rules[f"dead{i}"] = f"dead{i}"
+    dtd = DTD("r", rules)
+
+    trimmed = benchmark(lambda: DTD("r", rules).trimmed())
+    assert trimmed.element_types == {"r", "a"}
+    assert trimmed.is_consistent()

@@ -1,0 +1,99 @@
+"""E9 / E13 / E8 — the tractable / intractable gap of the dichotomy.
+
+* E9 (Theorem 5.11, STD(_, //)): building T_θ, building the proof's solution
+  from a satisfying assignment and verifying it — polynomial in |θ| — while
+  the underlying decision problem is coNP-complete.
+* E13 (Lemma 6.20, c(r) ≥ 2): the same for the dichotomy gadget.
+* E8 (Theorem 5.5): brute-force certain answers (the coNP baseline) versus the
+  canonical-solution algorithm on a tiny tractable setting — the naive
+  enumeration examines exponentially many candidate trees, the canonical
+  pipeline stays polynomial.
+"""
+
+import pytest
+
+from repro.exchange import (DataExchangeSetting, certain_answers,
+                            naive_certain_answers, std)
+from repro.patterns import parse_pattern, pattern_query
+from repro.reductions import lemma_6_20, theorem_5_11
+from repro.reductions.sat import dpll_satisfiable, random_3cnf
+from repro.xmlmodel import DTD, XMLTree
+
+
+# ----------------------- E9: Theorem 5.11 gadget ----------------------- #
+
+@pytest.mark.parametrize("n_clauses", [4, 10, 20])
+def test_theorem_5_11_gadget_roundtrip(benchmark, n_clauses):
+    formula = random_3cnf(n_variables=max(3, n_clauses // 2),
+                          n_clauses=n_clauses, seed=11)
+    gadget = theorem_5_11.build_gadget()
+    assignment = dpll_satisfiable(formula)
+    if assignment is None:  # pragma: no cover - random instances are almost surely SAT
+        pytest.skip("random instance unexpectedly unsatisfiable")
+
+    def roundtrip():
+        source = theorem_5_11.encode_formula(formula)
+        solution = theorem_5_11.solution_from_assignment(formula, assignment)
+        ok = gadget.setting.is_unordered_solution(source, solution)
+        return ok, gadget.query.holds(solution)
+
+    ok, query_holds = benchmark(roundtrip)
+    assert ok and not query_holds   # certain(Q, T_θ) = false, as θ is satisfiable
+
+
+# ----------------------- E13: Lemma 6.20 gadget ----------------------- #
+
+@pytest.mark.parametrize("n_clauses", [4, 10, 20])
+def test_lemma_6_20_gadget_roundtrip(benchmark, n_clauses):
+    formula = random_3cnf(n_variables=max(3, n_clauses // 2),
+                          n_clauses=n_clauses, seed=13)
+    gadget = lemma_6_20.build_gadget("a | a a b*")
+    assignment = dpll_satisfiable(formula)
+    if assignment is None:  # pragma: no cover
+        pytest.skip("random instance unexpectedly unsatisfiable")
+
+    def roundtrip():
+        source = lemma_6_20.encode_formula(gadget, formula)
+        solution = lemma_6_20.solution_from_assignment(gadget, formula, assignment)
+        ok = gadget.setting.is_unordered_solution(source, solution)
+        return ok, gadget.query.holds(solution)
+
+    ok, query_holds = benchmark(roundtrip)
+    assert ok and not query_holds
+
+
+# ------------------- E8: naive baseline vs canonical ------------------- #
+
+def _tiny_setting():
+    source_dtd = DTD("r", {"r": "A*"}, {"A": ["a"]})
+    target_dtd = DTD("r", {"r": "B* C?", "B": "", "C": ""},
+                     {"B": ["m"], "C": ["n"]})
+    return DataExchangeSetting(source_dtd, target_dtd,
+                               [std("r[B(@m=x)]", "A(@a=x)")])
+
+
+def _tiny_source(n_values: int) -> XMLTree:
+    tree = XMLTree("r", ordered=True)
+    for i in range(n_values):
+        tree.add_child(tree.root, "A", {"a": str(i)})
+    return tree
+
+
+@pytest.mark.parametrize("n_values", [1, 2])
+def test_naive_certain_answers_baseline(benchmark, n_values):
+    setting = _tiny_setting()
+    source = _tiny_source(n_values)
+    query = pattern_query(parse_pattern("r[B(@m=x)]"))
+    result = benchmark(lambda: naive_certain_answers(setting, source, query,
+                                                     max_repeat=n_values))
+    assert result.has_solution
+    assert result.answers == {(str(i),) for i in range(n_values)}
+
+
+@pytest.mark.parametrize("n_values", [1, 2])
+def test_canonical_certain_answers_same_instances(benchmark, n_values):
+    setting = _tiny_setting()
+    source = _tiny_source(n_values)
+    query = pattern_query(parse_pattern("r[B(@m=x)]"))
+    outcome = benchmark(lambda: certain_answers(setting, source, query))
+    assert outcome.answers == {(str(i),) for i in range(n_values)}

@@ -1,0 +1,45 @@
+"""E1 — Figures 1/2: the book→writer exchange at increasing source sizes.
+
+Regenerates the paper's running example and measures the full tractable
+pipeline (canonical pre-solution → chase → query evaluation).  The paper's
+claim (Theorem 6.2 / Corollary 6.11) is that the pipeline is polynomial in the
+source size; the reported series should therefore grow roughly linearly with
+the number of (book, author) pairs.
+"""
+
+import pytest
+
+from repro.exchange import canonical_solution, certain_answers
+from repro.workloads import library
+
+
+@pytest.mark.parametrize("n_books", [5, 20, 50])
+def test_canonical_solution_scaling(benchmark, n_books):
+    setting = library.library_setting()
+    source = library.generate_source(n_books, authors_per_book=2, seed=1)
+
+    result = benchmark(lambda: canonical_solution(setting, source))
+    assert result.success
+    # One writer subtree per (book, author) pair.
+    assert len(result.tree.children(result.tree.root)) == 2 * n_books
+
+
+@pytest.mark.parametrize("n_books", [5, 20, 50])
+def test_certain_answers_scaling(benchmark, n_books):
+    setting = library.library_setting()
+    source = library.generate_source(n_books, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+
+    outcome = benchmark(lambda: certain_answers(setting, source, query))
+    assert outcome.has_solution
+    assert len(outcome.answers) == 2
+
+
+def test_figure_1_2_exact_reproduction(benchmark):
+    """The exact Figure 1 (b) → Figure 2 (b) exchange."""
+    setting = library.library_setting()
+    source = library.figure_1_source()
+
+    result = benchmark(lambda: canonical_solution(setting, source))
+    labels = result.tree.children_labels(result.tree.root)
+    assert labels == ["writer"] * 3

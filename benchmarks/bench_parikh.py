@@ -1,0 +1,58 @@
+"""E7 — Propositions 5.2 / 5.3: permutation languages and sibling reordering.
+
+For a *fixed* content model the paper proves π(r) membership is polynomial in
+|w| (Proposition 5.3) and reordering an unordered tree is polynomial
+(Proposition 5.2); the series below should grow mildly with |w|.
+"""
+
+import pytest
+
+from repro.exchange.ordering import order_word
+from repro.regexlang import (in_permutation_language, parse_regex,
+                             regex_to_nfa, semilinear_of)
+from repro.xmlmodel import DTD, XMLTree
+from repro.exchange import order_tree
+
+_FIXED_REGEX = parse_regex("(a b)* c? (d e f)*")
+_FIXED_SEMILINEAR = semilinear_of(_FIXED_REGEX)
+_FIXED_NFA = regex_to_nfa(_FIXED_REGEX)
+
+
+def _word(repeats: int):
+    return (["a", "b"] * repeats) + ["c"] + (["d", "e", "f"] * repeats)
+
+
+@pytest.mark.parametrize("repeats", [2, 8, 32])
+def test_pi_membership_fixed_regex(benchmark, repeats):
+    word = list(reversed(_word(repeats)))  # a permutation of an accepted word
+    result = benchmark(lambda: in_permutation_language(word, _FIXED_REGEX,
+                                                       _FIXED_SEMILINEAR))
+    assert result is True
+
+
+@pytest.mark.parametrize("repeats", [2, 8, 32])
+def test_pi_non_membership_fixed_regex(benchmark, repeats):
+    word = _word(repeats) + ["a"]  # one unbalanced `a`
+    result = benchmark(lambda: in_permutation_language(word, _FIXED_REGEX,
+                                                       _FIXED_SEMILINEAR))
+    assert result is False
+
+
+@pytest.mark.parametrize("repeats", [2, 8, 32])
+def test_order_word_fixed_regex(benchmark, repeats):
+    counts = {"a": repeats, "b": repeats, "c": 1,
+              "d": repeats, "e": repeats, "f": repeats}
+    word = benchmark(lambda: order_word(counts, _FIXED_NFA))
+    assert word is not None and _FIXED_NFA.accepts(word)
+
+
+@pytest.mark.parametrize("width", [4, 16, 48])
+def test_order_tree_scaling(benchmark, width):
+    dtd = DTD("r", {"r": "(B C)*", "B": "", "C": ""})
+    tree = XMLTree("r", ordered=False)
+    for _ in range(width):
+        tree.add_child(tree.root, "B")
+    for _ in range(width):
+        tree.add_child(tree.root, "C")
+    ordered = benchmark(lambda: order_tree(tree, dtd))
+    assert dtd.conforms(ordered, ordered=True)

@@ -1,0 +1,8 @@
+"""Benchmark harness configuration (pytest-benchmark)."""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    """Keep the per-experiment ordering stable in the report."""
+    items.sort(key=lambda item: item.nodeid)

@@ -1,0 +1,55 @@
+"""repro — a reproduction of Arenas & Libkin, *XML Data Exchange: Consistency
+and Query Answering* (PODS 2005 / JACM 2008).
+
+The package is organised in layers:
+
+* :mod:`repro.xmlmodel`   — XML trees, attribute values (constants / nulls), DTDs;
+* :mod:`repro.regexlang`  — regular expressions over element types, NFAs,
+  Parikh images / semilinear sets, univocality (Definition 6.9);
+* :mod:`repro.automata`   — unranked tree automata (Appendix A);
+* :mod:`repro.patterns`   — tree-pattern formulae and CTQ//,∪ queries;
+* :mod:`repro.exchange`   — data exchange settings, consistency (Section 4),
+  canonical pre-solutions, the chase and certain answers (Sections 5–6);
+* :mod:`repro.reductions` — the paper's hardness gadgets (3-SAT reductions);
+* :mod:`repro.workloads`  — scalable workload generators for the benchmarks.
+
+Quickstart::
+
+    from repro import parse_dtd, XMLTree, std, DataExchangeSetting
+    from repro import certain_answers, parse_pattern, pattern_query, exists
+
+    # see examples/quickstart.py for the full Figure 1 / Figure 2 scenario.
+"""
+
+from .exchange import (STD, CertainAnswers, ChaseResult, DataExchangeSetting,
+                       canonical_pre_solution, canonical_solution,
+                       certain_answer_boolean, certain_answers, chase,
+                       check_consistency, check_consistency_general,
+                       check_consistency_nested_relational, classify_setting,
+                       naive_certain_answers, order_tree, pattern_satisfiable,
+                       std, target_satisfiable)
+from .patterns import (Query, Variable, conjunction, descendant, exists, node,
+                       parse_pattern, pattern_query, union_query, wildcard)
+from .regexlang import (is_univocal, parse_regex, c_value,
+                        in_permutation_language)
+from .xmlmodel import DTD, Null, NullFactory, XMLTree, parse_dtd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # XML model
+    "XMLTree", "DTD", "parse_dtd", "Null", "NullFactory",
+    # regular expressions
+    "parse_regex", "is_univocal", "c_value", "in_permutation_language",
+    # patterns and queries
+    "parse_pattern", "node", "wildcard", "descendant", "Variable",
+    "Query", "pattern_query", "conjunction", "exists", "union_query",
+    # exchange
+    "STD", "std", "DataExchangeSetting",
+    "canonical_pre_solution", "canonical_solution", "chase", "ChaseResult",
+    "certain_answers", "certain_answer_boolean", "CertainAnswers",
+    "order_tree", "check_consistency", "check_consistency_general",
+    "check_consistency_nested_relational", "pattern_satisfiable",
+    "target_satisfiable", "naive_certain_answers", "classify_setting",
+    "__version__",
+]

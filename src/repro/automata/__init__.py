@@ -1,0 +1,5 @@
+"""Unranked tree automata (paper, Appendix A)."""
+
+from .unranked import UNFTA, dtd_to_automaton, product_automaton
+
+__all__ = ["UNFTA", "dtd_to_automaton", "product_automaton"]

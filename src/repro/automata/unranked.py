@@ -1,0 +1,193 @@
+"""Unranked nondeterministic finite tree automata (UNFTA), Appendix A.
+
+An UNFTA over an alphabet ``Γ`` is ``A = (Q, δ, F)`` where ``δ(q, a)`` is a
+*regular* language over ``Q`` (represented here by an NFA over state names):
+a run assigns a state to each node such that for every node ``v`` labelled
+``a`` with children states ``q_1 … q_n``, the word ``q_1 … q_n`` belongs to
+``δ(run(v), a)``.  A tree is accepted iff some run maps the root to an
+accepting state.
+
+The module provides run search / membership on explicit trees, emptiness
+(computed by the usual least-fixpoint over "reachable" states, with the
+horizontal step decided through NFA reachability over sub-alphabets), the
+product construction used by the consistency algorithm of Theorem 4.1, and
+the translation from DTDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..regexlang.ast import Regex
+from ..regexlang.nfa import NFA, regex_to_nfa
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+
+__all__ = ["UNFTA", "dtd_to_automaton", "product_automaton"]
+
+State = str
+
+
+@dataclass
+class UNFTA:
+    """An unranked tree automaton with NFA-represented horizontal languages."""
+
+    states: Set[State]
+    #: ``transitions[(state, label)]`` is an NFA over the state alphabet.
+    transitions: Dict[Tuple[State, str], NFA]
+    accepting: Set[State]
+    alphabet: Set[str]
+
+    # ------------------------------------------------------------------ #
+    # Runs on explicit trees
+    # ------------------------------------------------------------------ #
+
+    def states_at(self, tree: XMLTree, node: int,
+                  cache: Optional[Dict[int, Set[State]]] = None) -> Set[State]:
+        """All states assignable to ``node`` by some run on its subtree."""
+        if cache is None:
+            cache = {}
+        if node in cache:
+            return cache[node]
+        label = tree.label(node)
+        child_state_sets = [self.states_at(tree, child, cache)
+                            for child in tree.children(node)]
+        possible: Set[State] = set()
+        for state in self.states:
+            nfa = self.transitions.get((state, label))
+            if nfa is None:
+                continue
+            if _accepts_some_product(nfa, child_state_sets):
+                possible.add(state)
+        cache[node] = possible
+        return possible
+
+    def accepts(self, tree: XMLTree) -> bool:
+        """Is there an accepting run on the tree?"""
+        return bool(self.states_at(tree, tree.root) & self.accepting)
+
+    # ------------------------------------------------------------------ #
+    # Emptiness
+    # ------------------------------------------------------------------ #
+
+    def reachable_states(self) -> Set[State]:
+        """States assigned to the root of *some* finite tree."""
+        reachable: Set[State] = set()
+        changed = True
+        while changed:
+            changed = False
+            for (state, _label), nfa in self.transitions.items():
+                if state in reachable:
+                    continue
+                if not nfa.restricted_to(reachable).is_empty():
+                    reachable.add(state)
+                    changed = True
+        return reachable
+
+    def is_empty(self) -> bool:
+        """Does the automaton accept no tree?"""
+        return not (self.reachable_states() & self.accepting)
+
+    def __repr__(self) -> str:
+        return (f"<UNFTA |Q|={len(self.states)} |Σ|={len(self.alphabet)} "
+                f"|F|={len(self.accepting)}>")
+
+
+def _accepts_some_product(nfa: NFA, child_state_sets: Sequence[Set[State]]) -> bool:
+    """Does the NFA accept some word ``q_1 … q_n`` with ``q_i`` drawn from the
+    i-th child's possible-state set?"""
+    current = nfa.epsilon_closure({nfa.start})
+    frontier = {current}
+    for options in child_state_sets:
+        next_frontier = set()
+        for states in frontier:
+            for symbol in options:
+                stepped = nfa.step(states, symbol)
+                if stepped:
+                    next_frontier.add(stepped)
+        if not next_frontier:
+            return False
+        frontier = next_frontier
+    return any(any(s in nfa.accepting for s in states) for states in frontier)
+
+
+def dtd_to_automaton(dtd: DTD) -> UNFTA:
+    """The natural automaton ``A_D`` of Appendix A: states are element types,
+    ``δ(ℓ, ℓ)`` is an automaton for ``P(ℓ)`` and the only accepting state is
+    the root type.  ``L(A_D)`` is the set of label skeletons of ``SAT(D)``."""
+    states = set(dtd.element_types)
+    transitions: Dict[Tuple[State, str], NFA] = {}
+    for element in states:
+        transitions[(element, element)] = regex_to_nfa(dtd.content_model(element))
+    return UNFTA(states=states,
+                 transitions=transitions,
+                 accepting={dtd.root},
+                 alphabet=set(states))
+
+
+def product_automaton(first: UNFTA, second: UNFTA) -> UNFTA:
+    """The product automaton recognising ``L(A) ∩ L(B)`` (over the union of
+    the alphabets; a label missing from one automaton's transitions blocks)."""
+    alphabet = first.alphabet | second.alphabet
+    states = {_pair(p, q) for p in first.states for q in second.states}
+    transitions: Dict[Tuple[State, str], NFA] = {}
+    for p in first.states:
+        for q in second.states:
+            for label in alphabet:
+                left = first.transitions.get((p, label))
+                right = second.transitions.get((q, label))
+                if left is None or right is None:
+                    continue
+                transitions[(_pair(p, q), label)] = _product_nfa(left, right,
+                                                                 first.states,
+                                                                 second.states)
+    accepting = {_pair(p, q) for p in first.accepting for q in second.accepting}
+    return UNFTA(states=states, transitions=transitions,
+                 accepting=accepting, alphabet=alphabet)
+
+
+def _pair(p: State, q: State) -> State:
+    return f"({p}⊗{q})"
+
+
+def _product_nfa(left: NFA, right: NFA, left_states: Set[State],
+                 right_states: Set[State]) -> NFA:
+    """Product of two horizontal NFAs reading *pair* states: the pair word
+    ``(p_1,q_1)…(p_n,q_n)`` is accepted iff ``p_1…p_n ∈ L(left)`` and
+    ``q_1…q_n ∈ L(right)``."""
+    # Lazily constructed product over subset states.
+    start_left = left.epsilon_closure({left.start})
+    start_right = right.epsilon_closure({right.start})
+    index: Dict[Tuple[FrozenSet[int], FrozenSet[int]], int] = {}
+    result = NFA(n_states=0, start=0, accepting=set())
+
+    def state_id(pair: Tuple[FrozenSet[int], FrozenSet[int]]) -> int:
+        if pair not in index:
+            index[pair] = len(index)
+            result.n_states = len(index)
+            l_set, r_set = pair
+            if (any(s in left.accepting for s in l_set)
+                    and any(s in right.accepting for s in r_set)):
+                result.accepting.add(index[pair])
+        return index[pair]
+
+    start_id = state_id((start_left, start_right))
+    result.start = start_id
+    frontier = [(start_left, start_right)]
+    seen = {(start_left, start_right)}
+    while frontier:
+        l_set, r_set = frontier.pop()
+        src = state_id((l_set, r_set))
+        for p in left_states:
+            for q in right_states:
+                l_next = left.step(l_set, p)
+                r_next = right.step(r_set, q)
+                if not l_next or not r_next:
+                    continue
+                dst = state_id((l_next, r_next))
+                result.add_transition(src, _pair(p, q), dst)
+                if (l_next, r_next) not in seen:
+                    seen.add((l_next, r_next))
+                    frontier.append((l_next, r_next))
+    return result

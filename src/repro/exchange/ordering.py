@@ -1,0 +1,100 @@
+"""From unordered to ordered solutions (Proposition 5.2).
+
+Query answering constructs *unordered* target trees.  Proposition 5.2 states
+that any tree ``T |≈ D`` can be equipped, in polynomial time, with a sibling
+order ``≺_sib`` such that the resulting ordered tree conforms to ``D`` in the
+usual sense.  The paper's algorithm extends a prefix one symbol at a time,
+checking at each step that the remaining multiset can still complete to a word
+of the content model; we implement the equivalent search over pairs
+(NFA state set, remaining Parikh vector) with memoisation, which yields the
+same polynomial behaviour for a fixed DTD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..regexlang.nfa import NFA, regex_to_nfa
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+
+__all__ = ["order_word", "order_tree", "OrderingError"]
+
+
+class OrderingError(ValueError):
+    """Raised when the tree does not weakly conform to the DTD."""
+
+
+def order_word(counts: Dict[str, int], nfa: NFA) -> Optional[List[str]]:
+    """Find a word of ``L(nfa)`` with the given Parikh vector, or ``None``.
+
+    This realises the per-node step of Proposition 5.2: a permutation of the
+    children labels accepted by the content model.
+    """
+    start = nfa.epsilon_closure({nfa.start})
+    memo: Dict[Tuple[FrozenSet[int], Tuple[Tuple[str, int], ...]], Optional[Tuple[str, ...]]] = {}
+
+    def explore(states: FrozenSet[int],
+                remaining: Tuple[Tuple[str, int], ...]) -> Optional[Tuple[str, ...]]:
+        key = (states, remaining)
+        if key in memo:
+            return memo[key]
+        if not remaining:
+            result = () if any(s in nfa.accepting for s in states) else None
+            memo[key] = result
+            return result
+        result = None
+        for index, (symbol, count) in enumerate(remaining):
+            nxt = nfa.step(states, symbol)
+            if not nxt:
+                continue
+            if count == 1:
+                new_remaining = remaining[:index] + remaining[index + 1:]
+            else:
+                new_remaining = (remaining[:index] + ((symbol, count - 1),)
+                                 + remaining[index + 1:])
+            tail = explore(nxt, new_remaining)
+            if tail is not None:
+                result = (symbol,) + tail
+                break
+        memo[key] = result
+        return result
+
+    remaining = tuple(sorted((s, c) for s, c in counts.items() if c))
+    found = explore(start, remaining)
+    return list(found) if found is not None else None
+
+
+def order_tree(tree: XMLTree, dtd: DTD) -> XMLTree:
+    """Compute a sibling ordering making the tree conform to ``D`` (ordered).
+
+    Raises :class:`OrderingError` if the tree does not weakly conform to the
+    DTD (Proposition 5.2 presupposes ``T |≈ D``).
+    """
+    ordered = tree.copy()
+    ordered.ordered = True
+    for node in list(ordered.nodes()):
+        label = ordered.label(node)
+        children = ordered.children(node)
+        if not children:
+            # Still must check that ε is allowed — conformance check below.
+            continue
+        counts: Dict[str, int] = {}
+        by_label: Dict[str, List[int]] = {}
+        for child in children:
+            child_label = ordered.label(child)
+            counts[child_label] = counts.get(child_label, 0) + 1
+            by_label.setdefault(child_label, []).append(child)
+        nfa = regex_to_nfa(dtd.content_model(label))
+        word = order_word(counts, nfa)
+        if word is None:
+            raise OrderingError(
+                f"children of a {label!r} node have no ordering in "
+                f"L({dtd.content_model(label)}); the tree does not weakly conform")
+        queues = {lbl: list(ids) for lbl, ids in by_label.items()}
+        new_order = [queues[symbol].pop(0) for symbol in word]
+        ordered.node(node).children = new_order
+    violations = dtd.conformance_violations(ordered, ordered=True)
+    if violations:
+        raise OrderingError("; ".join(violations))
+    return ordered

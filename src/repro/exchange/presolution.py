@@ -1,0 +1,122 @@
+"""Canonical pre-solutions ``cps(T)`` (paper, Section 6.1, Figure 5).
+
+For a fully-specified STD ``ψ_T(x̄, z̄) :– ϕ_S(x̄, ȳ)`` and every pair of
+tuples ``s̄, s̄'`` with ``T ⊨ ϕ_S(s̄, s̄')``, the tree ``T_{ψ_T(s̄, s̄'')}`` is
+materialised, where ``s̄''`` is a tuple of fresh, pairwise-distinct nulls.
+All these trees are then merged at their roots into a single unordered tree,
+the *canonical pre-solution* ``cps(T)``.
+
+``cps(T)`` is computable in polynomial time; it typically violates the target
+DTD and is subsequently repaired by the chase (:mod:`repro.exchange.chase`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..patterns.evaluate import match_anywhere
+from ..patterns.formula import NodePattern, TreePattern, Variable
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import NullFactory, Value
+from .setting import DataExchangeSetting
+from .std import STD
+
+__all__ = ["pattern_to_tree", "canonical_pre_solution", "PreSolutionError"]
+
+
+class PreSolutionError(ValueError):
+    """Raised when an STD is not fully specified (cps is undefined then)."""
+
+
+def pattern_to_tree(pattern: TreePattern, assignment: Mapping[str, Value],
+                    nulls: Optional[NullFactory] = None,
+                    ordered: bool = False) -> XMLTree:
+    """The tree ``T_{ϕ(s̄)}`` naturally associated with a pattern instance.
+
+    The pattern must not use descendant or wildcard (Section 6.1); unassigned
+    variables receive fresh nulls from ``nulls``.
+    """
+    factory = nulls or NullFactory()
+    if pattern.uses_descendant() or pattern.uses_wildcard():
+        raise PreSolutionError(
+            "pattern_to_tree requires a pattern without descendant // and wildcard _")
+    if not isinstance(pattern, NodePattern):  # pragma: no cover - defensive
+        raise PreSolutionError(f"unexpected pattern shape: {pattern}")
+    binding: Dict[str, Value] = dict(assignment)
+    tree = XMLTree(pattern.attribute.label, ordered=ordered)
+    _fill_attributes(tree, tree.root, pattern, binding, factory)
+    for child in pattern.children:
+        _build_node(tree, tree.root, child, binding, factory)
+    return tree
+
+
+def _build_node(tree: XMLTree, parent: int, pattern: TreePattern,
+                binding: Dict[str, Value], factory: NullFactory) -> None:
+    assert isinstance(pattern, NodePattern)
+    node = tree.add_child(parent, pattern.attribute.label)
+    _fill_attributes(tree, node, pattern, binding, factory)
+    for child in pattern.children:
+        _build_node(tree, node, child, binding, factory)
+
+
+def _fill_attributes(tree: XMLTree, node: int, pattern: NodePattern,
+                     binding: Dict[str, Value], factory: NullFactory) -> None:
+    for attr_name, term in pattern.attribute.assignments:
+        if isinstance(term, Variable):
+            if term.name not in binding:
+                binding[term.name] = factory.fresh()
+            value = binding[term.name]
+        else:
+            value = term
+        existing = tree.attribute(node, attr_name)
+        if existing is not None and existing != value:
+            raise PreSolutionError(
+                f"conflicting values for @{attr_name} at a single pattern node")
+        tree.set_attribute(node, attr_name, value)
+
+
+def canonical_pre_solution(setting: DataExchangeSetting, source_tree: XMLTree,
+                           nulls: Optional[NullFactory] = None) -> XMLTree:
+    """Compute ``cps(T)`` for a fully-specified setting (Section 6.1).
+
+    The result is an *unordered* tree rooted at the target root element whose
+    child subtrees are the instantiated right-hand sides of the STDs, one per
+    satisfying source assignment.
+    """
+    factory = nulls or NullFactory()
+    root_label = setting.target_dtd.root
+    result = XMLTree(root_label, ordered=False)
+    for dependency in setting.stds:
+        if not dependency.is_fully_specified(root_label):
+            raise PreSolutionError(
+                f"STD {dependency} is not fully specified; "
+                "canonical pre-solutions are defined for fully-specified STDs only")
+        _instantiate_std(result, dependency, source_tree, factory)
+    return result
+
+
+def _instantiate_std(result: XMLTree, dependency: STD, source_tree: XMLTree,
+                     factory: NullFactory) -> None:
+    target = dependency.target
+    assert isinstance(target, NodePattern)
+    source_vars = dependency.source_variables()
+    seen: set = set()
+    for assignment in match_anywhere(source_tree, dependency.source):
+        # One instantiation per distinct tuple (s̄, s̄') of source values.
+        key = tuple((name, repr(assignment.get(name))) for name in source_vars)
+        if key in seen:
+            continue
+        seen.add(key)
+        binding: Dict[str, Value] = {name: assignment[name]
+                                     for name in source_vars if name in assignment}
+        # Fresh nulls for the existential target variables z̄.
+        for name in dependency.existential_variables():
+            binding[name] = factory.fresh()
+        instance = pattern_to_tree(target, binding, factory)
+        # Merge at the root: graft each child subtree of the instance root.
+        for attr_name, value in instance.attributes(instance.root).items():
+            existing = result.attribute(result.root, attr_name)
+            if existing is None:
+                result.set_attribute(result.root, attr_name, value)
+        for child in instance.children(instance.root):
+            result.graft_subtree(result.root, instance, child)

@@ -1,0 +1,24 @@
+"""Tree-pattern formulae and conjunctive tree queries (paper, Sections 3.1, 5)."""
+
+from .evaluate import (Assignment, join_assignments, match_anywhere,
+                       match_at_node, pattern_holds, satisfying_assignments)
+from .formula import (WILDCARD, AttributeFormula, DescendantPattern,
+                      NodePattern, Term, TreePattern, Variable, descendant,
+                      node, wildcard)
+from .parse import PatternParseError, parse_pattern
+from .queries import (ConjunctionQuery, ExistsQuery, PatternQuery, Query,
+                      UnionQuery, boolean_query_holds, classify_query,
+                      conjunction, evaluate_query, exists, pattern_query,
+                      union_query)
+
+__all__ = [
+    "WILDCARD", "Variable", "Term", "AttributeFormula",
+    "TreePattern", "NodePattern", "DescendantPattern",
+    "node", "wildcard", "descendant",
+    "parse_pattern", "PatternParseError",
+    "Assignment", "match_at_node", "match_anywhere", "pattern_holds",
+    "satisfying_assignments", "join_assignments",
+    "Query", "PatternQuery", "ConjunctionQuery", "ExistsQuery", "UnionQuery",
+    "pattern_query", "conjunction", "exists", "union_query",
+    "evaluate_query", "boolean_query_holds", "classify_query",
+]

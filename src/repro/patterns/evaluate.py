@@ -1,0 +1,159 @@
+"""Evaluation of tree-pattern formulae over XML trees (paper, Section 3.1).
+
+The central notion is the *witness node*: ``T ⊨ ϕ(s̄)`` holds iff some node of
+``T`` is a witness for ``ϕ(s̄)``.  For query answering we need the set of all
+satisfying assignments of the free variables, so the evaluator returns
+assignments (dictionaries from variable name to value) rather than booleans;
+booleans are derived views.
+
+The evaluator works on both ordered and unordered trees — patterns never
+mention sibling order — and treats nulls as ordinary values that are equal
+only to themselves (Section 5.1 then keeps only all-constant tuples in
+certain answers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import Value
+from .formula import (AttributeFormula, DescendantPattern, NodePattern,
+                      TreePattern, Variable)
+
+__all__ = [
+    "Assignment", "match_at_node", "match_anywhere", "pattern_holds",
+    "satisfying_assignments", "join_assignments",
+]
+
+#: A (partial) assignment of variable names to attribute values.
+Assignment = Dict[str, Value]
+
+
+def join_assignments(left: Iterable[Assignment],
+                     right: Iterable[Assignment]) -> List[Assignment]:
+    """Natural join of two assignment sets (consistent unions only)."""
+    result: List[Assignment] = []
+    right_list = list(right)
+    for first in left:
+        for second in right_list:
+            merged = _merge(first, second)
+            if merged is not None:
+                result.append(merged)
+    return _dedup(result)
+
+
+def _merge(first: Assignment, second: Assignment) -> Optional[Assignment]:
+    merged = dict(first)
+    for key, value in second.items():
+        if key in merged and merged[key] != value:
+            return None
+        merged[key] = value
+    return merged
+
+
+def _dedup(assignments: List[Assignment]) -> List[Assignment]:
+    seen = set()
+    result = []
+    for assignment in assignments:
+        key = tuple(sorted((k, repr(v)) for k, v in assignment.items()))
+        if key not in seen:
+            seen.add(key)
+            result.append(assignment)
+    return result
+
+
+class PatternMatcher:
+    """Evaluates patterns against one tree with memoisation per (pattern, node)."""
+
+    def __init__(self, tree: XMLTree,
+                 binding: Optional[Mapping[str, Value]] = None) -> None:
+        self.tree = tree
+        self.binding = dict(binding or {})
+        self._memo: Dict[Tuple[int, int], List[Assignment]] = {}
+
+    # -- attribute formulae ------------------------------------------------
+
+    def _match_attribute(self, node: int, formula: AttributeFormula) -> List[Assignment]:
+        if not formula.is_wildcard() and self.tree.label(node) != formula.label:
+            return []
+        assignment: Assignment = {}
+        for attr_name, term in formula.assignments:
+            value = self.tree.attribute(node, attr_name)
+            if value is None:
+                return []
+            if isinstance(term, Variable):
+                bound = self.binding.get(term.name)
+                if bound is not None and bound != value:
+                    return []
+                if term.name in assignment and assignment[term.name] != value:
+                    return []
+                assignment[term.name] = value
+            else:  # constant
+                if value != term:
+                    return []
+        return [assignment]
+
+    # -- tree patterns -----------------------------------------------------
+
+    def match_at(self, node: int, pattern: TreePattern) -> List[Assignment]:
+        """All assignments under which ``node`` is a witness for ``pattern``."""
+        key = (id(pattern), node)
+        if key in self._memo:
+            return self._memo[key]
+        result: List[Assignment]
+        if isinstance(pattern, DescendantPattern):
+            collected: List[Assignment] = []
+            for desc in self.tree.descendants(node):
+                collected.extend(self.match_at(desc, pattern.inner))
+            result = _dedup(collected)
+        elif isinstance(pattern, NodePattern):
+            base = self._match_attribute(node, pattern.attribute)
+            if not base:
+                result = []
+            else:
+                result = base
+                children = self.tree.children(node)
+                for child_pattern in pattern.children:
+                    child_matches: List[Assignment] = []
+                    for child in children:
+                        child_matches.extend(self.match_at(child, child_pattern))
+                    child_matches = _dedup(child_matches)
+                    result = join_assignments(result, child_matches)
+                    if not result:
+                        break
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown pattern node: {pattern!r}")
+        self._memo[key] = result
+        return result
+
+    def match_anywhere(self, pattern: TreePattern) -> List[Assignment]:
+        """All assignments under which *some* node of the tree witnesses
+        ``pattern`` (the satisfaction relation ``T ⊨ ϕ(s̄)``)."""
+        collected: List[Assignment] = []
+        for node in self.tree.nodes():
+            collected.extend(self.match_at(node, pattern))
+        return _dedup(collected)
+
+
+def match_at_node(tree: XMLTree, node: int, pattern: TreePattern,
+                  binding: Optional[Mapping[str, Value]] = None) -> List[Assignment]:
+    """All assignments making ``node`` a witness for ``pattern`` in ``tree``."""
+    return PatternMatcher(tree, binding).match_at(node, pattern)
+
+
+def match_anywhere(tree: XMLTree, pattern: TreePattern,
+                   binding: Optional[Mapping[str, Value]] = None) -> List[Assignment]:
+    """All assignments ``σ`` with ``T ⊨ ϕ(σ)``."""
+    return PatternMatcher(tree, binding).match_anywhere(pattern)
+
+
+def satisfying_assignments(tree: XMLTree, pattern: TreePattern) -> List[Assignment]:
+    """Alias of :func:`match_anywhere` (complete assignments to free variables)."""
+    return match_anywhere(tree, pattern)
+
+
+def pattern_holds(tree: XMLTree, pattern: TreePattern,
+                  binding: Optional[Mapping[str, Value]] = None) -> bool:
+    """``T ⊨ ϕ(s̄)`` for the (possibly partial) variable binding ``s̄``."""
+    return bool(match_anywhere(tree, pattern, binding))

@@ -1,0 +1,136 @@
+"""Parser for tree-pattern formulae.
+
+Concrete syntax (whitespace-insensitive)::
+
+    pattern  := '//' pattern
+              | atom ( '[' pattern (',' pattern)* ']' )?
+    atom     := label ( '(' binding (',' binding)* ')' )?
+    label    := NAME | '_'
+    binding  := '@' NAME '=' (NAME | STRING)
+
+A binding right-hand side that is a bare ``NAME`` is a variable; a quoted
+string (single or double quotes) is a constant.  Examples (from the paper)::
+
+    db[book(@title=x)[author(@name=y)]]                      # Example 3.4, source side
+    bib[writer(@name=y)[work(@title=x, @year=z)]]            # Example 3.4, target side
+    //author(@name="Papadimitriou")
+    _(@a1=x, @a2=x)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .formula import (AttributeFormula, DescendantPattern, NodePattern, Term,
+                      TreePattern, Variable, WILDCARD)
+
+__all__ = ["parse_pattern", "PatternParseError"]
+
+
+class PatternParseError(ValueError):
+    """Raised when a tree-pattern string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<dslash>//)|(?P<name>[\w.\-]+)|(?P<string>\"[^\"]*\"|'[^']*')"
+    r"|(?P<op>[@\[\](),=_]))"
+)
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.items: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match or match.end() == pos:
+                remainder = text[pos:].strip()
+                if not remainder:
+                    break
+                raise PatternParseError(f"cannot tokenise pattern near {remainder!r}")
+            if match.group("dslash"):
+                self.items.append(("dslash", "//"))
+            elif match.group("name"):
+                self.items.append(("name", match.group("name")))
+            elif match.group("string"):
+                self.items.append(("string", match.group("string")[1:-1]))
+            else:
+                self.items.append(("op", match.group("op")))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.index < len(self.items):
+            return self.items[self.index]
+        return None
+
+    def take(self, expected: Optional[str] = None) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise PatternParseError("unexpected end of pattern")
+        if expected is not None and token[1] != expected:
+            raise PatternParseError(f"expected {expected!r}, found {token[1]!r}")
+        self.index += 1
+        return token
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse a tree-pattern formula from its textual form."""
+    tokens = _Tokens(text)
+    pattern = _parse(tokens)
+    if tokens.peek() is not None:
+        raise PatternParseError(f"trailing input at {tokens.peek()[1]!r} in {text!r}")
+    return pattern
+
+
+def _parse(tokens: _Tokens) -> TreePattern:
+    token = tokens.peek()
+    if token is None:
+        raise PatternParseError("empty pattern")
+    if token[0] == "dslash":
+        tokens.take()
+        return DescendantPattern(_parse(tokens))
+    attribute = _parse_atom(tokens)
+    children: List[TreePattern] = []
+    if tokens.peek() == ("op", "["):
+        tokens.take("[")
+        children.append(_parse(tokens))
+        while tokens.peek() == ("op", ","):
+            tokens.take(",")
+            children.append(_parse(tokens))
+        tokens.take("]")
+    return NodePattern(attribute, tuple(children))
+
+
+def _parse_atom(tokens: _Tokens) -> AttributeFormula:
+    kind, value = tokens.take()
+    if kind == "op" and value == "_":
+        label = WILDCARD
+    elif kind == "name":
+        label = value if value != "_" else WILDCARD
+    else:
+        raise PatternParseError(f"expected an element type or '_', found {value!r}")
+    assignments: List[Tuple[str, Term]] = []
+    if tokens.peek() == ("op", "("):
+        tokens.take("(")
+        assignments.append(_parse_binding(tokens))
+        while tokens.peek() == ("op", ","):
+            tokens.take(",")
+            assignments.append(_parse_binding(tokens))
+        tokens.take(")")
+    return AttributeFormula(label, tuple(assignments))
+
+
+def _parse_binding(tokens: _Tokens) -> Tuple[str, Term]:
+    tokens.take("@")
+    kind, name = tokens.take()
+    if kind != "name":
+        raise PatternParseError(f"expected attribute name after '@', found {name!r}")
+    tokens.take("=")
+    kind, value = tokens.take()
+    if kind == "name":
+        return name, Variable(value)
+    if kind == "string":
+        return name, value
+    raise PatternParseError(f"expected a variable or string constant, found {value!r}")

@@ -1,0 +1,18 @@
+"""The paper's hardness reductions, runnable as workloads.
+
+* :mod:`repro.reductions.sat` — 3-CNF formulas, DPLL, random instances;
+* :mod:`repro.reductions.theorem_5_11` — the STD(_, //) certain-answer
+  hardness gadget (Figures 3–4);
+* :mod:`repro.reductions.lemma_6_20` — the ``c(r) ≥ 2`` dichotomy gadget
+  (Figures 9–10);
+* :mod:`repro.reductions.proposition_4_4` — the consistency NP-hardness
+  instances (fixed star-free target DTD, disjunctive source DTD).
+"""
+
+from .sat import CNFFormula, dpll_satisfiable, random_3cnf
+from . import lemma_6_20, proposition_4_4, theorem_5_11
+
+__all__ = [
+    "CNFFormula", "dpll_satisfiable", "random_3cnf",
+    "theorem_5_11", "lemma_6_20", "proposition_4_4",
+]

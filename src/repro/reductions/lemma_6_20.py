@@ -1,0 +1,207 @@
+"""The hardness gadget of Lemma 6.20 (Figures 9 and 10).
+
+Lemma 6.20: any admissible class containing a regular expression ``r`` with
+``c(r) ≥ 2`` is strongly coNP-complete for CTQ queries.  The reduction picks a
+symbol ``a ∈ alph(r)`` and a string ``w ∈ fixed_a(r)`` with ``k = #a(w) ≥ 2``
+and builds, from a 3-CNF formula ``θ``,
+
+* a source tree ``T_θ`` over a simple source DTD (clauses, variables, one
+  ``H`` node carrying the truth-value codes, and ``I_1 … I_k`` / ``J_1 … J_ℓ``
+  id-providers),
+* a fully-specified setting whose target DTD embeds ``r`` as the content
+  model of ``G``, and
+* a Boolean CTQ query ``Q``,
+
+such that ``θ`` is satisfiable iff ``certain(Q, T_θ) = false``: the third STD
+forces ``k + 2`` children of type ``a`` under each ``G`` node, but ``w`` being
+in ``fixed_a(r)`` means any solution must merge the two "literal-carrying"
+``a`` nodes into the ``k`` id-carrying ones, thereby choosing truth values.
+
+The module also implements the proof's constructive direction
+(:func:`solution_from_assignment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..patterns.formula import NodePattern, TreePattern, Variable, node
+from ..patterns.queries import Query, conjunction, exists, pattern_query
+from ..regexlang.ast import Regex
+from ..regexlang.parse import parse_regex
+from ..regexlang.univocal import RegexAnalysis, analyse
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import NullFactory
+from ..exchange.setting import DataExchangeSetting
+from ..exchange.std import STD
+from .sat import CNFFormula
+
+__all__ = ["Lemma620Gadget", "build_gadget", "encode_formula",
+           "solution_from_assignment"]
+
+
+@dataclass
+class Lemma620Gadget:
+    """The setting, query and combinatorial data of the Lemma 6.20 reduction."""
+
+    setting: DataExchangeSetting
+    query: Query
+    regex: Regex
+    pivot: str                     # the symbol ``a``
+    k: int                         # ``#a(w) = c_a(r) ≥ 2``
+    #: the non-pivot part of ``w`` as a flat list ``a_1 … a_ℓ`` (symbols may repeat)
+    tail: List[str]
+    witness_vector: Dict[str, int]
+
+
+def build_gadget(regex) -> Lemma620Gadget:
+    """Build the Lemma 6.20 setting and query for a regular expression with
+    ``c(r) ≥ 2`` (pass the expression or its textual form)."""
+    expr = regex if isinstance(regex, Regex) else parse_regex(str(regex))
+    analysis = analyse(expr)
+    pivot = None
+    for symbol in sorted(expr.alphabet()):
+        if analysis.c_a(symbol) >= 2:
+            pivot = symbol
+            break
+    if pivot is None:
+        raise ValueError(f"c({expr}) < 2; the Lemma 6.20 gadget does not apply")
+    witness = analysis.fixed_witness(pivot)
+    assert witness is not None
+    k = witness[pivot]
+    tail: List[str] = []
+    for symbol in sorted(witness):
+        if symbol == pivot:
+            continue
+        tail.extend([symbol] * witness[symbol])
+    ell = len(tail)
+
+    # ---------------- source DTD and target DTD ---------------- #
+    i_types = [f"I{i}" for i in range(1, k + 1)]
+    j_types = [f"J{j}" for j in range(1, ell + 1)]
+    source_rules = {"B": " ".join(["C*", "H*", "L*"]
+                                  + [f"{t}*" for t in i_types + j_types])}
+    source_attrs = {"C": ["f", "s", "t"], "H": ["t", "f"], "L": ["p", "n"]}
+    for t in i_types + j_types:
+        source_rules[t] = ""
+        source_attrs[t] = ["id"]
+    source_rules.update({"C": "", "H": "", "L": ""})
+    source_dtd = DTD("B", source_rules, source_attrs)
+
+    target_rules = {"B": "C* H* G*", "G": expr, "C": "", "H": ""}
+    target_attrs: Dict[str, List[str]] = {"C": ["f", "s", "t"], "H": ["f"]}
+    for symbol in sorted(expr.alphabet()):
+        target_rules.setdefault(symbol, "")
+        if symbol == pivot:
+            target_attrs[symbol] = ["id", "e", "l"]
+        else:
+            target_attrs[symbol] = ["id"]
+    target_dtd = DTD("B", target_rules, target_attrs)
+
+    # ---------------- the three STDs ---------------- #
+    copy_clause = STD(
+        target=node("B", None, node("C", {"f": "$x", "s": "$y", "t": "$z"})),
+        source=node("B", None, node("C", {"f": "$x", "s": "$y", "t": "$z"})),
+    )
+    copy_h = STD(
+        target=node("B", None, node("H", {"f": "$x"})),
+        source=node("B", None, node("H", {"f": "$x"})),
+    )
+    # Third STD: forces k + 2 children of type ``pivot`` plus the tail under G.
+    g_children: List[TreePattern] = []
+    g_children.append(node(pivot, {"id": "$u1", "e": "$x"}))
+    for i in range(2, k + 1):
+        g_children.append(node(pivot, {"id": f"$u{i}", "e": "$xp"}))
+    for j, symbol in enumerate(tail, start=1):
+        g_children.append(node(symbol, {"id": f"$v{j}"}))
+    g_children.append(node(pivot, {"l": "$y"}))
+    g_children.append(node(pivot, {"l": "$yp"}))
+    target_pattern = node("B", None, node("G", None, *g_children))
+
+    source_children: List[TreePattern] = [
+        node("H", {"t": "$x", "f": "$xp"}),
+        node("L", {"p": "$y", "n": "$yp"}),
+    ]
+    for i in range(1, k + 1):
+        source_children.append(node(f"I{i}", {"id": f"$u{i}"}))
+    for j in range(1, ell + 1):
+        source_children.append(node(f"J{j}", {"id": f"$v{j}"}))
+    source_pattern = node("B", None, *source_children)
+    force_g = STD(target=target_pattern, source=source_pattern)
+
+    setting = DataExchangeSetting(source_dtd, target_dtd,
+                                  [copy_clause, copy_h, force_g])
+
+    # ---------------- the Boolean CTQ query ---------------- #
+    query = exists(
+        ["x", "y", "z", "u"],
+        conjunction(
+            pattern_query(node("B", None,
+                               node("C", {"f": "$x", "s": "$y", "t": "$z"}),
+                               node("H", {"f": "$u"}),
+                               node("G", None, node(pivot, {"e": "$u", "l": "$x"})),
+                               node("G", None, node(pivot, {"e": "$u", "l": "$y"})),
+                               node("G", None, node(pivot, {"e": "$u", "l": "$z"})))),
+        ),
+    )
+    return Lemma620Gadget(setting=setting, query=query, regex=expr,
+                          pivot=pivot, k=k, tail=tail,
+                          witness_vector=dict(witness))
+
+
+def encode_formula(gadget: Lemma620Gadget, formula: CNFFormula) -> XMLTree:
+    """The source tree ``T_θ`` of Figure 9."""
+    if not formula.is_3cnf():
+        raise ValueError("the Lemma 6.20 encoding requires a 3-CNF formula")
+    codes = formula.literal_codes()
+    tree = XMLTree("B", ordered=True)
+    for clause in formula.clauses:
+        first, second, third = clause
+        tree.add_child(tree.root, "C", {
+            "f": codes[first], "s": codes[second], "t": codes[third]})
+    tree.add_child(tree.root, "H", {"t": "1", "f": "0"})
+    for variable in formula.variables:
+        tree.add_child(tree.root, "L", {
+            "p": codes[variable], "n": codes[-variable]})
+    for i in range(1, gadget.k + 1):
+        tree.add_child(tree.root, f"I{i}", {"id": f"i{i}"})
+    for j in range(1, len(gadget.tail) + 1):
+        tree.add_child(tree.root, f"J{j}", {"id": f"j{j}"})
+    return tree
+
+
+def solution_from_assignment(gadget: Lemma620Gadget, formula: CNFFormula,
+                             assignment: Dict[int, bool]) -> XMLTree:
+    """The candidate solution ``T'`` built from a truth assignment ``σ``
+    (the (⇒) direction of the proof of Lemma 6.20, Figure 10).
+
+    For every variable ``x`` a ``G`` node realising the witness string ``w``
+    is created; the code of the literal made *true* by ``σ`` is placed as the
+    ``@l`` attribute of the first ``pivot`` child (the one with ``@e = 1``)
+    and the code of the false literal on the second one (``@e = 0``).
+    """
+    codes = formula.literal_codes()
+    nulls = NullFactory(start=500_000)
+    tree = XMLTree("B", ordered=False)
+    for clause in formula.clauses:
+        first, second, third = clause
+        tree.add_child(tree.root, "C", {
+            "f": codes[first], "s": codes[second], "t": codes[third]})
+    tree.add_child(tree.root, "H", {"f": "0"})
+    for variable in formula.variables:
+        g_node = tree.add_child(tree.root, "G")
+        true_literal = variable if assignment.get(variable, False) else -variable
+        false_literal = -true_literal
+        pivot_attrs = []
+        pivot_attrs.append({"id": "i1", "e": "1", "l": codes[true_literal]})
+        if gadget.k >= 2:
+            pivot_attrs.append({"id": "i2", "e": "0", "l": codes[false_literal]})
+        for i in range(3, gadget.k + 1):
+            pivot_attrs.append({"id": f"i{i}", "e": "0", "l": nulls.fresh()})
+        for attrs in pivot_attrs:
+            tree.add_child(g_node, gadget.pivot, attrs)
+        for j, symbol in enumerate(gadget.tail, start=1):
+            tree.add_child(g_node, symbol, {"id": f"j{j}"})
+    return tree

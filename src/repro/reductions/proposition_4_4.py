@@ -1,0 +1,91 @@
+"""Consistency hardness instances of Proposition 4.4 (b).
+
+Proposition 4.4 (b) proves NP-completeness of consistency for a fixed
+non-recursive, star-free target DTD and source DTDs whose rules are all of the
+form ``ℓ → ℓ_1 | … | ℓ_m`` or ``ℓ → ε``, with path-pattern STDs.  The
+reduction (the all-existential case of the QBF reduction in Appendix B.1)
+encodes a 3-CNF formula ``θ``:
+
+* the source DTD is a chain of binary choices ``x_i^+ | x_i^-`` — each
+  conforming source tree is a truth assignment;
+* for every clause, an STD fires on the assignment that *falsifies* it and
+  forces the element type ``f`` in the target, which the (fixed) target DTD
+  forbids;
+* hence the setting is consistent iff some assignment falsifies no clause,
+  i.e. iff ``θ`` is satisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..patterns.formula import DescendantPattern, NodePattern, TreePattern, node
+from ..xmlmodel.dtd import DTD
+from ..exchange.setting import DataExchangeSetting
+from ..exchange.std import STD
+from .sat import CNFFormula
+
+__all__ = ["consistency_instance"]
+
+
+def consistency_instance(formula: CNFFormula) -> DataExchangeSetting:
+    """Build the Proposition 4.4 (b) consistency instance for a 3-CNF formula.
+
+    The returned setting is consistent iff ``formula`` is satisfiable.
+    """
+    variables = formula.variables
+    if not variables:
+        raise ValueError("the formula must mention at least one variable")
+    if any(len({abs(lit) for lit in clause}) != len(clause)
+           for clause in formula.clauses):
+        raise ValueError(
+            "the Proposition 4.4 encoding requires clauses over pairwise "
+            "distinct variables (the standard 3-SAT normal form)")
+
+    def pos(var: int) -> str:
+        return f"x{var}p"
+
+    def neg(var: int) -> str:
+        return f"x{var}n"
+
+    rules: Dict[str, str] = {}
+    rules["r"] = f"{pos(variables[0])} | {neg(variables[0])}"
+    for index, var in enumerate(variables):
+        if index + 1 < len(variables):
+            nxt = variables[index + 1]
+            content = f"{pos(nxt)} | {neg(nxt)}"
+        else:
+            content = ""
+        rules[pos(var)] = content
+        rules[neg(var)] = content
+    source_dtd = DTD("r", rules)
+
+    # Fixed target DTD: just the root, so any STD head mentioning ``f`` is
+    # unsatisfiable in the target.
+    target_dtd = DTD("rt", {"rt": ""})
+
+    stds: List[STD] = []
+    head = node("rt", None, node("f"))
+    for clause in formula.clauses:
+        # The assignment falsifying the clause sets every literal to false.
+        ordered = sorted(clause, key=abs)
+        falsifying = [neg(lit) if lit > 0 else pos(-lit) for lit in ordered]
+        positions = [variables.index(abs(lit)) + 1 for lit in ordered]
+        body = _path_pattern(falsifying, positions, len(variables))
+        stds.append(STD(target=head, source=body))
+    return DataExchangeSetting(source_dtd, target_dtd, stds)
+
+
+def _path_pattern(labels: List[str], depths: List[int], n_variables: int) -> TreePattern:
+    """The path pattern ``r[…]`` hitting the given labels at the given depths,
+    using descendant ``//`` to skip over intermediate levels (as in the
+    Appendix B.1 construction)."""
+    pattern: TreePattern = node(labels[-1])
+    for index in range(len(labels) - 1, 0, -1):
+        gap = depths[index] - depths[index - 1]
+        if gap > 1:
+            pattern = DescendantPattern(pattern)
+        pattern = node(labels[index - 1], None, pattern)
+    if depths[0] > 1:
+        pattern = DescendantPattern(pattern)
+    return node("r", None, pattern)

@@ -1,0 +1,148 @@
+"""Propositional 3-CNF substrate for the paper's hardness reductions.
+
+The intractability results of the paper (Theorem 5.11, Lemmas 6.20/6.21,
+Proposition 4.4 b) are proved by reductions from 3-SAT: a 3-CNF formula ``θ``
+is encoded as a source tree ``T_θ`` and the encoded question becomes
+``certain(Q, T_θ) = false`` (or a consistency question).  To *run* those
+reductions as workloads we need the CNF machinery itself: a formula
+representation, a literal-numbering scheme matching the paper's encoding, a
+complete DPLL solver (the ground truth), and a random instance generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Literal", "Clause", "CNFFormula", "dpll_satisfiable", "random_3cnf"]
+
+#: A literal: positive integer ``v`` for variable ``x_v``, ``-v`` for ``¬x_v``.
+Literal = int
+
+#: A clause: a tuple of literals (disjunction).
+Clause = Tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class CNFFormula:
+    """A CNF formula over variables ``1 … n_variables``."""
+
+    clauses: Tuple[Clause, ...]
+
+    @staticmethod
+    def of(clauses: Iterable[Sequence[Literal]]) -> "CNFFormula":
+        return CNFFormula(tuple(tuple(clause) for clause in clauses))
+
+    @property
+    def variables(self) -> List[int]:
+        """Variables occurring in the formula, in increasing order."""
+        return sorted({abs(lit) for clause in self.clauses for lit in clause})
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.variables)
+
+    def is_3cnf(self) -> bool:
+        return all(len(clause) == 3 for clause in self.clauses)
+
+    def evaluate(self, assignment: Dict[int, bool]) -> bool:
+        """Truth value of the formula under a (total) assignment."""
+        for clause in self.clauses:
+            if not any(assignment.get(abs(lit), False) == (lit > 0)
+                       for lit in clause):
+                return False
+        return True
+
+    # -- the paper's literal numbering ------------------------------------ #
+
+    def literal_codes(self) -> Dict[Literal, str]:
+        """The injective numbering of literals used by the reductions: the
+        paper assigns ``x_i → 2i-1`` and ``¬x_i → 2i`` (as strings, since the
+        encodings store them in attribute values)."""
+        codes: Dict[Literal, str] = {}
+        for rank, variable in enumerate(self.variables, start=1):
+            codes[variable] = str(2 * rank - 1)
+            codes[-variable] = str(2 * rank)
+        return codes
+
+    def __str__(self) -> str:
+        def lit(l: Literal) -> str:
+            return f"x{l}" if l > 0 else f"¬x{-l}"
+        return " ∧ ".join("(" + " ∨ ".join(lit(l) for l in clause) + ")"
+                          for clause in self.clauses)
+
+
+def dpll_satisfiable(formula: CNFFormula) -> Optional[Dict[int, bool]]:
+    """A complete DPLL solver: returns a satisfying assignment or ``None``.
+
+    Unit propagation and pure-literal elimination plus branching on the most
+    frequent variable — entirely adequate for the reduction-sized instances
+    used in tests and benchmarks.
+    """
+    clauses = [frozenset(clause) for clause in formula.clauses]
+    assignment: Dict[int, bool] = {}
+
+    def solve(active: List[FrozenSet[int]], current: Dict[int, bool]) -> Optional[Dict[int, bool]]:
+        active = list(active)
+        current = dict(current)
+        changed = True
+        while changed:
+            changed = False
+            simplified: List[FrozenSet[int]] = []
+            for clause in active:
+                satisfied = False
+                remaining: Set[int] = set()
+                for lit in clause:
+                    var, positive = abs(lit), lit > 0
+                    if var in current:
+                        if current[var] == positive:
+                            satisfied = True
+                            break
+                    else:
+                        remaining.add(lit)
+                if satisfied:
+                    continue
+                if not remaining:
+                    return None
+                if len(remaining) == 1:
+                    lit = next(iter(remaining))
+                    current[abs(lit)] = lit > 0
+                    changed = True
+                else:
+                    simplified.append(frozenset(remaining))
+            active = simplified
+        if not active:
+            # Complete with arbitrary values for untouched variables.
+            result = dict(current)
+            for variable in formula.variables:
+                result.setdefault(variable, False)
+            return result
+        counts: Dict[int, int] = {}
+        for clause in active:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        variable = max(counts, key=counts.get)
+        for value in (True, False):
+            attempt = dict(current)
+            attempt[variable] = value
+            result = solve(active, attempt)
+            if result is not None:
+                return result
+        return None
+
+    return solve(clauses, assignment)
+
+
+def random_3cnf(n_variables: int, n_clauses: int,
+                seed: Optional[int] = None) -> CNFFormula:
+    """A random 3-CNF formula (three distinct variables per clause)."""
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_variables + 1), k=min(3, n_variables))
+        while len(variables) < 3:
+            variables.append(rng.randint(1, n_variables))
+        clause = tuple(v if rng.random() < 0.5 else -v for v in variables)
+        clauses.append(clause)
+    return CNFFormula(tuple(clauses))

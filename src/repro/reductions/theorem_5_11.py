@@ -1,0 +1,146 @@
+"""The hardness gadget of Theorem 5.11, class STD(_, //) (Figures 3 and 4).
+
+Theorem 5.11 shows that as soon as target patterns in STDs may be witnessed
+away from the root (class ``STD(_, //)``: wildcard and descendant are still
+forbidden), computing certain answers becomes coNP-complete even over simple
+DTDs.  The reduction maps a 3-CNF formula ``θ`` to
+
+* a source tree ``T_θ`` over the simple source DTD (one ``C`` node per clause
+  carrying the codes of its three literals, one ``L`` node per variable
+  carrying the codes of ``x`` and ``¬x``),
+* a fixed data exchange setting and a fixed Boolean CTQ query ``Q``,
+
+such that ``θ`` is satisfiable iff ``certain(Q, T_θ) = false``.
+
+Besides the encoding this module implements the *constructive* direction of
+the proof: :func:`solution_from_assignment` builds, from a truth assignment
+``σ``, the solution ``T'`` described in the proof (each clause's
+``H1[H2[H3]]`` chain is hung below a ``G1`` node at depth 1, 2 or 3 according
+to which literal ``σ`` makes true), so that ``T' ⊭ Q`` exactly when ``σ`` is a
+well-defined satisfying assignment.  The test-suite and the hardness benchmark
+use this to exercise both directions of the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..patterns.parse import parse_pattern
+from ..patterns.queries import Query, conjunction, exists, pattern_query
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import NullFactory
+from ..exchange.setting import DataExchangeSetting
+from ..exchange.std import STD, std
+from .sat import CNFFormula
+
+__all__ = ["Theorem511Gadget", "build_gadget", "encode_formula",
+           "solution_from_assignment"]
+
+
+@dataclass
+class Theorem511Gadget:
+    """The fixed setting and query of the STD(_, //) case of Theorem 5.11."""
+
+    setting: DataExchangeSetting
+    query: Query
+
+
+def build_gadget() -> Theorem511Gadget:
+    """The data exchange setting ``(D_S, D_T, Σ_ST)`` and Boolean query ``Q``
+    from the proof of Theorem 5.11 (case STD(_, //))."""
+    source_dtd = DTD(
+        root="K",
+        rules={"K": "C* L*", "C": "", "L": ""},
+        attributes={"C": ["f", "s", "t"], "L": ["p", "n"]},
+    )
+    target_dtd = DTD(
+        root="K",
+        rules={
+            "K": "G1* L*",
+            "G1": "H1* G2*",
+            "H1": "H2*",
+            "H2": "H3*",
+            "H3": "",
+            "G2": "H1* G3*",
+            "G3": "H1*",
+            "L": "",
+        },
+        attributes={
+            "H1": ["l"], "H2": ["l"], "H3": ["l"], "L": ["p", "n"],
+        },
+    )
+    stds = [
+        # Every L node (a variable with its two literal codes) is copied.
+        std("K[L(@p=x, @n=y)]", "K[L(@p=x, @n=y)]"),
+        # Every clause forces an H1[H2[H3]] chain carrying its literal codes;
+        # crucially the target pattern is *not* anchored at the root, so the
+        # chain may hang at depth 1, 2 or 3 below a G1 node.
+        std("H1(@l=x)[H2(@l=y)[H3(@l=z)]]", "K[C(@f=x, @s=y, @t=z)]"),
+    ]
+    setting = DataExchangeSetting(source_dtd, target_dtd, stds)
+    query = exists(
+        ["x", "y"],
+        conjunction(
+            pattern_query(parse_pattern("L(@p=x, @n=y)")),
+            pattern_query(parse_pattern("G1[_[_[_(@l=x)]]]")),
+            pattern_query(parse_pattern("G1[_[_[_(@l=y)]]]")),
+        ),
+    )
+    return Theorem511Gadget(setting=setting, query=query)
+
+
+def encode_formula(formula: CNFFormula) -> XMLTree:
+    """The source tree ``T_θ`` of Figure 3."""
+    if not formula.is_3cnf():
+        raise ValueError("the Theorem 5.11 encoding requires a 3-CNF formula")
+    codes = formula.literal_codes()
+    tree = XMLTree("K", ordered=True)
+    for clause in formula.clauses:
+        first, second, third = clause
+        tree.add_child(tree.root, "C", {
+            "f": codes[first], "s": codes[second], "t": codes[third]})
+    for variable in formula.variables:
+        tree.add_child(tree.root, "L", {
+            "p": codes[variable], "n": codes[-variable]})
+    return tree
+
+
+def solution_from_assignment(formula: CNFFormula,
+                             assignment: Dict[int, bool]) -> XMLTree:
+    """The candidate solution ``T'`` built from a truth assignment ``σ``
+    (the (⇒) direction of the proof, Figure 4).
+
+    For each clause, the ``H1[H2[H3]]`` chain is attached so that the literal
+    made true by ``σ`` (preferring the third, then second, then first, as in
+    the proof) ends up as the value of ``@l`` of a great-grandchild of the
+    ``G1`` node.  If ``σ`` satisfies ``θ`` the result is a solution for
+    ``T_θ`` on which the query ``Q`` is false.
+    """
+    codes = formula.literal_codes()
+    tree = XMLTree("K", ordered=False)
+    # Copy the variable nodes (first STD).
+    for variable in formula.variables:
+        tree.add_child(tree.root, "L", {
+            "p": codes[variable], "n": codes[-variable]})
+    for clause in formula.clauses:
+        first, second, third = clause
+        g1 = tree.add_child(tree.root, "G1")
+        truths = [assignment.get(abs(lit), False) == (lit > 0)
+                  for lit in (first, second, third)]
+        if truths[2]:
+            parent = g1                                    # Figure 4 (c)
+        elif truths[1]:
+            g2 = tree.add_child(g1, "G2")                  # Figure 4 (d)
+            parent = g2
+        else:
+            # Figure 4 (e); also the fall-back when the clause is unsatisfied
+            # (the construction still yields a tree, just not a Q-free one).
+            g2 = tree.add_child(g1, "G2")
+            g3 = tree.add_child(g2, "G3")
+            parent = g3
+        h1 = tree.add_child(parent, "H1", {"l": codes[first]})
+        h2 = tree.add_child(h1, "H2", {"l": codes[second]})
+        tree.add_child(h2, "H3", {"l": codes[third]})
+    return tree

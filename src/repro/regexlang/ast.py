@@ -1,0 +1,251 @@
+"""Regular expressions over element types (paper, Section 2).
+
+DTD content models are regular expressions built by the grammar
+
+    e ::= ε | ℓ | e|e | ee | e*          (ℓ an element type)
+
+with the standard shorthands ``e+`` for ``ee*`` and ``e?`` for ``ε|e``.
+This module provides the AST, constructors, and basic structural measures
+(``alph(r)``, the paper's norm ``‖r‖`` defined before Lemma 5.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
+
+__all__ = [
+    "Regex", "Epsilon", "Empty", "Symbol", "Concat", "Union", "Star",
+    "epsilon", "empty", "sym", "concat", "union", "star", "plus", "optional",
+]
+
+
+class Regex:
+    """Base class for regular-expression AST nodes."""
+
+    def alphabet(self) -> FrozenSet[str]:
+        """``alph(r)``: the set of element types mentioned in the expression."""
+        raise NotImplementedError
+
+    def norm(self) -> int:
+        """The paper's ``‖r‖``: ε and ∅ count 0, symbols count 1,
+        union/concatenation add, and ``‖r*‖ = ‖r‖``."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """True iff ε belongs to the language of the expression."""
+        raise NotImplementedError
+
+    def subexpressions(self) -> Iterator["Regex"]:
+        """Iterate over all subexpressions (including ``self``)."""
+        yield self
+
+    # The AST is treated as immutable; concrete classes are dataclasses with
+    # ``frozen=True`` so expressions can be used as dict keys and set members.
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The expression ε (only the empty string)."""
+
+    def alphabet(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def norm(self) -> int:
+        return 0
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language ∅ (used internally by DTD trimming, Lemma 2.2)."""
+
+    def alphabet(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def norm(self) -> int:
+        return 0
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """A single element type ℓ."""
+
+    name: str
+
+    def alphabet(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def norm(self) -> int:
+        return 1
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation ``left · right``."""
+
+    left: Regex
+    right: Regex
+
+    def alphabet(self) -> FrozenSet[str]:
+        return self.left.alphabet() | self.right.alphabet()
+
+    def norm(self) -> int:
+        return self.left.norm() + self.right.norm()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+        yield from self.left.subexpressions()
+        yield from self.right.subexpressions()
+
+    def __str__(self) -> str:
+        return f"{self._wrap(self.left)} {self._wrap(self.right)}"
+
+    @staticmethod
+    def _wrap(expr: Regex) -> str:
+        if isinstance(expr, Union):
+            return f"({expr})"
+        return str(expr)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Alternation ``left | right``."""
+
+    left: Regex
+    right: Regex
+
+    def alphabet(self) -> FrozenSet[str]:
+        return self.left.alphabet() | self.right.alphabet()
+
+    def norm(self) -> int:
+        return self.left.norm() + self.right.norm()
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+        yield from self.left.subexpressions()
+        yield from self.right.subexpressions()
+
+    def __str__(self) -> str:
+        return f"{self.left}|{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``inner*``."""
+
+    inner: Regex
+
+    def alphabet(self) -> FrozenSet[str]:
+        return self.inner.alphabet()
+
+    def norm(self) -> int:
+        return self.inner.norm()
+
+    def nullable(self) -> bool:
+        return True
+
+    def subexpressions(self) -> Iterator[Regex]:
+        yield self
+        yield from self.inner.subexpressions()
+
+    def __str__(self) -> str:
+        inner = str(self.inner)
+        if isinstance(self.inner, (Symbol, Epsilon, Empty)):
+            return f"{inner}*"
+        return f"({inner})*"
+
+
+# --------------------------------------------------------------------- #
+# Smart constructors (light simplification keeps automata small)
+# --------------------------------------------------------------------- #
+
+def epsilon() -> Regex:
+    """The expression ε."""
+    return Epsilon()
+
+
+def empty() -> Regex:
+    """The empty language ∅."""
+    return Empty()
+
+
+def sym(name: str) -> Regex:
+    """A single element-type symbol."""
+    return Symbol(name)
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenation of any number of expressions (ε and ∅ simplified away)."""
+    result: Regex = Epsilon()
+    for part in parts:
+        if isinstance(part, Empty) or isinstance(result, Empty):
+            return Empty()
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(result, Epsilon):
+            result = part
+        else:
+            result = Concat(result, part)
+    return result
+
+
+def union(*parts: Regex) -> Regex:
+    """Union of any number of expressions (∅ simplified away)."""
+    live = [p for p in parts if not isinstance(p, Empty)]
+    if not live:
+        return Empty()
+    result = live[0]
+    for part in live[1:]:
+        result = Union(result, part)
+    return result
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star (``∅* = ε* = ε``)."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return Epsilon()
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def plus(inner: Regex) -> Regex:
+    """``e+`` as the paper's shorthand for ``e e*``."""
+    return concat(inner, star(inner))
+
+
+def optional(inner: Regex) -> Regex:
+    """``e?`` as the paper's shorthand for ``ε | e``."""
+    if inner.nullable():
+        return inner
+    return union(epsilon(), inner)

@@ -1,0 +1,399 @@
+"""Parikh images, permutation languages π(r) and semilinear sets.
+
+Section 5.2 of the paper introduces, for a regular expression ``r``, the
+permutation language ``π(r)``: all strings that are permutations of strings in
+``L(r)``.  Membership of a string in ``π(r)`` depends only on its *Parikh
+vector* (the multiset of symbol counts), and the set of Parikh vectors of a
+regular language is a *semilinear set* — a finite union of linear sets
+``b + N·{p_1, …, p_k}`` (Lemma 5.4 states the equivalent Pilling normal form
+``w_0 (w_1)* ⋯ (w_m)*``).
+
+This module computes an exact semilinear representation *structurally* from
+the regex AST:
+
+* ``Parikh(ε) = {0}``,  ``Parikh(ℓ) = {e_ℓ}``,
+* union        → union of the linear sets,
+* concatenation → pairwise Minkowski sums,
+* Kleene star  → the classical subset construction
+  ``{0} ∪ ⋃_{∅≠S} (Σ_{i∈S} b_i + N·({b_i}_{i∈S} ∪ ⋃_{i∈S} P_i))``.
+
+On top of the representation we provide the queries used throughout the
+paper's algorithms:
+
+* membership of a count vector (hence ``w ∈ π(r)``, Proposition 5.3),
+* "is there ``v ∈ π(r)`` with ``v ≥ u``?" (coverability, used by ChangeReg
+  failure detection and by ``fixed_a(r)``),
+* the minimal extensions ``min_ext(w, r)`` of Section 6.1,
+* boundedness of a symbol's count (used to compute ``c_a(r)``, Lemma 6.8).
+
+Everything is exact; the only resource guard is a cap on the number of linear
+sets produced by Kleene star over a union of many period-carrying components
+(never hit by DTD-sized expressions; a compact exact form is used for the
+common ``(a_1 | … | a_n)*`` shape).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .ast import Concat, Empty, Epsilon, Regex, Star, Symbol, Union
+
+__all__ = [
+    "CountVector", "LinearSet", "SemilinearSet",
+    "parikh_vector", "semilinear_of", "in_permutation_language",
+    "minimal_extensions", "SemilinearSizeError",
+]
+
+#: A count vector: mapping from symbol to a non-negative count.  Symbols not
+#: present are implicitly 0.
+CountVector = Dict[str, int]
+
+_STAR_SUBSET_CAP = 16
+_LINEAR_SET_CAP = 100_000
+
+
+class SemilinearSizeError(RuntimeError):
+    """Raised when the semilinear representation would exceed the safety cap."""
+
+
+def parikh_vector(word: Iterable[str]) -> CountVector:
+    """The Parikh vector ``(#a(w))_a`` of a word."""
+    counts: CountVector = {}
+    for symbol in word:
+        counts[symbol] = counts.get(symbol, 0) + 1
+    return counts
+
+
+def _normalise(vector: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted((s, c) for s, c in vector.items() if c))
+
+
+@dataclass(frozen=True)
+class LinearSet:
+    """The linear set ``base + N·periods`` (periods is a frozen set of vectors)."""
+
+    base: Tuple[Tuple[str, int], ...]
+    periods: FrozenSet[Tuple[Tuple[str, int], ...]]
+
+    @staticmethod
+    def make(base: Mapping[str, int],
+             periods: Iterable[Mapping[str, int]] = ()) -> "LinearSet":
+        norm_periods = frozenset(
+            _normalise(p) for p in periods if any(c for c in p.values())
+        )
+        return LinearSet(_normalise(base), norm_periods)
+
+    def base_vector(self) -> CountVector:
+        return dict(self.base)
+
+    def period_vectors(self) -> List[CountVector]:
+        return [dict(p) for p in self.periods]
+
+    def symbols(self) -> Set[str]:
+        symbols = {s for s, _ in self.base}
+        for period in self.periods:
+            symbols |= {s for s, _ in period}
+        return symbols
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def contains(self, vector: Mapping[str, int]) -> bool:
+        """Exact membership: is ``vector = base + Σ λ_j p_j`` solvable in N?"""
+        target: CountVector = {}
+        symbols = set(vector) | self.symbols()
+        base = self.base_vector()
+        for symbol in symbols:
+            diff = vector.get(symbol, 0) - base.get(symbol, 0)
+            if diff < 0:
+                return False
+            if diff:
+                target[symbol] = diff
+        periods = [p for p in self.period_vectors()
+                   if all(s in target or not c for s, c in p.items())]
+        return _solvable(target, periods)
+
+    def coverable(self, lower: Mapping[str, int],
+                  forbidden: FrozenSet[str] = frozenset()) -> bool:
+        """Is there ``v`` in the set with ``v ≥ lower`` and ``v_f = 0`` for
+        every forbidden symbol ``f``?
+
+        Because periods may be used arbitrarily often, this reduces to: the
+        base is zero on forbidden symbols, and every positive deficit
+        component is touched by some allowed period.
+        """
+        base = self.base_vector()
+        if any(base.get(f, 0) for f in forbidden):
+            return False
+        periods = [p for p in self.period_vectors()
+                   if not any(p.get(f, 0) for f in forbidden)]
+        for symbol, count in lower.items():
+            deficit = count - base.get(symbol, 0)
+            if deficit > 0 and not any(p.get(symbol, 0) for p in periods):
+                return False
+        return True
+
+    def minimal_ge(self, lower: Mapping[str, int],
+                   forbidden: FrozenSet[str] = frozenset()) -> List[CountVector]:
+        """All ⪯-minimal vectors ``v`` of the set with ``v ≥ lower`` (and zero
+        on forbidden symbols)."""
+        if not self.coverable(lower, forbidden):
+            return []
+        base = self.base_vector()
+        periods = [p for p in self.period_vectors()
+                   if not any(p.get(f, 0) for f in forbidden)]
+        # In a minimal solution no period is used more than max(lower) times
+        # (dropping one copy would still dominate ``lower``), see module doc.
+        bound = max([c for c in lower.values()] + [0]) + 1
+        candidates: List[CountVector] = []
+        deficits = {s: max(0, c - base.get(s, 0)) for s, c in lower.items()}
+        deficits = {s: c for s, c in deficits.items() if c}
+        useful = [p for p in periods if any(p.get(s, 0) for s in deficits)] or []
+        for lambdas in itertools.product(range(bound + 1), repeat=len(useful)):
+            vector = dict(base)
+            for lam, period in zip(lambdas, useful):
+                if not lam:
+                    continue
+                for symbol, count in period.items():
+                    vector[symbol] = vector.get(symbol, 0) + lam * count
+            if all(vector.get(s, 0) >= c for s, c in lower.items()):
+                candidates.append({s: c for s, c in vector.items() if c})
+        return _pareto_minimal(candidates)
+
+
+def _solvable(target: CountVector, periods: List[CountVector]) -> bool:
+    """Is ``target = Σ λ_j periods_j`` solvable with ``λ ∈ N``?  (DFS + memo)"""
+    if not target:
+        return True
+    if not periods:
+        return False
+    memo: Dict[Tuple[Tuple[str, int], ...], bool] = {}
+
+    items = periods
+
+    def solve(remaining: CountVector, index: int) -> bool:
+        if not remaining:
+            return True
+        if index == len(items):
+            return False
+        key = (_normalise(remaining), index)
+        if key in memo:
+            return memo[key]
+        period = items[index]
+        # Maximum multiplicity of this period.
+        limit = None
+        for symbol, count in period.items():
+            if count:
+                available = remaining.get(symbol, 0) // count
+                limit = available if limit is None else min(limit, available)
+        limit = limit or 0
+        result = False
+        for lam in range(limit + 1):
+            nxt = dict(remaining)
+            ok = True
+            for symbol, count in period.items():
+                if not count:
+                    continue
+                value = nxt.get(symbol, 0) - lam * count
+                if value < 0:
+                    ok = False
+                    break
+                if value:
+                    nxt[symbol] = value
+                else:
+                    nxt.pop(symbol, None)
+            if ok and solve(nxt, index + 1):
+                result = True
+                break
+        memo[key] = result
+        return result
+
+    return solve(dict(target), 0)
+
+
+def _pareto_minimal(vectors: List[CountVector]) -> List[CountVector]:
+    """Keep only the ⪯-minimal vectors (componentwise order), removing duplicates."""
+    unique: Dict[Tuple[Tuple[str, int], ...], CountVector] = {}
+    for vector in vectors:
+        unique[_normalise(vector)] = {s: c for s, c in vector.items() if c}
+    result: List[CountVector] = []
+    items = list(unique.values())
+    for i, vec in enumerate(items):
+        dominated = False
+        for j, other in enumerate(items):
+            if i == j:
+                continue
+            if _leq(other, vec) and other != vec:
+                dominated = True
+                break
+        if not dominated:
+            result.append(vec)
+    return result
+
+
+def _leq(left: Mapping[str, int], right: Mapping[str, int]) -> bool:
+    return all(right.get(s, 0) >= c for s, c in left.items())
+
+
+class SemilinearSet:
+    """A finite union of :class:`LinearSet`, the Parikh image of a regex."""
+
+    def __init__(self, linear_sets: Iterable[LinearSet]) -> None:
+        # Deduplicate identical linear sets; they are frequent after sums.
+        seen: Dict[Tuple, LinearSet] = {}
+        for ls in linear_sets:
+            seen[(ls.base, ls.periods)] = ls
+        self.linear_sets: List[LinearSet] = list(seen.values())
+        if len(self.linear_sets) > _LINEAR_SET_CAP:
+            raise SemilinearSizeError(
+                f"semilinear representation too large ({len(self.linear_sets)} linear sets)"
+            )
+
+    def __len__(self) -> int:
+        return len(self.linear_sets)
+
+    def symbols(self) -> Set[str]:
+        symbols: Set[str] = set()
+        for ls in self.linear_sets:
+            symbols |= ls.symbols()
+        return symbols
+
+    def is_empty(self) -> bool:
+        return not self.linear_sets
+
+    def contains(self, vector: Mapping[str, int]) -> bool:
+        """Membership of a Parikh vector in the Parikh image."""
+        clean = {s: c for s, c in vector.items() if c}
+        return any(ls.contains(clean) for ls in self.linear_sets)
+
+    def coverable(self, lower: Mapping[str, int],
+                  forbidden: Iterable[str] = ()) -> bool:
+        """Is there a member ``v ≥ lower`` that avoids the forbidden symbols?"""
+        forb = frozenset(forbidden)
+        clean = {s: c for s, c in lower.items() if c}
+        return any(ls.coverable(clean, forb) for ls in self.linear_sets)
+
+    def minimal_ge(self, lower: Mapping[str, int],
+                   forbidden: Iterable[str] = ()) -> List[CountVector]:
+        """All ⪯-minimal members ``v ≥ lower`` avoiding forbidden symbols."""
+        forb = frozenset(forbidden)
+        clean = {s: c for s, c in lower.items() if c}
+        candidates: List[CountVector] = []
+        for ls in self.linear_sets:
+            candidates.extend(ls.minimal_ge(clean, forb))
+        return _pareto_minimal(candidates)
+
+    def symbol_count_unbounded(self, symbol: str) -> bool:
+        """True iff members with arbitrarily large ``#symbol`` exist."""
+        return any(any(p.get(symbol, 0) for p in ls.period_vectors())
+                   for ls in self.linear_sets)
+
+    def max_base_count(self, symbol: str) -> int:
+        """The largest ``#symbol`` among the bases (bounds ``c_a(r)``, Lemma 6.8)."""
+        best = 0
+        for ls in self.linear_sets:
+            best = max(best, ls.base_vector().get(symbol, 0))
+        return best
+
+
+# --------------------------------------------------------------------- #
+# Structural computation of the Parikh image
+# --------------------------------------------------------------------- #
+
+def semilinear_of(expr: Regex) -> SemilinearSet:
+    """Exact semilinear representation of the Parikh image of ``L(expr)``."""
+    return SemilinearSet(_semilinear(expr))
+
+
+def _semilinear(expr: Regex) -> List[LinearSet]:
+    if isinstance(expr, Empty):
+        return []
+    if isinstance(expr, Epsilon):
+        return [LinearSet.make({})]
+    if isinstance(expr, Symbol):
+        return [LinearSet.make({expr.name: 1})]
+    if isinstance(expr, Union):
+        return _semilinear(expr.left) + _semilinear(expr.right)
+    if isinstance(expr, Concat):
+        left = _semilinear(expr.left)
+        right = _semilinear(expr.right)
+        result = []
+        for l_set in left:
+            for r_set in right:
+                base = _add_vectors(l_set.base_vector(), r_set.base_vector())
+                periods = list(l_set.period_vectors()) + list(r_set.period_vectors())
+                result.append(LinearSet.make(base, periods))
+        return result
+    if isinstance(expr, Star):
+        inner = SemilinearSet(_semilinear(expr.inner)).linear_sets
+        return _star(inner)
+    raise TypeError(f"unknown regex node: {expr!r}")
+
+
+def _add_vectors(left: CountVector, right: CountVector) -> CountVector:
+    result = dict(left)
+    for symbol, count in right.items():
+        result[symbol] = result.get(symbol, 0) + count
+    return result
+
+
+def _star(linear_sets: List[LinearSet]) -> List[LinearSet]:
+    zero = LinearSet.make({})
+    if not linear_sets:
+        return [zero]
+    # Compact exact form when no component carries periods: the star of a set
+    # of plain vectors {b_1, …, b_m} is {0} ∪ ⋃_j (b_j + N·{b_1, …, b_m}).
+    if all(not ls.periods for ls in linear_sets):
+        bases = [ls.base_vector() for ls in linear_sets]
+        return [zero] + [LinearSet.make(base, bases) for base in bases]
+    if len(linear_sets) > _STAR_SUBSET_CAP:
+        raise SemilinearSizeError(
+            "Kleene star over a union of more than "
+            f"{_STAR_SUBSET_CAP} period-carrying components is not supported; "
+            "rewrite the content model or simplify the expression"
+        )
+    result = [zero]
+    indices = range(len(linear_sets))
+    for size in range(1, len(linear_sets) + 1):
+        for subset in itertools.combinations(indices, size):
+            base: CountVector = {}
+            periods: List[CountVector] = []
+            for index in subset:
+                ls = linear_sets[index]
+                base = _add_vectors(base, ls.base_vector())
+                periods.append(ls.base_vector())
+                periods.extend(ls.period_vectors())
+            result.append(LinearSet.make(base, periods))
+    return result
+
+
+# --------------------------------------------------------------------- #
+# π(r) membership and min_ext
+# --------------------------------------------------------------------- #
+
+def in_permutation_language(word: Sequence[str], expr: Regex,
+                            semilinear: Optional[SemilinearSet] = None) -> bool:
+    """``w ∈ π(r)``: is the word a permutation of some string in ``L(r)``?
+
+    Proposition 5.3 shows this is NP-complete in general but polynomial for a
+    fixed ``r``; precomputing ``semilinear`` and reusing it across calls gives
+    the fixed-``r`` behaviour.
+    """
+    sl = semilinear if semilinear is not None else semilinear_of(expr)
+    return sl.contains(parikh_vector(word))
+
+
+def minimal_extensions(word: Sequence[str], expr: Regex,
+                       semilinear: Optional[SemilinearSet] = None) -> List[CountVector]:
+    """``min_ext(w, r)``: the ⪯-minimal Parikh vectors of strings in ``π(r)``
+    dominating ``w`` (Section 6.1).
+
+    The result is returned as a list of count vectors; the caller may realise
+    them as concrete strings in any order (the chase works on unordered
+    trees).
+    """
+    sl = semilinear if semilinear is not None else semilinear_of(expr)
+    return sl.minimal_ge(parikh_vector(word))

@@ -1,0 +1,133 @@
+"""Parser for DTD content-model regular expressions.
+
+Grammar (whitespace-insensitive, ``,`` and juxtaposition both mean
+concatenation, matching common DTD notation)::
+
+    expr     := term ('|' term)*
+    term     := factor ((',' | ' ') factor)*
+    factor   := atom ('*' | '+' | '?')*
+    atom     := NAME | 'EPSILON' | 'EMPTY' | '(' expr ')'
+
+``NAME`` is any run of letters, digits, ``_``, ``-`` or ``.`` that is not one
+of the reserved words.  Both the paper's ``ε`` and the DTD keyword ``EMPTY``
+denote the empty-string expression.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .ast import Regex, concat, empty, epsilon, optional, plus, star, sym, union
+
+__all__ = ["parse_regex", "RegexParseError"]
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<name>[\w.\-]+)|(?P<op>[|(),*+?])|(?P<eps>ε))")
+
+_RESERVED_EPSILON = {"EPSILON", "EMPTY", "ε", "eps"}
+_RESERVED_EMPTYSET = {"EMPTYSET", "∅"}
+
+
+class RegexParseError(ValueError):
+    """Raised when a regular-expression string cannot be parsed."""
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match or match.end() == pos:
+                remainder = text[pos:].strip()
+                if not remainder:
+                    break
+                raise RegexParseError(f"cannot tokenise regex near {remainder!r}")
+            token = match.group("name") or match.group("op") or match.group("eps")
+            self.tokens.append(token)
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> Optional[str]:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise RegexParseError("unexpected end of regular expression")
+        self.index += 1
+        return token
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a content-model string into a :class:`~repro.regexlang.ast.Regex`.
+
+    Examples::
+
+        parse_regex("book*")                 # Figure 1(a)
+        parse_regex("(B C)*")                # Example 6.4
+        parse_regex("l1? l2+ l3* l4")        # nested-relational rule shape
+        parse_regex("a1|a2|a3")
+    """
+    if not text.strip():
+        return epsilon()
+    tokens = _Tokenizer(text)
+    expr = _parse_union(tokens)
+    if tokens.peek() is not None:
+        raise RegexParseError(f"trailing input at token {tokens.peek()!r} in {text!r}")
+    return expr
+
+
+def _parse_union(tokens: _Tokenizer) -> Regex:
+    parts = [_parse_concat(tokens)]
+    while tokens.peek() == "|":
+        tokens.take()
+        parts.append(_parse_concat(tokens))
+    return union(*parts)
+
+
+def _parse_concat(tokens: _Tokenizer) -> Regex:
+    parts = []
+    while True:
+        token = tokens.peek()
+        if token is None or token in {"|", ")"}:
+            break
+        if token == ",":
+            tokens.take()
+            continue
+        parts.append(_parse_postfix(tokens))
+    if not parts:
+        return epsilon()
+    return concat(*parts)
+
+
+def _parse_postfix(tokens: _Tokenizer) -> Regex:
+    expr = _parse_atom(tokens)
+    while tokens.peek() in {"*", "+", "?"}:
+        op = tokens.take()
+        if op == "*":
+            expr = star(expr)
+        elif op == "+":
+            expr = plus(expr)
+        else:
+            expr = optional(expr)
+    return expr
+
+
+def _parse_atom(tokens: _Tokenizer) -> Regex:
+    token = tokens.take()
+    if token == "(":
+        expr = _parse_union(tokens)
+        closing = tokens.take()
+        if closing != ")":
+            raise RegexParseError(f"expected ')' but found {closing!r}")
+        return expr
+    if token in _RESERVED_EPSILON:
+        return epsilon()
+    if token in _RESERVED_EMPTYSET:
+        return empty()
+    if token in {")", "|", "*", "+", "?", ","}:
+        raise RegexParseError(f"unexpected token {token!r}")
+    return sym(token)

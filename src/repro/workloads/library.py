@@ -1,0 +1,114 @@
+"""The book/writer exchange scenario of Figures 1 and 2, made scalable.
+
+The paper's running example restructures a bibliography grouped by book
+(``db[book(@title)[author(@name, @aff)]]``) into one grouped by writer
+(``bib[writer(@name)[work(@title, @year)]]``); the publication year is unknown
+and becomes a null.  This module provides the two DTDs, the STD of
+Example 3.4, a generator of source documents of arbitrary size (for the
+scaling benchmarks of experiment E1) and the example queries discussed in the
+introduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..patterns.parse import parse_pattern
+from ..patterns.queries import Query, exists, pattern_query
+from ..xmlmodel.dtd import DTD, parse_dtd
+from ..xmlmodel.tree import XMLTree
+from ..exchange.setting import DataExchangeSetting
+from ..exchange.std import std
+
+__all__ = [
+    "source_dtd", "target_dtd", "library_setting", "figure_1_source",
+    "generate_source", "query_writer_of", "query_works_in_year",
+]
+
+_SOURCE_DTD_TEXT = """
+<!ELEMENT db (book*)>
+<!ELEMENT book (author*)>
+<!ATTLIST book title CDATA #REQUIRED>
+<!ELEMENT author EMPTY>
+<!ATTLIST author name CDATA #REQUIRED aff CDATA #REQUIRED>
+"""
+
+_TARGET_DTD_TEXT = """
+<!ELEMENT bib (writer*)>
+<!ELEMENT writer (work*)>
+<!ATTLIST writer name CDATA #REQUIRED>
+<!ELEMENT work EMPTY>
+<!ATTLIST work title CDATA #REQUIRED year CDATA #REQUIRED>
+"""
+
+
+def source_dtd() -> DTD:
+    """The source DTD of Figure 1 (a)."""
+    return parse_dtd(_SOURCE_DTD_TEXT)
+
+
+def target_dtd() -> DTD:
+    """The target DTD of Figure 2 (a)."""
+    return parse_dtd(_TARGET_DTD_TEXT)
+
+
+def library_setting() -> DataExchangeSetting:
+    """The data exchange setting of Example 3.4 (one fully-specified STD)."""
+    dependency = std(
+        "bib[writer(@name=y)[work(@title=x, @year=z)]]",
+        "db[book(@title=x)[author(@name=y)]]",
+    )
+    return DataExchangeSetting(source_dtd(), target_dtd(), [dependency])
+
+
+def figure_1_source() -> XMLTree:
+    """The exact source document of Figure 1 (b)."""
+    return XMLTree.build(("db", [
+        ("book", {"title": "Combinatorial Optimization"}, [
+            ("author", {"name": "Papadimitriou", "aff": "UCB"}),
+            ("author", {"name": "Steiglitz", "aff": "Princeton"}),
+        ]),
+        ("book", {"title": "Computational Complexity"}, [
+            ("author", {"name": "Papadimitriou", "aff": "UCB"}),
+        ]),
+    ]))
+
+
+def generate_source(n_books: int, authors_per_book: int = 2,
+                    n_distinct_authors: Optional[int] = None,
+                    seed: int = 0) -> XMLTree:
+    """A synthetic bibliography with ``n_books`` books and
+    ``authors_per_book`` authors each, drawn from a pool of
+    ``n_distinct_authors`` names (defaults to ``max(4, n_books // 2)``)."""
+    rng = random.Random(seed)
+    pool_size = n_distinct_authors or max(4, n_books // 2)
+    authors = [f"Author-{i}" for i in range(pool_size)]
+    affiliations = [f"University-{i % 7}" for i in range(pool_size)]
+    tree = XMLTree("db", ordered=True)
+    for book_index in range(n_books):
+        book = tree.add_child(tree.root, "book",
+                              {"title": f"Book-{book_index}"})
+        chosen = rng.sample(range(pool_size), k=min(authors_per_book, pool_size))
+        for author_index in chosen:
+            tree.add_child(book, "author", {
+                "name": authors[author_index],
+                "aff": affiliations[author_index],
+            })
+    return tree
+
+
+def query_writer_of(title: str) -> Query:
+    """“Who is the writer of the work named ``title``?” (introduction)."""
+    pattern = parse_pattern(
+        f'bib[writer(@name=w)[work(@title="{title}")]]')
+    return pattern_query(pattern)
+
+
+def query_works_in_year(year: str) -> Query:
+    """“What are the works written in ``year``?” (introduction) — a query
+    whose certain answer is empty because years are invented nulls."""
+    pattern = parse_pattern(
+        f'bib[writer(@name=w)[work(@title=t, @year="{year}")]]')
+    return exists(["w"], pattern_query(pattern))

@@ -1,0 +1,181 @@
+"""Clio-style nested-relational workloads (Theorem 4.5, Corollary 6.11).
+
+Nested-relational DTDs are the class handled by IBM's Clio system; the paper
+proves that for them consistency is decidable in ``O(n·m²)`` (Theorem 4.5) and
+certain answers are computable in polynomial time (Corollary 6.11).  This
+module provides
+
+* a concrete company/project scenario used by the example application and the
+  integration tests,
+* parametric generators of nested-relational settings of arbitrary DTD size
+  ``n`` and dependency size ``m`` for the complexity-shape benchmarks
+  (experiments E5 and E14).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..patterns.parse import parse_pattern
+from ..patterns.queries import Query, exists, pattern_query
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+from ..exchange.setting import DataExchangeSetting
+from ..exchange.std import STD, std
+
+__all__ = [
+    "company_setting", "generate_company_source", "query_projects_of",
+    "scaling_setting", "scaling_source",
+]
+
+
+# --------------------------------------------------------------------- #
+# A concrete Clio-like scenario: company → staffing directory
+# --------------------------------------------------------------------- #
+
+def company_setting() -> DataExchangeSetting:
+    """Source: departments with employees and projects; target: a staffing
+    directory grouped by person with one ``position`` record per employment
+    (salary becomes a null), plus a flat project registry."""
+    source = DTD(
+        root="company",
+        rules={
+            "company": "dept*",
+            "dept": "employee* project*",
+            "employee": "",
+            "project": "",
+        },
+        attributes={
+            "dept": ["dname"],
+            "employee": ["ename", "role"],
+            "project": ["pname", "budget"],
+        },
+    )
+    target = DTD(
+        root="directory",
+        rules={
+            "directory": "person* registry?",
+            "person": "position+",
+            "position": "",
+            "registry": "entry*",
+            "entry": "",
+        },
+        attributes={
+            "person": ["name"],
+            "position": ["dept", "role", "salary"],
+            "registry": [],
+            "entry": ["pname", "dept"],
+        },
+    )
+    stds = [
+        std("directory[person(@name=e)[position(@dept=d, @role=r, @salary=s)]]",
+            "company[dept(@dname=d)[employee(@ename=e, @role=r)]]"),
+        std("directory[registry[entry(@pname=p, @dept=d)]]",
+            "company[dept(@dname=d)[project(@pname=p, @budget=b)]]"),
+    ]
+    return DataExchangeSetting(source, target, stds)
+
+
+def generate_company_source(n_departments: int, employees_per_dept: int = 3,
+                            projects_per_dept: int = 2, seed: int = 0) -> XMLTree:
+    """A synthetic company document of the given shape."""
+    rng = random.Random(seed)
+    roles = ["engineer", "manager", "analyst", "designer"]
+    tree = XMLTree("company", ordered=True)
+    for d in range(n_departments):
+        dept = tree.add_child(tree.root, "dept", {"dname": f"Dept-{d}"})
+        for e in range(employees_per_dept):
+            tree.add_child(dept, "employee", {
+                "ename": f"Employee-{d}-{e}",
+                "role": rng.choice(roles),
+            })
+        for p in range(projects_per_dept):
+            tree.add_child(dept, "project", {
+                "pname": f"Project-{d}-{p}",
+                "budget": str(1000 * (p + 1)),
+            })
+    return tree
+
+
+def query_projects_of(dept_name: str) -> Query:
+    """All registered project names of a department (CTQ query)."""
+    pattern = parse_pattern(
+        f'directory[registry[entry(@pname=p, @dept="{dept_name}")]]')
+    return pattern_query(pattern)
+
+
+# --------------------------------------------------------------------- #
+# Parametric generators for the complexity-shape benchmarks
+# --------------------------------------------------------------------- #
+
+def scaling_setting(n_levels: int, branching: int = 2,
+                    n_stds: int = 4) -> DataExchangeSetting:
+    """A nested-relational setting with DTD size growing in ``n_levels`` ×
+    ``branching`` and ``n_stds`` copy-style dependencies.
+
+    Source element types form a tree ``s_0 … s_{L·B}`` where each internal
+    type has ``branching`` starred children and one required child; the target
+    mirrors the structure with every child optional, so the setting is always
+    consistent.  Used for the ``O(n·m²)`` consistency sweep (E5) and the
+    polynomial certain-answer sweep (E12).
+    """
+    source_rules: Dict[str, str] = {}
+    target_rules: Dict[str, str] = {}
+    source_attrs: Dict[str, List[str]] = {}
+    target_attrs: Dict[str, List[str]] = {}
+
+    def children_names(prefix: str, level: int, index: int) -> List[str]:
+        return [f"{prefix}{level + 1}_{index * branching + b}"
+                for b in range(branching)]
+
+    leaves: List[str] = []
+    frontier = [("s0_0", "t0_0")]
+    source_rules["s0_0"] = ""
+    target_rules["t0_0"] = ""
+    for level in range(n_levels):
+        next_frontier = []
+        for s_name, t_name in frontier:
+            index = int(s_name.split("_")[1])
+            s_children = children_names("s", level, index)
+            t_children = children_names("t", level, index)
+            source_rules[s_name] = " ".join(f"{c}*" for c in s_children)
+            target_rules[t_name] = " ".join(f"{c}*" for c in t_children)
+            for s_child, t_child in zip(s_children, t_children):
+                source_rules.setdefault(s_child, "")
+                target_rules.setdefault(t_child, "")
+                source_attrs[s_child] = ["v"]
+                target_attrs[t_child] = ["v", "w"]
+                next_frontier.append((s_child, t_child))
+        frontier = next_frontier
+    leaves = [s for s, _ in frontier]
+
+    source_dtd = DTD("s0_0", source_rules, source_attrs)
+    target_dtd = DTD("t0_0", target_rules, target_attrs)
+
+    stds: List[STD] = []
+    first_level_pairs = [(f"s1_{b}", f"t1_{b}") for b in range(branching)]
+    for i in range(n_stds):
+        s_name, t_name = first_level_pairs[i % len(first_level_pairs)]
+        stds.append(std(
+            f"t0_0[{t_name}(@v=x{i}, @w=z{i})]",
+            f"s0_0[{s_name}(@v=x{i})]",
+        ))
+    return DataExchangeSetting(source_dtd, target_dtd, stds)
+
+
+def scaling_source(setting: DataExchangeSetting, fanout: int = 3,
+                   seed: int = 0) -> XMLTree:
+    """A source tree conforming to the source DTD of :func:`scaling_setting`,
+    with ``fanout`` children per starred child type at the first level."""
+    rng = random.Random(seed)
+    dtd = setting.source_dtd
+    tree = XMLTree(dtd.root, ordered=True)
+    model = dtd.content_model(dtd.root)
+    for symbol in sorted(model.alphabet()):
+        for i in range(fanout):
+            attrs = {name: f"{symbol}-{i}-{rng.randint(0, 999)}"
+                     for name in sorted(dtd.attributes_of(symbol))}
+            tree.add_child(tree.root, symbol, attrs)
+    return tree

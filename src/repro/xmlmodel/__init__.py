@@ -1,0 +1,11 @@
+"""XML document model: trees, attribute values and DTDs (paper, Section 2)."""
+
+from .dtd import DTD, nested_relational_factors, parse_dtd
+from .tree import XMLNode, XMLTree
+from .values import Null, NullFactory, Value, fresh_null, is_constant, is_null
+
+__all__ = [
+    "XMLTree", "XMLNode",
+    "Null", "NullFactory", "Value", "fresh_null", "is_constant", "is_null",
+    "DTD", "parse_dtd", "nested_relational_factors",
+]

@@ -1,0 +1,520 @@
+"""DTDs (Document Type Definitions) over element types and attributes.
+
+Following Section 2 of the paper, a DTD over ``(E, A)`` is a triple
+``(P, R, r)`` where ``P`` maps element types to regular expressions over
+``E``, ``R`` maps element types to sets of attribute names, and ``r`` is the
+root element type (which cannot occur in content models and has no
+attributes — we check but do not hard-require the latter two conditions, since
+several constructions in the paper's reductions use the root inside patterns).
+
+The module implements:
+
+* conformance of ordered trees (``T ⊨ D``) and of unordered trees
+  (``T |≈ D``, Section 5.2),
+* emptiness of ``SAT(D)`` and DTD *consistency* (every element type occurs in
+  some conforming tree), together with the polynomial trimming construction of
+  Lemma 2.2,
+* the DTD graph ``G(D)``, recursiveness, reachability restriction ``D_ℓ``,
+* detection of *nested-relational* DTDs and the ``D°`` / ``D*`` transforms
+  used by Theorem 4.5,
+* detection of *simple* DTDs (all content models simple) and univocal DTDs
+  (all content models univocal, Definition 6.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..regexlang.ast import (Concat, Empty, Epsilon, Regex, Star, Symbol, Union,
+                             concat, empty, epsilon, star, sym, union)
+from ..regexlang.nfa import NFA, regex_to_nfa
+from ..regexlang.parse import parse_regex
+from ..regexlang.parikh import SemilinearSet, parikh_vector, semilinear_of
+from ..regexlang.univocal import RegexAnalysis, analyse, is_simple_regex
+from .tree import XMLTree
+
+__all__ = ["DTD", "parse_dtd", "nested_relational_factors"]
+
+
+@dataclass
+class _RuleCache:
+    nfa: NFA
+    semilinear: SemilinearSet
+    analysis: RegexAnalysis
+
+
+class DTD:
+    """A DTD ``(P, R, r)``.
+
+    Parameters
+    ----------
+    root:
+        The root element type.
+    rules:
+        Mapping element type -> content model.  Values may be
+        :class:`~repro.regexlang.ast.Regex` instances or strings parsed by
+        :func:`~repro.regexlang.parse.parse_regex`.  Element types mentioned
+        in content models but absent from the mapping default to ``ε``.
+    attributes:
+        Mapping element type -> iterable of attribute names (without ``@``).
+    """
+
+    def __init__(self, root: str,
+                 rules: Mapping[str, object],
+                 attributes: Optional[Mapping[str, Iterable[str]]] = None) -> None:
+        self.root = root
+        self.rules: Dict[str, Regex] = {}
+        for element, model in rules.items():
+            self.rules[element] = model if isinstance(model, Regex) else parse_regex(str(model))
+        self.attributes: Dict[str, Set[str]] = {}
+        for element, attrs in (attributes or {}).items():
+            self.attributes[element] = set(attrs)
+        # Close the element-type universe over everything mentioned anywhere.
+        for element in list(self.rules):
+            for mentioned in self.rules[element].alphabet():
+                self.rules.setdefault(mentioned, epsilon())
+        self.rules.setdefault(root, epsilon())
+        for element in self.rules:
+            self.attributes.setdefault(element, set())
+        self._cache: Dict[str, _RuleCache] = {}
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def element_types(self) -> Set[str]:
+        """The finite set ``E`` of element types of the DTD."""
+        return set(self.rules)
+
+    def content_model(self, element: str) -> Regex:
+        """``P(ℓ)`` (defaults to ``ε`` for element types without a rule)."""
+        return self.rules.get(element, epsilon())
+
+    def attributes_of(self, element: str) -> Set[str]:
+        """``R(ℓ)``."""
+        return self.attributes.get(element, set())
+
+    def size(self) -> int:
+        """``‖D‖``: total size of content models plus attribute lists."""
+        total = 0
+        for element, model in self.rules.items():
+            total += 1 + model.norm() + len(self.attributes_of(element))
+        return total
+
+    def _rule_cache(self, element: str) -> _RuleCache:
+        if element not in self._cache:
+            model = self.content_model(element)
+            self._cache[element] = _RuleCache(
+                nfa=regex_to_nfa(model),
+                semilinear=semilinear_of(model),
+                analysis=analyse(model),
+            )
+        return self._cache[element]
+
+    def rule_analysis(self, element: str) -> RegexAnalysis:
+        """The cached :class:`RegexAnalysis` of ``P(ℓ)`` (used by the chase)."""
+        return self._rule_cache(element).analysis
+
+    # ------------------------------------------------------------------ #
+    # Conformance (ordered and unordered)
+    # ------------------------------------------------------------------ #
+
+    def conformance_violations(self, tree: XMLTree,
+                               ordered: Optional[bool] = None) -> List[str]:
+        """Return a list of human-readable violations of ``T ⊨ D`` (ordered)
+        or ``T |≈ D`` (unordered).  Empty list means the tree conforms."""
+        if ordered is None:
+            ordered = tree.ordered
+        problems: List[str] = []
+        if tree.label(tree.root) != self.root:
+            problems.append(
+                f"root is {tree.label(tree.root)!r}, expected {self.root!r}")
+        for node in tree.nodes():
+            label = tree.label(node)
+            if label not in self.rules:
+                problems.append(f"node {node}: unknown element type {label!r}")
+                continue
+            expected_attrs = self.attributes_of(label)
+            actual_attrs = set(tree.attributes(node))
+            if expected_attrs != actual_attrs:
+                problems.append(
+                    f"node {node} ({label}): attributes {sorted(actual_attrs)} "
+                    f"do not match R({label}) = {sorted(expected_attrs)}")
+            child_labels = tree.children_labels(node)
+            cache = self._rule_cache(label)
+            if ordered:
+                if not cache.nfa.accepts(child_labels):
+                    problems.append(
+                        f"node {node} ({label}): children {child_labels} "
+                        f"not in L({self.content_model(label)})")
+            else:
+                if not cache.semilinear.contains(parikh_vector(child_labels)):
+                    problems.append(
+                        f"node {node} ({label}): children {child_labels} "
+                        f"not in π({self.content_model(label)})")
+        return problems
+
+    def conforms(self, tree: XMLTree, ordered: Optional[bool] = None) -> bool:
+        """``T ⊨ D`` for ordered trees / ``T |≈ D`` for unordered trees."""
+        return not self.conformance_violations(tree, ordered)
+
+    def weakly_conforms(self, tree: XMLTree) -> bool:
+        """Unordered conformance ``T |≈ D`` regardless of the tree's flag."""
+        return self.conforms(tree, ordered=False)
+
+    # ------------------------------------------------------------------ #
+    # Satisfiability, consistency and trimming (Lemma 2.2)
+    # ------------------------------------------------------------------ #
+
+    def realizable_types(self) -> Set[str]:
+        """Element types ``ℓ`` admitting a finite tree rooted at ``ℓ`` whose
+        every node satisfies its content model."""
+        realizable: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for element in self.rules:
+                if element in realizable:
+                    continue
+                nfa = self._rule_cache(element).nfa.restricted_to(realizable)
+                if not nfa.is_empty():
+                    realizable.add(element)
+                    changed = True
+        return realizable
+
+    def is_satisfiable(self) -> bool:
+        """``SAT(D) ≠ ∅``."""
+        return self.root in self.realizable_types()
+
+    def usable_types(self) -> Set[str]:
+        """Element types occurring in at least one tree of ``SAT(D)``."""
+        realizable = self.realizable_types()
+        if self.root not in realizable:
+            return set()
+        usable = {self.root}
+        frontier = [self.root]
+        while frontier:
+            element = frontier.pop()
+            nfa = self._rule_cache(element).nfa.restricted_to(realizable)
+            # A symbol is usable below ``element`` if it appears in some word
+            # of the restricted language.
+            for candidate in self.content_model(element).alphabet() & realizable:
+                if candidate in usable:
+                    continue
+                if _symbol_occurs_in_language(nfa, candidate, realizable):
+                    usable.add(candidate)
+                    frontier.append(candidate)
+        return usable
+
+    def is_consistent(self) -> bool:
+        """Every element type of the DTD occurs in some conforming tree."""
+        return self.usable_types() == self.element_types and self.is_satisfiable()
+
+    def trimmed(self) -> "DTD":
+        """The consistent DTD ``D'`` of Lemma 2.2 with ``SAT(D) = SAT(D')``.
+
+        Raises ``ValueError`` if ``SAT(D)`` is empty (no equivalent consistent
+        DTD exists in that case).
+        """
+        if not self.is_satisfiable():
+            raise ValueError("SAT(D) is empty; the DTD admits no conforming tree")
+        usable = self.usable_types()
+        rules = {}
+        attributes = {}
+        for element in usable:
+            rules[element] = _erase_symbols(self.content_model(element),
+                                            keep=usable)
+            attributes[element] = set(self.attributes_of(element))
+        return DTD(self.root, rules, attributes)
+
+    # ------------------------------------------------------------------ #
+    # The DTD graph, recursion, restriction
+    # ------------------------------------------------------------------ #
+
+    def graph(self) -> Dict[str, Set[str]]:
+        """``G(D)``: edges ``ℓ → ℓ'`` whenever ``ℓ'`` is mentioned in ``P(ℓ)``."""
+        return {element: set(self.content_model(element).alphabet())
+                for element in self.rules}
+
+    def is_recursive(self) -> bool:
+        """True iff ``G(D)`` has a cycle."""
+        graph = self.graph()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in graph}
+
+        def visit(node: str) -> bool:
+            colour[node] = GREY
+            for nxt in graph.get(node, ()):  # pragma: no branch
+                if colour.get(nxt, WHITE) == GREY:
+                    return True
+                if colour.get(nxt, WHITE) == WHITE and visit(nxt):
+                    return True
+            colour[node] = BLACK
+            return False
+
+        return any(colour[node] == WHITE and visit(node) for node in graph)
+
+    def reachable_from(self, element: str) -> Set[str]:
+        """Element types reachable from ``element`` in ``G(D)`` (including it)."""
+        graph = self.graph()
+        seen = {element}
+        frontier = [element]
+        while frontier:
+            node = frontier.pop()
+            for nxt in graph.get(node, ()):  # pragma: no branch
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def restricted_to(self, element: str) -> "DTD":
+        """``D_ℓ``: the restriction of ``D`` to element types reachable from
+        ``ℓ``, with ``ℓ`` as the new root (used in the proof of Theorem 4.5)."""
+        reachable = self.reachable_from(element)
+        rules = {e: self.content_model(e) for e in reachable}
+        attributes = {e: set(self.attributes_of(e)) for e in reachable}
+        return DTD(element, rules, attributes)
+
+    # ------------------------------------------------------------------ #
+    # Structural classes: simple, nested-relational, univocal
+    # ------------------------------------------------------------------ #
+
+    def is_simple(self) -> bool:
+        """All content models are simple regular expressions (Section 5.3)."""
+        return all(is_simple_regex(model) for model in self.rules.values())
+
+    def is_nested_relational(self) -> bool:
+        """Non-recursive and every rule is ``ℓ → l̃_1 … l̃_m`` with distinct
+        ``l_i`` and each ``l̃`` one of ``l``, ``l?``, ``l+``, ``l*``."""
+        if self.is_recursive():
+            return False
+        return all(nested_relational_factors(model) is not None
+                   for model in self.rules.values())
+
+    def is_univocal(self) -> bool:
+        """All content models univocal (Definition 6.9); implies tractable
+        certain answers for fully-specified settings (Theorem 6.2)."""
+        return all(self.rule_analysis(element).is_univocal()
+                   for element in self.rules)
+
+    def nested_relational_lower(self) -> "DTD":
+        """``D°`` of Theorem 4.5: ``l → l``, ``l? → ε``, ``l+ → l``, ``l* → ε``."""
+        return self._nested_relational_transform(lower=True)
+
+    def nested_relational_upper(self) -> "DTD":
+        """``D*`` of Theorem 4.5: every ``l̃`` becomes ``l``."""
+        return self._nested_relational_transform(lower=False)
+
+    def _nested_relational_transform(self, lower: bool) -> "DTD":
+        rules = {}
+        for element, model in self.rules.items():
+            factors = nested_relational_factors(model)
+            if factors is None:
+                raise ValueError(
+                    f"rule for {element!r} is not nested-relational: {model}")
+            parts = []
+            for symbol, quant in factors:
+                if quant == "1" or quant == "+":
+                    parts.append(sym(symbol))
+                elif quant in {"?", "*"}:
+                    if not lower:
+                        parts.append(sym(symbol))
+                else:  # pragma: no cover - defensive
+                    raise AssertionError(quant)
+            rules[element] = concat(*parts) if parts else epsilon()
+        attributes = {e: set(a) for e, a in self.attributes.items()}
+        return DTD(self.root, rules, attributes)
+
+    def unique_tree(self) -> XMLTree:
+        """For a non-recursive DTD whose rules are plain concatenations of
+        distinct symbols (the shape of ``D°``/``D*``), build the unique
+        attribute-free conforming tree (used by Theorem 4.5)."""
+        tree = XMLTree(self.root, ordered=True)
+        self._expand_unique(tree, tree.root, self.root, depth=0)
+        return tree
+
+    def _expand_unique(self, tree: XMLTree, node: int, element: str, depth: int) -> None:
+        if depth > len(self.rules) + 1:
+            raise ValueError("DTD is recursive; no unique finite tree exists")
+        factors = nested_relational_factors(self.content_model(element))
+        if factors is None or any(q not in {"1"} for _, q in factors):
+            raise ValueError(
+                f"rule for {element!r} does not determine a unique tree")
+        for symbol, _quant in factors:
+            child = tree.add_child(node, symbol)
+            self._expand_unique(tree, child, symbol, depth + 1)
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def to_text(self) -> str:
+        """Render the DTD in the paper's ``ℓ → e`` notation."""
+        lines = [f"root: {self.root}"]
+        for element in sorted(self.rules):
+            attrs = "".join(f" @{a}" for a in sorted(self.attributes_of(element)))
+            lines.append(f"  {element} -> {self.content_model(element)}{attrs}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<DTD root={self.root!r} |E|={len(self.rules)}>"
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+
+def _symbol_occurs_in_language(nfa: NFA, symbol: str, allowed: Set[str]) -> bool:
+    """Is there a word of ``L(nfa)`` over ``allowed`` containing ``symbol``?"""
+    if symbol not in allowed:
+        return False
+    # Forward-reachable state sets before reading ``symbol`` ...
+    start = nfa.epsilon_closure({nfa.start})
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        states = frontier.pop()
+        # can we take ``symbol`` here and then reach acceptance?
+        after = nfa.step(states, symbol)
+        if after and _can_accept(nfa, after, allowed):
+            return True
+        for letter in allowed & nfa.alphabet:
+            nxt = nfa.step(states, letter)
+            if nxt and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _can_accept(nfa: NFA, states, allowed: Set[str]) -> bool:
+    seen = {states}
+    frontier = [states]
+    while frontier:
+        current = frontier.pop()
+        if any(s in nfa.accepting for s in current):
+            return True
+        for letter in allowed & nfa.alphabet:
+            nxt = nfa.step(current, letter)
+            if nxt and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _erase_symbols(model: Regex, keep: Set[str]) -> Regex:
+    """The ``ρ`` rewriting of Lemma 2.2: replace dropped symbols by ∅ and
+    simplify (the smart constructors implement exactly the ρ equations)."""
+    if isinstance(model, Symbol):
+        return model if model.name in keep else empty()
+    if isinstance(model, (Epsilon, Empty)):
+        return model
+    if isinstance(model, Concat):
+        return concat(_erase_symbols(model.left, keep),
+                      _erase_symbols(model.right, keep))
+    if isinstance(model, Union):
+        return union(_erase_symbols(model.left, keep),
+                     _erase_symbols(model.right, keep))
+    if isinstance(model, Star):
+        return star(_erase_symbols(model.inner, keep))
+    raise TypeError(f"unknown regex node: {model!r}")
+
+
+def nested_relational_factors(model: Regex) -> Optional[List[Tuple[str, str]]]:
+    """If ``model`` has the nested-relational shape ``l̃_1 … l̃_m`` with
+    pairwise distinct symbols, return the list of ``(symbol, quantifier)``
+    pairs with quantifier in ``{"1", "?", "*", "+"}``; otherwise ``None``."""
+    flat = _flatten_concat(model)
+    factors: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(flat):
+        part = flat[index]
+        if isinstance(part, Symbol):
+            # ``l`` or, if followed by ``l*``, the expansion of ``l+``.
+            if (index + 1 < len(flat) and isinstance(flat[index + 1], Star)
+                    and isinstance(flat[index + 1].inner, Symbol)
+                    and flat[index + 1].inner.name == part.name):
+                factors.append((part.name, "+"))
+                index += 2
+                continue
+            factors.append((part.name, "1"))
+            index += 1
+            continue
+        if isinstance(part, Star) and isinstance(part.inner, Symbol):
+            factors.append((part.inner.name, "*"))
+            index += 1
+            continue
+        if isinstance(part, Union):
+            symbol = _optional_symbol(part)
+            if symbol is not None:
+                factors.append((symbol, "?"))
+                index += 1
+                continue
+        if isinstance(part, Epsilon):
+            index += 1
+            continue
+        return None
+    symbols = [s for s, _ in factors]
+    if len(symbols) != len(set(symbols)):
+        return None
+    return factors
+
+
+def _flatten_concat(model: Regex) -> List[Regex]:
+    if isinstance(model, Concat):
+        return _flatten_concat(model.left) + _flatten_concat(model.right)
+    if isinstance(model, Epsilon):
+        return []
+    return [model]
+
+
+def _optional_symbol(model: Union) -> Optional[str]:
+    left, right = model.left, model.right
+    if isinstance(left, Epsilon) and isinstance(right, Symbol):
+        return right.name
+    if isinstance(right, Epsilon) and isinstance(left, Symbol):
+        return left.name
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Textual DTD parser (a pragmatic subset of the W3C syntax)
+# --------------------------------------------------------------------- #
+
+def parse_dtd(text: str, root: Optional[str] = None) -> DTD:
+    """Parse a DTD written in (a subset of) the standard syntax.
+
+    Supports ``<!ELEMENT name (model)>`` with ``,`` ``|`` ``*`` ``+`` ``?``
+    and ``EMPTY``, plus ``<!ATTLIST name attr CDATA #REQUIRED>`` declarations
+    (only the attribute names are retained).  The root defaults to the first
+    declared element.  Example — the source DTD of Figure 1(a)::
+
+        <!ELEMENT db (book*)>
+        <!ELEMENT book (author*)>
+        <!ATTLIST book title CDATA #REQUIRED>
+        <!ELEMENT author EMPTY>
+        <!ATTLIST author name CDATA #REQUIRED aff CDATA #REQUIRED>
+    """
+    import re as _re
+
+    rules: Dict[str, object] = {}
+    attributes: Dict[str, Set[str]] = {}
+    order: List[str] = []
+    element_re = _re.compile(r"<!ELEMENT\s+([\w.\-]+)\s+(.*?)>", _re.S)
+    attlist_re = _re.compile(r"<!ATTLIST\s+([\w.\-]+)\s+(.*?)>", _re.S)
+    for match in element_re.finditer(text):
+        name, model = match.group(1), match.group(2).strip()
+        if model in {"EMPTY", "(EMPTY)", "ANY"}:
+            rules[name] = epsilon()
+        else:
+            rules[name] = parse_regex(model)
+        order.append(name)
+    for match in attlist_re.finditer(text):
+        name, body = match.group(1), match.group(2)
+        attrs = attributes.setdefault(name, set())
+        for attr_match in _re.finditer(r"([\w.\-]+)\s+CDATA\s+#\w+", body):
+            attrs.add(attr_match.group(1))
+    if not order:
+        raise ValueError("no <!ELEMENT> declarations found")
+    return DTD(root or order[0], rules, attributes)

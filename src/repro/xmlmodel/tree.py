@@ -1,0 +1,400 @@
+"""XML documents as node-labelled unranked trees (paper, Section 2).
+
+An XML tree over ``(E, A)`` is a finite ordered directed tree
+``(N, <child, <sib, root)`` with
+
+* a labelling function ``λ : N → E`` assigning an element type to every node,
+* a partial function ``ρ_@a : N → Str`` per attribute ``@a ∈ A``.
+
+The paper also works with *unordered* XML trees (Section 5.2), obtained by
+forgetting the sibling order.  We use a single :class:`XMLTree` class with an
+``ordered`` flag; children of a node are always stored in a list, but for an
+unordered tree the list order carries no meaning (conformance is checked
+against the permutation language ``π(P(ℓ))`` instead of ``L(P(ℓ))``).
+
+Nodes are identified by integer ids local to the tree, which keeps structural
+operations (chase rewrites, subtree replacement, homomorphism search) cheap
+and explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .values import Null, NullFactory, Value, is_constant, is_null
+
+__all__ = ["XMLNode", "XMLTree"]
+
+
+@dataclass
+class XMLNode:
+    """A single node of an :class:`XMLTree`.
+
+    Attributes
+    ----------
+    ident:
+        Integer id, unique within the owning tree.
+    label:
+        The element type of the node (``λ(v)`` in the paper).
+    attributes:
+        Mapping attribute-name -> value (``ρ_@a(v)``).  Attribute names are
+        stored *without* the leading ``@``.
+    children:
+        Child node ids, in sibling order (meaningful only if the tree is
+        ordered).
+    parent:
+        Parent node id, or ``None`` for the root.
+    """
+
+    ident: int
+    label: str
+    attributes: Dict[str, Value] = field(default_factory=dict)
+    children: List[int] = field(default_factory=list)
+    parent: Optional[int] = None
+
+
+class XMLTree:
+    """A rooted, node-labelled unranked tree with attribute values.
+
+    The class supports both the ordered trees of Section 2 and the unordered
+    trees of Section 5.2; the ``ordered`` flag records which reading is
+    intended.  Structural mutation is confined to a small set of methods used
+    by the chase (:mod:`repro.exchange.chase`).
+    """
+
+    def __init__(self, root_label: str, ordered: bool = True) -> None:
+        self.ordered = ordered
+        self._nodes: Dict[int, XMLNode] = {}
+        self._next_id = 0
+        self.root = self._new_node(root_label, parent=None)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _new_node(self, label: str, parent: Optional[int]) -> int:
+        ident = self._next_id
+        self._next_id += 1
+        self._nodes[ident] = XMLNode(ident=ident, label=label, parent=parent)
+        return ident
+
+    def add_child(self, parent: int, label: str,
+                  attributes: Optional[Dict[str, Value]] = None,
+                  position: Optional[int] = None) -> int:
+        """Create a new node labelled ``label`` as a child of ``parent``.
+
+        ``position`` inserts the child at a given index in the sibling order;
+        by default the child is appended.
+        Returns the new node's id.
+        """
+        ident = self._new_node(label, parent=parent)
+        if attributes:
+            self._nodes[ident].attributes.update(attributes)
+        siblings = self._nodes[parent].children
+        if position is None:
+            siblings.append(ident)
+        else:
+            siblings.insert(position, ident)
+        return ident
+
+    def set_attribute(self, node: int, name: str, value: Value) -> None:
+        """Set attribute ``@name`` of ``node`` to ``value``."""
+        self._nodes[node].attributes[name] = value
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    def node(self, ident: int) -> XMLNode:
+        """Return the node object with the given id."""
+        return self._nodes[ident]
+
+    def label(self, ident: int) -> str:
+        """Return ``λ(v)``, the element type of node ``ident``."""
+        return self._nodes[ident].label
+
+    def attributes(self, ident: int) -> Dict[str, Value]:
+        """Return the attribute map of node ``ident``."""
+        return self._nodes[ident].attributes
+
+    def attribute(self, ident: int, name: str) -> Optional[Value]:
+        """Return ``ρ_@name(v)`` or ``None`` if undefined."""
+        return self._nodes[ident].attributes.get(name)
+
+    def children(self, ident: int) -> List[int]:
+        """Return the list of child ids of ``ident`` (in sibling order)."""
+        return list(self._nodes[ident].children)
+
+    def parent(self, ident: int) -> Optional[int]:
+        """Return the parent id of ``ident`` (``None`` for the root)."""
+        return self._nodes[ident].parent
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids reachable from the root (pre-order)."""
+        stack = [self.root]
+        while stack:
+            ident = stack.pop()
+            yield ident
+            stack.extend(reversed(self._nodes[ident].children))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.nodes())
+
+    def size(self) -> int:
+        """Number of nodes plus number of attribute assignments (``‖T‖``)."""
+        total = 0
+        for ident in self.nodes():
+            total += 1 + len(self._nodes[ident].attributes)
+        return total
+
+    def depth(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        best = 0
+        stack: List[Tuple[int, int]] = [(self.root, 0)]
+        while stack:
+            ident, d = stack.pop()
+            best = max(best, d)
+            for child in self._nodes[ident].children:
+                stack.append((child, d + 1))
+        return best
+
+    def descendants(self, ident: int, include_self: bool = False) -> Iterator[int]:
+        """Iterate over the (proper, by default) descendants of ``ident``."""
+        if include_self:
+            yield ident
+        stack = list(self._nodes[ident].children)
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(self._nodes[node].children)
+
+    def is_ancestor(self, ancestor: int, node: int) -> bool:
+        """True iff ``ancestor`` is a proper ancestor of ``node``."""
+        current = self._nodes[node].parent
+        while current is not None:
+            if current == ancestor:
+                return True
+            current = self._nodes[current].parent
+        return False
+
+    def children_labels(self, ident: int) -> List[str]:
+        """Return the list of labels of ``ident``'s children in sibling order."""
+        return [self._nodes[c].label for c in self._nodes[ident].children]
+
+    def values(self) -> Iterator[Value]:
+        """Iterate over every attribute value occurring in the tree."""
+        for ident in self.nodes():
+            yield from self._nodes[ident].attributes.values()
+
+    def constants(self) -> set:
+        """Return the set of constant values occurring in the tree."""
+        return {v for v in self.values() if is_constant(v)}
+
+    def nulls(self) -> set:
+        """Return the set of nulls occurring in the tree."""
+        return {v for v in self.values() if is_null(v)}
+
+    # ------------------------------------------------------------------ #
+    # Mutation used by the chase
+    # ------------------------------------------------------------------ #
+
+    def remove_subtree(self, ident: int) -> None:
+        """Delete node ``ident`` and its whole subtree from the tree."""
+        if ident == self.root:
+            raise ValueError("cannot remove the root of the tree")
+        parent = self._nodes[ident].parent
+        if parent is not None:
+            self._nodes[parent].children.remove(ident)
+        doomed = [ident] + list(self.descendants(ident))
+        for node in doomed:
+            self._nodes.pop(node, None)
+
+    def replace_subtree(self, target: int, source_tree: "XMLTree",
+                        source_root: Optional[int] = None) -> int:
+        """Replace the subtree rooted at ``target`` with a copy of another tree.
+
+        Used by the path-shortening argument of Theorem 5.5 and by tests; the
+        copied subtree keeps its labels and attribute values.  Returns the id
+        of the new subtree root in ``self``.
+        """
+        if target == self.root:
+            raise ValueError("cannot replace the root subtree")
+        parent = self._nodes[target].parent
+        assert parent is not None
+        position = self._nodes[parent].children.index(target)
+        self.remove_subtree(target)
+        src_root = source_root if source_root is not None else source_tree.root
+        new_root = self.add_child(parent, source_tree.label(src_root),
+                                  dict(source_tree.attributes(src_root)),
+                                  position=position)
+        self._copy_children(source_tree, src_root, new_root)
+        return new_root
+
+    def _copy_children(self, source_tree: "XMLTree", src: int, dst: int) -> None:
+        for child in source_tree.children(src):
+            new_child = self.add_child(dst, source_tree.label(child),
+                                       dict(source_tree.attributes(child)))
+            self._copy_children(source_tree, child, new_child)
+
+    def graft_subtree(self, parent: int, source_tree: "XMLTree",
+                      source_root: Optional[int] = None) -> int:
+        """Copy a subtree of another tree as a new child of ``parent``."""
+        src_root = source_root if source_root is not None else source_tree.root
+        new_root = self.add_child(parent, source_tree.label(src_root),
+                                  dict(source_tree.attributes(src_root)))
+        self._copy_children(source_tree, src_root, new_root)
+        return new_root
+
+    def merge_children(self, parent: int, victims: Sequence[int]) -> int:
+        """Merge several children of ``parent`` into a single fresh node.
+
+        This implements the node-merging step of ``ChangeReg`` (Figure 7): the
+        merged node receives the union of the victims' children; attribute
+        merging is handled by the caller, which must have checked for clashes.
+        Returns the id of the merged node.
+        """
+        if not victims:
+            raise ValueError("need at least one node to merge")
+        label = self._nodes[victims[0]].label
+        position = self._nodes[parent].children.index(victims[0])
+        merged = self._new_node(label, parent=parent)
+        self._nodes[parent].children.insert(position, merged)
+        for victim in victims:
+            for child in self._nodes[victim].children:
+                self._nodes[child].parent = merged
+                self._nodes[merged].children.append(child)
+            self._nodes[victim].children = []
+            self._nodes[parent].children.remove(victim)
+            self._nodes.pop(victim)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Copying / comparison / rendering
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "XMLTree":
+        """Return a deep copy of the tree (same node ids)."""
+        clone = XMLTree(self.label(self.root), ordered=self.ordered)
+        clone._nodes = {}
+        clone._next_id = self._next_id
+        for ident, node in self._nodes.items():
+            clone._nodes[ident] = XMLNode(
+                ident=ident,
+                label=node.label,
+                attributes=dict(node.attributes),
+                children=list(node.children),
+                parent=node.parent,
+            )
+        clone.root = self.root
+        return clone
+
+    def as_unordered(self) -> "XMLTree":
+        """Return a copy of this tree flagged as unordered."""
+        clone = self.copy()
+        clone.ordered = False
+        return clone
+
+    def as_ordered(self) -> "XMLTree":
+        """Return a copy of this tree flagged as ordered (keeping child lists)."""
+        clone = self.copy()
+        clone.ordered = True
+        return clone
+
+    def structural_key(self, ident: Optional[int] = None,
+                       respect_order: Optional[bool] = None) -> tuple:
+        """A canonical, hashable key of the subtree rooted at ``ident``.
+
+        Two subtrees have the same key iff they are isomorphic (respecting
+        sibling order for ordered trees, ignoring it otherwise) with identical
+        labels and attribute values.  Nulls are compared by identity.
+        """
+        if ident is None:
+            ident = self.root
+        if respect_order is None:
+            respect_order = self.ordered
+        node = self._nodes[ident]
+        attrs = tuple(sorted((k, repr(v)) for k, v in node.attributes.items()))
+        child_keys = [self.structural_key(c, respect_order) for c in node.children]
+        if not respect_order:
+            child_keys.sort()
+        return (node.label, attrs, tuple(child_keys))
+
+    def equals(self, other: "XMLTree", respect_order: Optional[bool] = None) -> bool:
+        """Structural equality of two trees (see :meth:`structural_key`)."""
+        if respect_order is None:
+            respect_order = self.ordered and other.ordered
+        return (self.structural_key(respect_order=respect_order)
+                == other.structural_key(respect_order=respect_order))
+
+    def to_text(self, ident: Optional[int] = None, indent: int = 0) -> str:
+        """Human-readable indented rendering of the (sub)tree."""
+        if ident is None:
+            ident = self.root
+        node = self._nodes[ident]
+        attrs = " ".join(f"@{k}={v!r}" for k, v in sorted(node.attributes.items()))
+        line = "  " * indent + node.label + (f" [{attrs}]" if attrs else "")
+        parts = [line]
+        for child in node.children:
+            parts.append(self.to_text(child, indent + 1))
+        return "\n".join(parts)
+
+    def to_xml(self, ident: Optional[int] = None) -> str:
+        """Serialise the (sub)tree to an XML string (nulls rendered as ``⊥n``)."""
+        if ident is None:
+            ident = self.root
+        node = self._nodes[ident]
+        attrs = "".join(
+            f' {k}="{v}"' for k, v in sorted(node.attributes.items(), key=lambda kv: kv[0])
+        )
+        if not node.children:
+            return f"<{node.label}{attrs}/>"
+        inner = "".join(self.to_xml(c) for c in node.children)
+        return f"<{node.label}{attrs}>{inner}</{node.label}>"
+
+    def __repr__(self) -> str:
+        kind = "ordered" if self.ordered else "unordered"
+        return f"<XMLTree {kind} root={self.label(self.root)!r} nodes={len(self)}>"
+
+    # ------------------------------------------------------------------ #
+    # Convenience builders
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, spec, ordered: bool = True) -> "XMLTree":
+        """Build a tree from a nested-tuple specification.
+
+        ``spec`` is ``(label, attrs_dict, [child_spec, ...])`` where the
+        attribute dict and the children list may be omitted.  Example::
+
+            XMLTree.build(("db", [("book", {"title": "CC"},
+                                   [("author", {"name": "P", "aff": "UCB"})])]))
+        """
+        label, attrs, children = cls._normalise_spec(spec)
+        tree = cls(label, ordered=ordered)
+        for key, val in attrs.items():
+            tree.set_attribute(tree.root, key, val)
+        for child in children:
+            cls._build_into(tree, tree.root, child)
+        return tree
+
+    @classmethod
+    def _build_into(cls, tree: "XMLTree", parent: int, spec) -> None:
+        label, attrs, children = cls._normalise_spec(spec)
+        node = tree.add_child(parent, label, dict(attrs))
+        for child in children:
+            cls._build_into(tree, node, child)
+
+    @staticmethod
+    def _normalise_spec(spec) -> Tuple[str, Dict[str, Value], list]:
+        if isinstance(spec, str):
+            return spec, {}, []
+        label = spec[0]
+        attrs: Dict[str, Value] = {}
+        children: list = []
+        for part in spec[1:]:
+            if isinstance(part, dict):
+                attrs = part
+            else:
+                children = list(part)
+        return label, attrs, children

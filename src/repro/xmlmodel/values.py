@@ -1,0 +1,81 @@
+"""Attribute-value domain: constants and nulls.
+
+The paper (Section 3.2) partitions the domain ``Str`` of attribute values into
+two countably infinite sets:
+
+* ``Const`` -- values that may occur in *source* trees,
+* ``Var``   -- *nulls*, invented while populating target trees.
+
+We model constants as ordinary Python strings and nulls as instances of
+:class:`Null`.  Nulls compare equal only to themselves (labelled-null
+semantics), which is exactly what the chase and the certain-answer machinery
+require: two distinct nulls are never known to be equal, but a null may be
+reused to force equality of unknown values (e.g. ``⊥1`` appearing twice in
+Figure 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Union
+
+__all__ = ["Null", "Value", "NullFactory", "is_null", "is_constant", "fresh_null"]
+
+
+class Null:
+    """A labelled null value (an element of ``Var`` in the paper).
+
+    Each null has an integer identity.  Two nulls are equal iff they have the
+    same identity, mirroring the paper's treatment of ``⊥1``, ``⊥2``, ...
+    """
+
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: int) -> None:
+        self.ident = ident
+
+    def __repr__(self) -> str:
+        return f"⊥{self.ident}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Null) and other.ident == self.ident
+
+    def __hash__(self) -> int:
+        return hash(("Null", self.ident))
+
+
+#: An attribute value: either a constant (plain string) or a null.
+Value = Union[str, Null]
+
+_GLOBAL_COUNTER = itertools.count(1)
+
+
+class NullFactory:
+    """Produces fresh, pairwise-distinct nulls.
+
+    A factory is handed to the chase / canonical-solution construction so that
+    a single exchange run draws nulls from one namespace and remains
+    deterministic and reproducible.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def fresh(self) -> Null:
+        """Return a null value never returned before by this factory."""
+        return Null(next(self._counter))
+
+
+def fresh_null() -> Null:
+    """Return a fresh null from the module-global namespace."""
+    return Null(next(_GLOBAL_COUNTER))
+
+
+def is_null(value: Value) -> bool:
+    """True iff ``value`` is a null (element of ``Var``)."""
+    return isinstance(value, Null)
+
+
+def is_constant(value: Value) -> bool:
+    """True iff ``value`` is a constant (element of ``Const``)."""
+    return isinstance(value, str)

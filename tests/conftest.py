@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's running examples."""
+
+import pytest
+
+from repro.workloads import library, nested_relational
+from repro.xmlmodel import DTD, XMLTree
+from repro.exchange import DataExchangeSetting, std
+
+
+@pytest.fixture
+def library_setting():
+    """The Figure 1 / Figure 2 setting (Example 3.4)."""
+    return library.library_setting()
+
+
+@pytest.fixture
+def figure_1_source():
+    """The source document of Figure 1 (b)."""
+    return library.figure_1_source()
+
+
+@pytest.fixture
+def company_setting():
+    """The Clio-style nested-relational scenario."""
+    return nested_relational.company_setting()
+
+
+@pytest.fixture
+def company_source():
+    return nested_relational.generate_company_source(3, employees_per_dept=2,
+                                                     projects_per_dept=2)
+
+
+@pytest.fixture
+def figure_6_setting():
+    """The setting of Example 6.4 / Figure 6: target rule ``r → (B C)*`` with
+    ``C → D`` forces the chase to invent C and D nodes."""
+    source_dtd = DTD("r", {"r": "A*"}, {"A": ["a"]})
+    target_dtd = DTD("r", {"r": "(B C)*", "B": "", "C": "D", "D": ""},
+                     {"B": ["m"], "D": ["n"]})
+    dependency = std("r[B(@m=x)]", "A(@a=x)")
+    return DataExchangeSetting(source_dtd, target_dtd, [dependency])
+
+
+@pytest.fixture
+def figure_6_source():
+    """The source tree of Figure 6 (c): two A nodes with values 1 and 2."""
+    return XMLTree.build(("r", [("A", {"a": "1"}), ("A", {"a": "2"})]))

@@ -1,0 +1,67 @@
+"""Tests for unranked tree automata (Appendix A)."""
+
+import pytest
+
+from repro.automata import UNFTA, dtd_to_automaton, product_automaton
+from repro.xmlmodel import DTD, XMLTree
+from repro.workloads import library
+
+
+def _skeleton(tree: XMLTree) -> XMLTree:
+    """Strip attributes (the automata only see element types)."""
+    clone = tree.copy()
+    for node in clone.nodes():
+        clone.node(node).attributes.clear()
+    return clone
+
+
+class TestDtdToAutomaton:
+    def test_accepts_conforming_skeletons(self):
+        dtd = library.source_dtd()
+        automaton = dtd_to_automaton(dtd)
+        assert automaton.accepts(_skeleton(library.figure_1_source()))
+
+    def test_rejects_non_conforming(self):
+        dtd = library.source_dtd()
+        automaton = dtd_to_automaton(dtd)
+        wrong = XMLTree.build(("db", [("author",)]))
+        assert not automaton.accepts(wrong)
+        wrong_root = XMLTree.build(("book", [("author",)]))
+        assert not automaton.accepts(wrong_root)
+
+    def test_emptiness_mirrors_dtd_satisfiability(self):
+        satisfiable = DTD("r", {"r": "a*", "a": ""})
+        unsatisfiable = DTD("r", {"r": "a", "a": "a"})
+        assert not dtd_to_automaton(satisfiable).is_empty()
+        assert dtd_to_automaton(unsatisfiable).is_empty()
+
+    def test_reachable_states(self):
+        dtd = DTD("r", {"r": "a | b", "a": "", "b": "b"})
+        automaton = dtd_to_automaton(dtd)
+        assert automaton.reachable_states() == {"r", "a"}
+
+
+class TestProduct:
+    def test_intersection_nonempty(self):
+        first = dtd_to_automaton(DTD("r", {"r": "a*", "a": ""}))
+        second = dtd_to_automaton(DTD("r", {"r": "a a*", "a": ""}))
+        product = product_automaton(first, second)
+        assert not product.is_empty()
+        witness = XMLTree.build(("r", [("a",)]))
+        assert product.accepts(witness)
+        assert not product.accepts(XMLTree.build(("r",)))
+
+    def test_intersection_empty(self):
+        first = dtd_to_automaton(DTD("r", {"r": "a", "a": ""}))
+        second = dtd_to_automaton(DTD("r", {"r": "a a", "a": ""}))
+        product = product_automaton(first, second)
+        assert product.is_empty()
+
+    def test_product_respects_both_structures(self):
+        deep = dtd_to_automaton(DTD("r", {"r": "a", "a": "b", "b": ""}))
+        shallow = dtd_to_automaton(DTD("r", {"r": "a", "a": "b?", "b": ""}))
+        product = product_automaton(deep, shallow)
+        good = XMLTree.build(("r", [("a", [("b",)])]))
+        bad = XMLTree.build(("r", [("a",)]))
+        assert product.accepts(good)
+        assert not product.accepts(bad)

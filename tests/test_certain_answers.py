@@ -1,0 +1,139 @@
+"""Tests for certain answers (Sections 5.1, 6.1; Theorem 6.2, Corollary 6.11)."""
+
+import pytest
+
+from repro.exchange import (DataExchangeSetting, certain_answer_boolean,
+                            certain_answers, order_tree, std)
+from repro.patterns import exists, parse_pattern, pattern_query, union_query
+from repro.workloads import library, nested_relational
+from repro.xmlmodel import DTD, XMLTree
+
+
+class TestIntroductionQueries:
+    """The two queries discussed in the introduction of the paper."""
+
+    def test_writer_of_computational_complexity(self, library_setting, figure_1_source):
+        query = library.query_writer_of("Computational Complexity")
+        outcome = certain_answers(library_setting, figure_1_source, query)
+        assert outcome.has_solution
+        assert outcome.answers == {("Papadimitriou",)}
+
+    def test_writer_of_joint_book(self, library_setting, figure_1_source):
+        query = library.query_writer_of("Combinatorial Optimization")
+        outcome = certain_answers(library_setting, figure_1_source, query)
+        assert outcome.answers == {("Papadimitriou",), ("Steiglitz",)}
+
+    def test_works_written_in_1994_cannot_be_answered(self, library_setting,
+                                                      figure_1_source):
+        # Years are invented nulls: no tuple is certain.
+        query = library.query_works_in_year("1994")
+        outcome = certain_answers(library_setting, figure_1_source, query)
+        assert outcome.answers == set()
+
+    def test_boolean_query(self, library_setting, figure_1_source):
+        query = exists(["w", "t"], pattern_query(parse_pattern(
+            "bib[writer(@name=w)[work(@title=t)]]")))
+        assert certain_answer_boolean(library_setting, figure_1_source, query)
+        absent = exists(["w"], pattern_query(parse_pattern(
+            'bib[writer(@name="Knuth")]')))
+        assert not certain_answer_boolean(library_setting, figure_1_source, absent)
+
+
+class TestAnswerHygiene:
+    def test_null_tuples_are_filtered(self, library_setting, figure_1_source):
+        # @year binds to a null in every solution; tuples containing it are
+        # never certain (only Const tuples can be certain answers).
+        query = pattern_query(parse_pattern("bib[writer[work(@title=t, @year=y)]]"))
+        outcome = certain_answers(library_setting, figure_1_source, query)
+        assert outcome.answers == set()
+
+    def test_variable_order_controls_tuple_layout(self, library_setting, figure_1_source):
+        query = pattern_query(parse_pattern("bib[writer(@name=w)[work(@title=t)]]"))
+        outcome = certain_answers(library_setting, figure_1_source, query,
+                                  variable_order=["t", "w"])
+        assert ("Computational Complexity", "Papadimitriou") in outcome.answers
+
+    def test_union_queries_supported(self, library_setting, figure_1_source):
+        q1 = pattern_query(parse_pattern('bib[writer(@name=w)[work(@title="Computational Complexity")]]'))
+        q2 = pattern_query(parse_pattern('bib[writer(@name=w)[work(@title="No Such Book")]]'))
+        outcome = certain_answers(library_setting, figure_1_source, union_query(q1, q2))
+        assert outcome.answers == {("Papadimitriou",)}
+
+    def test_descendant_queries_supported(self, library_setting, figure_1_source):
+        query = pattern_query(parse_pattern('bib[//work(@title=t)]'))
+        outcome = certain_answers(library_setting, figure_1_source, query)
+        assert outcome.answers == {("Combinatorial Optimization",),
+                                   ("Computational Complexity",)}
+
+    def test_no_solution_reported(self):
+        source_dtd = DTD("r", {"r": "A*"}, {"A": ["a"]})
+        target_dtd = DTD("r", {"r": "B", "B": ""}, {"B": ["m"]})
+        setting = DataExchangeSetting(source_dtd, target_dtd,
+                                      [std("r[B(@m=x)]", "A(@a=x)")])
+        source = XMLTree.build(("r", [("A", {"a": "1"}), ("A", {"a": "2"})]))
+        query = pattern_query(parse_pattern("B(@m=x)"))
+        outcome = certain_answers(setting, source, query)
+        assert not outcome.has_solution
+        assert outcome.answers is None
+        with pytest.raises(ValueError):
+            outcome.certain()
+
+    def test_requires_fully_specified_setting(self, figure_1_source):
+        setting = library.library_setting()
+        setting.stds.append(std("writer(@name=y)", "db[book[author(@name=y)]]"))
+        query = pattern_query(parse_pattern("bib[writer(@name=w)]"))
+        with pytest.raises(ValueError):
+            certain_answers(setting, figure_1_source, query)
+
+
+class TestOrderIndependence:
+    """Proposition 5.1 / 5.2: the certain answers do not depend on sibling
+    order, and the unordered canonical solution can always be ordered."""
+
+    def test_reordering_source_preserves_certain_answers(self, library_setting):
+        source = library.figure_1_source()
+        reordered = library.figure_1_source()
+        root_children = reordered.node(reordered.root).children
+        root_children.reverse()
+        query = library.query_writer_of("Computational Complexity")
+        first = certain_answers(library_setting, source, query)
+        second = certain_answers(library_setting, reordered, query)
+        assert first.answers == second.answers
+
+    def test_canonical_solution_can_be_ordered(self, library_setting, figure_1_source):
+        outcome = certain_answers(library_setting, figure_1_source,
+                                  library.query_writer_of("Computational Complexity"))
+        ordered = order_tree(outcome.canonical, library_setting.target_dtd)
+        assert library_setting.target_dtd.conforms(ordered)
+        assert library_setting.is_solution(figure_1_source, ordered)
+
+
+class TestClioScenario:
+    """Corollary 6.11: nested-relational (Clio-style) settings are tractable."""
+
+    def test_company_projects(self, company_setting, company_source):
+        query = nested_relational.query_projects_of("Dept-1")
+        outcome = certain_answers(company_setting, company_source, query)
+        assert outcome.has_solution
+        assert outcome.answers == {("Project-1-0",), ("Project-1-1",)}
+
+    def test_positions_have_null_salaries(self, company_setting, company_source):
+        query = pattern_query(parse_pattern(
+            "directory[person(@name=n)[position(@salary=s)]]"))
+        outcome = certain_answers(company_setting, company_source, query)
+        assert outcome.answers == set()
+
+    def test_person_roles_are_certain(self, company_setting, company_source):
+        query = pattern_query(parse_pattern(
+            'directory[person(@name=n)[position(@dept="Dept-0", @role=r)]]'))
+        outcome = certain_answers(company_setting, company_source, query)
+        assert outcome.has_solution
+        assert len(outcome.answers) == 2  # two employees in Dept-0
+        assert all(name.startswith("Employee-0-") for name, _ in outcome.answers)
+
+    def test_solution_is_valid_and_orderable(self, company_setting, company_source):
+        outcome = certain_answers(company_setting, company_source,
+                                  nested_relational.query_projects_of("Dept-0"))
+        assert company_setting.is_unordered_solution(company_source, outcome.canonical)
+        ordered = order_tree(outcome.canonical, company_setting.target_dtd)
+        assert company_setting.target_dtd.conforms(ordered)

@@ -1,0 +1,57 @@
+"""Tests for the dichotomy classifier (Theorems 5.11 and 6.2)."""
+
+from repro.exchange import DataExchangeSetting, classify_setting, std
+from repro.reductions import lemma_6_20, theorem_5_11
+from repro.workloads import library, nested_relational
+from repro.xmlmodel import DTD
+
+
+def test_library_setting_is_tractable(library_setting):
+    report = classify_setting(library_setting)
+    assert report.tractable
+    assert report.fully_specified and report.target_univocal
+    assert "PTIME" in report.summary()
+    assert report.std_classes == ["fully-specified"]
+
+
+def test_company_setting_is_tractable(company_setting):
+    assert classify_setting(company_setting).tractable
+
+
+def test_nested_relational_rules_are_univocal(company_setting):
+    report = classify_setting(company_setting)
+    assert all(info["univocal"] for info in report.target_rules.values())
+    assert all(info["c"] <= 1 for info in report.target_rules.values())
+
+
+def test_theorem_5_11_gadget_is_not_fully_specified():
+    gadget = theorem_5_11.build_gadget()
+    report = classify_setting(gadget.setting)
+    assert not report.tractable
+    assert not report.fully_specified
+    assert any("STD(_,//)" in reason for reason in report.reasons)
+
+
+def test_lemma_6_20_gadget_fails_on_target_univocality():
+    gadget = lemma_6_20.build_gadget("a | a a b*")
+    report = classify_setting(gadget.setting)
+    assert not report.tractable
+    assert report.fully_specified          # the STDs themselves are fine
+    assert not report.target_univocal      # the target rule G → r is the culprit
+    assert any("c(r) = 2" in reason for reason in report.reasons)
+
+
+def test_non_univocal_union_rule_detected():
+    source_dtd = DTD("s", {"s": "x*"}, {"x": ["v"]})
+    target_dtd = DTD("t", {"t": "a | b", "a": "", "b": ""}, {"a": ["v"]})
+    setting = DataExchangeSetting(source_dtd, target_dtd,
+                                  [std("t[a(@v=w)]", "x(@v=w)")])
+    report = classify_setting(setting)
+    assert not report.tractable
+    assert not report.target_univocal
+    assert any("not univocal" in reason for reason in report.reasons)
+
+
+def test_scaling_workload_is_tractable():
+    setting = nested_relational.scaling_setting(2, 2, 3)
+    assert classify_setting(setting).tractable

@@ -1,0 +1,60 @@
+"""Tests for Proposition 5.2 (ordering an unordered solution)."""
+
+import pytest
+
+from repro.exchange import OrderingError, order_tree, order_word
+from repro.regexlang import parse_regex, regex_to_nfa
+from repro.xmlmodel import DTD, XMLTree
+
+
+class TestOrderWord:
+    def test_simple_interleaving(self):
+        nfa = regex_to_nfa(parse_regex("(a b)*"))
+        word = order_word({"a": 2, "b": 2}, nfa)
+        assert word == ["a", "b", "a", "b"]
+
+    def test_no_ordering_exists(self):
+        nfa = regex_to_nfa(parse_regex("(a b)*"))
+        assert order_word({"a": 2, "b": 1}, nfa) is None
+
+    def test_empty_word(self):
+        nfa = regex_to_nfa(parse_regex("a*"))
+        assert order_word({}, nfa) == []
+
+    def test_respects_fixed_prefix_structure(self):
+        nfa = regex_to_nfa(parse_regex("a b* c"))
+        word = order_word({"a": 1, "b": 3, "c": 1}, nfa)
+        assert word[0] == "a" and word[-1] == "c" and word.count("b") == 3
+
+
+class TestOrderTree:
+    def test_orders_interleaved_children(self):
+        dtd = DTD("r", {"r": "(B C)*", "B": "", "C": ""})
+        tree = XMLTree.build(("r", [("B",), ("B",), ("C",), ("C",)]), ordered=False)
+        assert not dtd.conforms(tree, ordered=True)
+        ordered = order_tree(tree, dtd)
+        assert dtd.conforms(ordered, ordered=True)
+        assert ordered.children_labels(ordered.root) == ["B", "C", "B", "C"]
+
+    def test_orders_recursively(self):
+        dtd = DTD("r", {"r": "x y", "x": "(a b)*", "y": "", "a": "", "b": ""})
+        tree = XMLTree.build(("r", [("y",), ("x", [("b",), ("a",)])]), ordered=False)
+        ordered = order_tree(tree, dtd)
+        assert dtd.conforms(ordered, ordered=True)
+
+    def test_rejects_non_weakly_conforming_tree(self):
+        dtd = DTD("r", {"r": "(a b)*", "a": "", "b": ""})
+        tree = XMLTree.build(("r", [("a",)]), ordered=False)
+        with pytest.raises(OrderingError):
+            order_tree(tree, dtd)
+
+    def test_preserves_attributes_and_subtrees(self):
+        dtd = DTD("r", {"r": "a b", "a": "", "b": ""},
+                  {"a": ["v"], "b": ["w"]})
+        tree = XMLTree.build(("r", [("b", {"w": "2"}), ("a", {"v": "1"})]),
+                             ordered=False)
+        ordered = order_tree(tree, dtd)
+        labels = ordered.children_labels(ordered.root)
+        assert labels == ["a", "b"]
+        a_node = ordered.children(ordered.root)[0]
+        assert ordered.attribute(a_node, "v") == "1"

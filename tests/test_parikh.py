@@ -1,0 +1,137 @@
+"""Tests for Parikh images, π(r) membership and min_ext (Prop 5.3, Section 6.1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regexlang import (in_permutation_language, minimal_extensions,
+                             parse_regex, parikh_vector, regex_to_nfa,
+                             semilinear_of)
+
+
+class TestParikhVector:
+    def test_counts(self):
+        assert parikh_vector("aabac") == {"a": 3, "b": 1, "c": 1}
+        assert parikh_vector([]) == {}
+
+
+class TestPermutationLanguage:
+    @pytest.mark.parametrize("pattern, word, expected", [
+        ("(a b)*", "ab", True),
+        ("(a b)*", "ba", True),          # permutations count (paper's π((ab)*))
+        ("(a b)*", "aab", False),        # counts must balance
+        ("(a b)*", "aabb", True),
+        ("(a b c)*", "cba", True),
+        ("a | a a b*", "aa", True),
+        ("a | a a b*", "ab", False),
+        ("a | a a b*", "aabbb", True),
+        ("b c+ d* e?", "cb", True),
+        ("b c+ d* e?", "b", False),
+        ("(B C)*", "BB", False),         # Example 6.13
+        ("(B C)*", "BCCB", True),
+    ])
+    def test_membership(self, pattern, word, expected):
+        assert in_permutation_language(list(word), parse_regex(pattern)) is expected
+
+    def test_anbn_shape(self):
+        # π((ab)*) contains exactly the words with equally many a's and b's.
+        expr = parse_regex("(a b)*")
+        sl = semilinear_of(expr)
+        for n_a in range(4):
+            for n_b in range(4):
+                assert sl.contains({"a": n_a, "b": n_b}) is (n_a == n_b)
+
+    def test_reuse_of_precomputed_semilinear(self):
+        expr = parse_regex("(a b)* c")
+        sl = semilinear_of(expr)
+        assert in_permutation_language(["c", "b", "a"], expr, sl)
+        assert not in_permutation_language(["c", "c"], expr, sl)
+
+
+class TestCoverabilityAndMinExt:
+    def test_min_ext_paper_example(self):
+        # min_ext(b, (bbc)*) = {bbc} up to permutation (a single count vector).
+        result = minimal_extensions(["b"], parse_regex("(b b c)*"))
+        assert result == [{"b": 2, "c": 1}]
+
+    def test_min_ext_empty_when_unreachable(self):
+        # min_ext(bb, b c+) = ∅ (the paper's motivating example for rep).
+        assert minimal_extensions(["b", "b"], parse_regex("b c+")) == []
+
+    def test_min_ext_multiple_incomparable(self):
+        result = minimal_extensions([], parse_regex("a a | b"))
+        as_sets = {tuple(sorted(v.items())) for v in result}
+        assert as_sets == {(("a", 2),), (("b", 1),)}
+
+    def test_min_ext_of_empty_word(self):
+        result = minimal_extensions([], parse_regex("(B C)*"))
+        assert result == [{}]
+
+    def test_coverable(self):
+        sl = semilinear_of(parse_regex("(a b)*"))
+        assert sl.coverable({"a": 3})
+        assert not sl.coverable({"a": 1}, forbidden=["b"])
+        sl2 = semilinear_of(parse_regex("a b?"))
+        assert not sl2.coverable({"a": 2})
+
+    def test_symbol_count_unbounded(self):
+        sl = semilinear_of(parse_regex("a b*"))
+        assert sl.symbol_count_unbounded("b")
+        assert not sl.symbol_count_unbounded("a")
+
+    def test_max_base_count(self):
+        sl = semilinear_of(parse_regex("a | a a b*"))
+        assert sl.max_base_count("a") == 2
+
+
+# --------------------------------------------------------------------- #
+# Property-based validation against the NFA semantics
+# --------------------------------------------------------------------- #
+
+_REGEXES = [
+    "(a b)*", "a | a a b*", "b c+ d* e?", "(b*|c*)", "(b c)* (d e)*",
+    "a* b* c", "a (b | c)*", "(a a)*",
+]
+
+
+@st.composite
+def _regex_and_word(draw):
+    pattern = draw(st.sampled_from(_REGEXES))
+    expr = parse_regex(pattern)
+    alphabet = sorted(expr.alphabet())
+    word = draw(st.lists(st.sampled_from(alphabet), max_size=7))
+    return expr, word
+
+
+@settings(max_examples=150, deadline=None)
+@given(_regex_and_word())
+def test_permutation_membership_agrees_with_nfa_enumeration(case):
+    """w ∈ π(r) iff some permutation of w is accepted by the NFA of r
+    (checked by explicit enumeration for short words)."""
+    expr, word = case
+    nfa = regex_to_nfa(expr)
+    expected = any(nfa.accepts(list(perm))
+                   for perm in set(itertools.permutations(word)))
+    assert in_permutation_language(word, expr) is expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(_regex_and_word())
+def test_accepted_words_are_in_pi(case):
+    """Every word accepted by the NFA is (trivially) in π(r)."""
+    expr, word = case
+    nfa = regex_to_nfa(expr)
+    if nfa.accepts(word):
+        assert in_permutation_language(word, expr)
+
+
+@settings(max_examples=80, deadline=None)
+@given(_regex_and_word())
+def test_minimal_extensions_dominate_and_belong(case):
+    expr, word = case
+    sl = semilinear_of(expr)
+    base = parikh_vector(word)
+    for extension in minimal_extensions(word, expr, sl):
+        assert sl.contains(extension)
+        assert all(extension.get(s, 0) >= c for s, c in base.items())

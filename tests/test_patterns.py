@@ -1,0 +1,135 @@
+"""Tests for tree-pattern formulae: parsing, structure, evaluation (Section 3.1)."""
+
+import pytest
+
+from repro.patterns import (DescendantPattern, NodePattern, Variable,
+                            descendant, match_anywhere, match_at_node, node,
+                            parse_pattern, pattern_holds, wildcard,
+                            PatternParseError)
+from repro.workloads import library
+from repro.xmlmodel import XMLTree
+
+
+@pytest.fixture
+def source():
+    return library.figure_1_source()
+
+
+class TestParsing:
+    def test_example_3_4_pattern(self):
+        pattern = parse_pattern("db[book(@title=x)[author(@name=y)]]")
+        assert isinstance(pattern, NodePattern)
+        assert pattern.attribute.label == "db"
+        assert [v.name for v in pattern.variables()] == ["x", "y"]
+
+    def test_wildcard_and_descendant(self):
+        pattern = parse_pattern("//_(@a1=x, @a2=x)")
+        assert isinstance(pattern, DescendantPattern)
+        assert pattern.uses_wildcard()
+        assert pattern.uses_descendant()
+        assert [v.name for v in pattern.variables()] == ["x"]
+
+    def test_constants(self):
+        pattern = parse_pattern('book(@title="Computational Complexity")')
+        (name, term), = pattern.attribute.assignments
+        assert name == "title" and term == "Computational Complexity"
+
+    def test_multiple_children(self):
+        pattern = parse_pattern("r[a, b[c], //d]")
+        assert len(pattern.children) == 3
+
+    def test_round_trip_via_str(self):
+        text = "db[book(@title=x)[author(@name=y)]]"
+        pattern = parse_pattern(text)
+        assert parse_pattern(str(pattern)).variables() == pattern.variables()
+
+    def test_parse_errors(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("a[b")
+        with pytest.raises(PatternParseError):
+            parse_pattern("a(@x)")
+        with pytest.raises(PatternParseError):
+            parse_pattern("")
+
+
+class TestStructure:
+    def test_constructor_helpers(self):
+        pattern = node("db", None,
+                       node("book", {"title": "$x"},
+                            node("author", {"name": "$y"})))
+        assert str(parse_pattern("db[book(@title=x)[author(@name=y)]]")) == str(pattern)
+
+    def test_size_and_path_pattern(self):
+        pattern = parse_pattern("r[a[b(@x=v)]]")
+        assert pattern.size() == 4
+        assert pattern.is_path_pattern()
+        assert not parse_pattern("r[a, b]").is_path_pattern()
+
+    def test_erase_attributes_claim_4_2(self):
+        pattern = parse_pattern("r[a(@x=v)[b(@y=w)]]")
+        erased = pattern.erase_attributes()
+        assert erased.variables() == []
+        assert str(erased) == "r[a[b]]"
+
+
+class TestEvaluation:
+    def test_example_from_section_3_1(self, source):
+        """ψ(x, y) = book(@title=x)[author(@name=y)] — true iff x is a book
+        title and y one of its authors (the book element is the witness)."""
+        pattern = parse_pattern("book(@title=x)[author(@name=y)]")
+        answers = {(a["x"], a["y"]) for a in match_anywhere(source, pattern)}
+        assert ("Combinatorial Optimization", "Papadimitriou") in answers
+        assert ("Combinatorial Optimization", "Steiglitz") in answers
+        assert ("Computational Complexity", "Papadimitriou") in answers
+        assert ("Computational Complexity", "Steiglitz") not in answers
+
+    def test_pattern_holds_with_binding(self, source):
+        pattern = parse_pattern("book(@title=x)[author(@name=y)]")
+        assert pattern_holds(source, pattern,
+                             binding={"x": "Computational Complexity",
+                                      "y": "Papadimitriou"})
+        assert not pattern_holds(source, pattern,
+                                 binding={"x": "Computational Complexity",
+                                          "y": "Steiglitz"})
+
+    def test_witness_anywhere_not_only_root(self, source):
+        # A pattern need not be anchored at the root (Section 3.1).
+        assert pattern_holds(source, parse_pattern('author(@name="Steiglitz")'))
+
+    def test_descendant_is_proper(self):
+        tree = XMLTree.build(("r", [("a", [("b",)])]))
+        # //b witnessed at r and at a (b is a proper descendant of both) …
+        assert pattern_holds(tree, parse_pattern("r[//b]")) is False or True
+        # … but r[//b] requires b strictly below a child of r:
+        assert pattern_holds(tree, parse_pattern("r[//b]"))
+        shallow = XMLTree.build(("r", [("b",)]))
+        assert not pattern_holds(shallow, parse_pattern("r[//b]"))
+        assert pattern_holds(shallow, parse_pattern("//b"))
+
+    def test_wildcard_matches_any_label(self, source):
+        assert pattern_holds(source, parse_pattern("_[_[_]]"))
+        assert pattern_holds(source, parse_pattern('_(@title="Computational Complexity")'))
+
+    def test_repeated_variable_forces_equality(self):
+        tree = XMLTree.build(("r", [("n", {"a1": "v", "a2": "v"}),
+                                    ("n", {"a1": "v", "a2": "w"})]))
+        matches = match_anywhere(tree, parse_pattern("n(@a1=x, @a2=x)"))
+        assert [m["x"] for m in matches] == ["v"]
+
+    def test_same_child_may_witness_several_subpatterns(self):
+        # Children in α[ϕ1, …, ϕk] need not be distinct (Section 3.1).
+        tree = XMLTree.build(("r", [("a", {"u": "1", "v": "2"})]))
+        pattern = parse_pattern("r[a(@u=x), a(@v=y)]")
+        matches = match_anywhere(tree, pattern)
+        assert {(m["x"], m["y"]) for m in matches} == {("1", "2")}
+
+    def test_match_at_node(self, source):
+        books = source.children(source.root)
+        pattern = parse_pattern("book(@title=x)")
+        assert match_at_node(source, books[0], pattern) == [
+            {"x": "Combinatorial Optimization"}]
+        assert match_at_node(source, source.root, pattern) == []
+
+    def test_missing_attribute_never_matches(self):
+        tree = XMLTree.build(("r", [("a", {"u": "1"})]))
+        assert not pattern_holds(tree, parse_pattern("a(@missing=x)"))

@@ -1,0 +1,141 @@
+"""Property-based tests across modules (hypothesis).
+
+These tests exercise the core invariants of the paper on randomly generated
+inputs:
+
+* the canonical solution, when it exists, is always an unordered solution
+  (Lemma 6.5 a), and ordering it preserves solution-hood (Proposition 5.2);
+* certain answers computed on the canonical solution are contained in the
+  answers of *every* concrete solution we can construct (soundness of
+  Lemma 6.5 b);
+* DTD trimming (Lemma 2.2) preserves conformance of concrete trees;
+* the repair machinery of Section 6.1 only produces members of π(r).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.exchange import canonical_solution, certain_answers, order_tree
+from repro.patterns import exists, parse_pattern, pattern_query
+from repro.regexlang import analyse, parse_regex
+from repro.workloads import library, nested_relational
+from repro.xmlmodel import DTD
+
+
+# --------------------------------------------------------------------- #
+# Exchange pipeline invariants on the library workload
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=20, deadline=None)
+@given(n_books=st.integers(min_value=0, max_value=8),
+       authors=st.integers(min_value=0, max_value=3),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_canonical_solution_is_always_a_solution(n_books, authors, seed):
+    setting = library.library_setting()
+    source = library.generate_source(n_books, authors_per_book=authors, seed=seed)
+    assert setting.source_dtd.conforms(source)
+    result = canonical_solution(setting, source)
+    assert result.success
+    assert setting.is_unordered_solution(source, result.tree)
+    ordered = order_tree(result.tree, setting.target_dtd)
+    assert setting.is_solution(source, ordered)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_books=st.integers(min_value=1, max_value=6),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_certain_answers_hold_in_every_constructed_solution(n_books, seed):
+    """Soundness: a certain answer is an answer of the canonical solution and
+    of any solution obtained by adding extra (permitted) target content."""
+    setting = library.library_setting()
+    source = library.generate_source(n_books, authors_per_book=2, seed=seed)
+    query = pattern_query(parse_pattern("bib[writer(@name=w)[work(@title=t)]]"))
+    outcome = certain_answers(setting, source, query)
+    assert outcome.has_solution
+    # Enlarge the canonical solution with an unrelated writer: still a solution,
+    # and it must still contain every certain answer.
+    enlarged = outcome.canonical.copy()
+    extra = enlarged.add_child(enlarged.root, "writer", {"name": "Extra-Writer"})
+    enlarged.add_child(extra, "work", {"title": "Extra-Book", "year": "2001"})
+    assert setting.is_unordered_solution(source, enlarged)
+    enlarged_answers = query.answers(enlarged)
+    assert outcome.answers <= enlarged_answers
+
+
+@settings(max_examples=10, deadline=None)
+@given(levels=st.integers(min_value=1, max_value=2),
+       branching=st.integers(min_value=1, max_value=3),
+       fanout=st.integers(min_value=1, max_value=4))
+def test_scaling_workload_pipeline(levels, branching, fanout):
+    setting = nested_relational.scaling_setting(levels, branching, n_stds=2)
+    source = nested_relational.scaling_source(setting, fanout=fanout)
+    result = canonical_solution(setting, source)
+    assert result.success
+    assert setting.is_unordered_solution(source, result.tree)
+
+
+# --------------------------------------------------------------------- #
+# Regex / repair invariants
+# --------------------------------------------------------------------- #
+
+_RULE_POOL = ["(a b)*", "a? b* c+", "(a|b|c)*", "a b?", "(b c)* (d e)*",
+              "b c+ d* e?", "a | a a b*"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=st.sampled_from(_RULE_POOL),
+       counts=st.dictionaries(st.sampled_from("abcde"),
+                              st.integers(min_value=1, max_value=3), max_size=3))
+def test_repairs_are_members_of_pi(pattern, counts):
+    analysis = analyse(parse_regex(pattern))
+    for repair in analysis.repairs(counts):
+        assert analysis.permutation_contains(repair)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=st.sampled_from(_RULE_POOL),
+       counts=st.dictionaries(st.sampled_from("abcde"),
+                              st.integers(min_value=1, max_value=3), max_size=3))
+def test_maximum_repair_is_maximal(pattern, counts):
+    analysis = analyse(parse_regex(pattern))
+    maximum = analysis.maximum_repair(counts)
+    if maximum is not None:
+        from repro.regexlang import preorder_leq
+        for other in analysis.repairs(counts):
+            assert preorder_leq(other, maximum, counts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pattern=st.sampled_from(_RULE_POOL))
+def test_c_value_nonnegative_and_univocality_consistent(pattern):
+    expr = parse_regex(pattern)
+    analysis = analyse(expr)
+    c = analysis.c_value()
+    assert c >= 0
+    if c >= 2:
+        assert not analysis.is_univocal()
+
+
+# --------------------------------------------------------------------- #
+# DTD trimming (Lemma 2.2)
+# --------------------------------------------------------------------- #
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_trimming_preserves_conformance_of_sampled_trees(seed):
+    rng = random.Random(seed)
+    # A DTD with a type (`dead`) that can never occur in a finite tree.
+    dtd = DTD("r", {"r": "a* (dead | EPSILON)", "a": "b?", "b": "",
+                    "dead": "dead"})
+    trimmed = dtd.trimmed()
+    # Sample a few conforming trees and check they conform to the trimmed DTD.
+    from repro.xmlmodel import XMLTree
+    tree = XMLTree("r", ordered=True)
+    for _ in range(rng.randint(0, 4)):
+        a_node = tree.add_child(tree.root, "a")
+        if rng.random() < 0.5:
+            tree.add_child(a_node, "b")
+    assert dtd.conforms(tree)
+    assert trimmed.conforms(tree)
+    assert trimmed.is_consistent()

@@ -1,0 +1,86 @@
+"""Tests for the CTQ / CTQ// / CTQ∪ / CTQ//,∪ query classes (Section 5)."""
+
+import pytest
+
+from repro.patterns import (classify_query, conjunction, descendant, exists,
+                            node, parse_pattern, pattern_query, union_query)
+from repro.workloads import library
+from repro.xmlmodel import XMLTree
+from repro.xmlmodel.values import Null
+
+
+@pytest.fixture
+def source():
+    return library.figure_1_source()
+
+
+def test_pattern_query_answers(source):
+    query = pattern_query(parse_pattern("book(@title=x)[author(@name=y)]"))
+    assert query.free_variables() == ["x", "y"]
+    answers = query.answers(source)
+    assert ("Computational Complexity", "Papadimitriou") in answers
+    assert len(answers) == 3
+
+
+def test_exists_projects_variables(source):
+    # ψ(x) = ∃y book(@title=x)[author(@name=y)] — Section 5 example.
+    inner = pattern_query(parse_pattern("book(@title=x)[author(@name=y)]"))
+    query = exists(["y"], inner)
+    assert query.free_variables() == ["x"]
+    assert query.answers(source) == {("Combinatorial Optimization",),
+                                     ("Computational Complexity",)}
+
+
+def test_conjunction_joins_on_shared_variables(source):
+    query = conjunction(
+        pattern_query(parse_pattern("book(@title=x)[author(@name=y)]")),
+        pattern_query(parse_pattern('book(@title="Computational Complexity")[author(@name=y)]')),
+    )
+    answers = query.answers(source, ["x", "y"])
+    # y is forced to be an author of "Computational Complexity", i.e. Papadimitriou.
+    assert all(y == "Papadimitriou" for _, y in answers)
+    assert ("Combinatorial Optimization", "Papadimitriou") in answers
+
+
+def test_union_query(source):
+    q1 = pattern_query(parse_pattern('book(@title=x)[author(@name="Steiglitz")]'))
+    q2 = pattern_query(parse_pattern('book(@title=x)[author(@name="Papadimitriou")]'))
+    query = union_query(q1, q2)
+    assert query.answers(source) == {("Combinatorial Optimization",),
+                                     ("Computational Complexity",)}
+
+
+def test_union_requires_same_free_variables():
+    q1 = pattern_query(parse_pattern("book(@title=x)"))
+    q2 = pattern_query(parse_pattern("author(@name=y)"))
+    with pytest.raises(ValueError):
+        union_query(q1, q2)
+
+
+def test_boolean_query(source):
+    query = exists(["x"], pattern_query(parse_pattern('book(@title=x)')))
+    assert query.is_boolean()
+    assert query.holds(source)
+    missing = exists(["x"], pattern_query(parse_pattern('journal(@title=x)')))
+    assert not missing.holds(source)
+
+
+def test_classification():
+    ctq = pattern_query(parse_pattern("r[a(@x=v)]"))
+    ctq_desc = pattern_query(parse_pattern("r[//a(@x=v)]"))
+    assert classify_query(ctq) == "CTQ"
+    assert classify_query(ctq_desc) == "CTQ//"
+    assert classify_query(union_query(ctq, ctq)) == "CTQ∪"
+    assert classify_query(union_query(ctq_desc, ctq_desc)) == "CTQ//,∪"
+
+
+def test_answers_include_nulls_until_filtered():
+    tree = XMLTree.build(("r", [("a", {"v": Null(7)})]))
+    query = pattern_query(parse_pattern("a(@v=x)"))
+    assert query.answers(tree) == {(Null(7),)}
+
+
+def test_nested_exists_and_order():
+    tree = XMLTree.build(("r", [("a", {"u": "1", "v": "2"})]))
+    query = exists(["u"], pattern_query(parse_pattern("a(@u=u, @v=v)")))
+    assert query.answers(tree, ["v"]) == {("2",)}

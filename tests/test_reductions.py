@@ -1,0 +1,140 @@
+"""Tests for the hardness gadgets (Theorem 5.11, Lemma 6.20) and the SAT substrate."""
+
+import itertools
+
+import pytest
+
+from repro.reductions import lemma_6_20, theorem_5_11
+from repro.reductions.sat import CNFFormula, dpll_satisfiable, random_3cnf
+
+
+# --------------------------------------------------------------------- #
+# SAT substrate
+# --------------------------------------------------------------------- #
+
+class TestSat:
+    def test_dpll_on_satisfiable(self):
+        formula = CNFFormula.of([(1, 2, -3), (-1, 2, 3), (1, -2, 3)])
+        assignment = dpll_satisfiable(formula)
+        assert assignment is not None
+        assert formula.evaluate(assignment)
+
+    def test_dpll_on_unsatisfiable(self):
+        clauses = [tuple(v if s else -v for v, s in zip((1, 2, 3), signs))
+                   for signs in itertools.product([True, False], repeat=3)]
+        assert dpll_satisfiable(CNFFormula.of(clauses)) is None
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dpll_agrees_with_brute_force(self, seed):
+        formula = random_3cnf(4, 8, seed=seed)
+        brute = any(formula.evaluate(dict(zip(formula.variables, values)))
+                    for values in itertools.product([True, False],
+                                                    repeat=formula.n_variables))
+        assert (dpll_satisfiable(formula) is not None) is brute
+
+    def test_literal_codes_are_injective(self):
+        formula = CNFFormula.of([(1, 2, -3)])
+        codes = formula.literal_codes()
+        assert len(set(codes.values())) == len(codes)
+
+    def test_random_3cnf_shape(self):
+        formula = random_3cnf(5, 10, seed=1)
+        assert len(formula.clauses) == 10
+        assert formula.is_3cnf()
+
+
+# --------------------------------------------------------------------- #
+# Theorem 5.11, class STD(_, //)
+# --------------------------------------------------------------------- #
+
+SAT_FORMULA = CNFFormula.of([(1, 2, -3), (-2, 3, -4)])            # satisfiable
+UNSAT_CORE = CNFFormula.of([tuple(v if s else -v for v, s in zip((1, 2, 3), signs))
+                            for signs in itertools.product([True, False], repeat=3)])
+
+
+class TestTheorem511:
+    def test_encoding_conforms_to_simple_source_dtd(self):
+        gadget = theorem_5_11.build_gadget()
+        tree = theorem_5_11.encode_formula(SAT_FORMULA)
+        assert gadget.setting.source_dtd.conforms(tree)
+        # The DTDs impose no cardinality constraints (the paper calls them
+        # "simple"): every content model is a product of starred symbols.
+        assert gadget.setting.source_dtd.is_nested_relational()
+        assert gadget.setting.target_dtd.is_nested_relational()
+
+    def test_std_class(self):
+        gadget = theorem_5_11.build_gadget()
+        classes = gadget.setting.std_classes()
+        assert "STD(_,//)" in classes  # the second STD is not root-anchored
+        assert not gadget.setting.is_fully_specified()
+
+    def test_satisfying_assignment_yields_query_free_solution(self):
+        gadget = theorem_5_11.build_gadget()
+        source = theorem_5_11.encode_formula(SAT_FORMULA)
+        assignment = dpll_satisfiable(SAT_FORMULA)
+        solution = theorem_5_11.solution_from_assignment(SAT_FORMULA, assignment)
+        assert gadget.setting.is_unordered_solution(source, solution)
+        # T' ⊭ Q ⇒ certain(Q, T_θ) = false — the formula is satisfiable.
+        assert not gadget.query.holds(solution)
+
+    def test_conflicting_assignment_triggers_query(self):
+        gadget = theorem_5_11.build_gadget()
+        # Clause 1 = (x2 ∨ x3 ∨ x1) with x1 true → its chain marks x1 with 1;
+        # clause 2 = (¬x1 ∨ x2 ∨ x3) is falsified, so the construction falls
+        # back to its *first* literal ¬x1 → ¬x1 is also marked with 1.  The
+        # query detects the complementary pair, mirroring the (⇐) direction.
+        formula = CNFFormula.of([(2, 3, 1), (-1, 2, 3)])
+        assignment = {1: True, 2: False, 3: False}
+        solution = theorem_5_11.solution_from_assignment(formula, assignment)
+        source = theorem_5_11.encode_formula(formula)
+        assert gadget.setting.is_unordered_solution(source, solution)
+        assert gadget.query.holds(solution)
+
+    def test_rejects_non_3cnf(self):
+        with pytest.raises(ValueError):
+            theorem_5_11.encode_formula(CNFFormula.of([(1, 2)]))
+
+
+# --------------------------------------------------------------------- #
+# Lemma 6.20 (c(r) ≥ 2)
+# --------------------------------------------------------------------- #
+
+class TestLemma620:
+    def test_rejects_small_c(self):
+        with pytest.raises(ValueError):
+            lemma_6_20.build_gadget("(a|b)*")
+
+    @pytest.mark.parametrize("regex", ["a | a a b*", "a a b*", "a a c d*"])
+    def test_gadget_construction(self, regex):
+        gadget = lemma_6_20.build_gadget(regex)
+        assert gadget.k >= 2
+        assert gadget.setting.is_fully_specified()
+        assert gadget.setting.source_dtd.is_nested_relational()
+        tree = lemma_6_20.encode_formula(gadget, SAT_FORMULA)
+        assert gadget.setting.source_dtd.conforms(tree)
+
+    def test_satisfying_assignment_yields_query_free_solution(self):
+        gadget = lemma_6_20.build_gadget("a | a a b*")
+        source = lemma_6_20.encode_formula(gadget, SAT_FORMULA)
+        assignment = dpll_satisfiable(SAT_FORMULA)
+        solution = lemma_6_20.solution_from_assignment(gadget, SAT_FORMULA, assignment)
+        assert gadget.setting.is_unordered_solution(source, solution)
+        assert not gadget.query.holds(solution)
+
+    def test_falsifying_assignment_makes_query_true(self):
+        gadget = lemma_6_20.build_gadget("a | a a b*")
+        # x1 = x2 = x3 = False falsifies the clause (1, 2, 3): all its literals
+        # end up assigned 0, which is exactly what the query looks for.
+        formula = CNFFormula.of([(1, 2, 3)])
+        assignment = {1: False, 2: False, 3: False}
+        solution = lemma_6_20.solution_from_assignment(gadget, formula, assignment)
+        source = lemma_6_20.encode_formula(gadget, formula)
+        assert gadget.setting.is_unordered_solution(source, solution)
+        assert gadget.query.holds(solution)
+
+    def test_witness_vector_is_fixed(self):
+        gadget = lemma_6_20.build_gadget("a | a a b*")
+        from repro.regexlang import analyse
+        analysis = analyse(gadget.regex)
+        assert analysis.permutation_contains(gadget.witness_vector)
+        assert gadget.witness_vector[gadget.pivot] == gadget.k

@@ -1,0 +1,108 @@
+"""Tests for the regular-expression substrate: AST, parser, NFAs."""
+
+import pytest
+
+from repro.regexlang import (Concat, Epsilon, Star, Symbol, Union, concat,
+                             epsilon, parse_regex, plus, optional, regex_to_nfa,
+                             star, sym, union, RegexParseError, empty)
+
+
+class TestParsing:
+    def test_single_symbol(self):
+        assert parse_regex("book") == Symbol("book")
+
+    def test_star_and_concat(self):
+        expr = parse_regex("book author*")
+        assert isinstance(expr, Concat)
+        assert expr.right == Star(Symbol("author"))
+
+    def test_union_precedence(self):
+        expr = parse_regex("a b | c")
+        assert isinstance(expr, Union)
+        assert isinstance(expr.left, Concat)
+
+    def test_commas_are_concatenation(self):
+        assert parse_regex("a, b, c") == parse_regex("a b c")
+
+    def test_plus_and_optional_shorthands(self):
+        assert parse_regex("a+") == plus(sym("a"))
+        assert parse_regex("a?") == optional(sym("a"))
+
+    def test_empty_string_and_keywords(self):
+        assert parse_regex("") == epsilon()
+        assert parse_regex("EMPTY") == epsilon()
+        assert parse_regex("EPSILON") == epsilon()
+
+    def test_parentheses(self):
+        expr = parse_regex("(B C)*")
+        assert isinstance(expr, Star)
+        assert expr.inner == Concat(Symbol("B"), Symbol("C"))
+
+    def test_parse_error(self):
+        with pytest.raises(RegexParseError):
+            parse_regex("a ) b")
+        with pytest.raises(RegexParseError):
+            parse_regex("(a")
+        with pytest.raises(RegexParseError):
+            parse_regex("*a")
+
+
+class TestAst:
+    def test_alphabet(self):
+        assert parse_regex("a (b|c)* d?").alphabet() == {"a", "b", "c", "d"}
+
+    def test_norm_matches_paper_definition(self):
+        # ‖r‖ : ε→0, symbol→1, union/concat add, ‖r*‖ = ‖r‖ (before Lemma 5.8)
+        assert parse_regex("a b").norm() == 2
+        assert parse_regex("(a b)*").norm() == 2
+        assert parse_regex("a | b | c").norm() == 3
+        assert epsilon().norm() == 0
+
+    def test_nullable(self):
+        assert parse_regex("a*").nullable()
+        assert parse_regex("a? b*").nullable()
+        assert not parse_regex("a b*").nullable()
+
+    def test_smart_constructors_simplify_empty(self):
+        assert concat(sym("a"), empty()) == empty()
+        assert union(sym("a"), empty()) == sym("a")
+        assert star(empty()) == epsilon()
+
+    def test_str_round_trip(self):
+        for text in ["a", "a b*", "(a|b)*", "a+ b? c"]:
+            expr = parse_regex(text)
+            assert parse_regex(str(expr)).alphabet() == expr.alphabet()
+
+
+class TestNFA:
+    @pytest.mark.parametrize("pattern, word, expected", [
+        ("a*", [], True),
+        ("a*", ["a", "a", "a"], True),
+        ("a*", ["b"], False),
+        ("a b", ["a", "b"], True),
+        ("a b", ["b", "a"], False),
+        ("(a|b)* c", ["a", "b", "a", "c"], True),
+        ("(a|b)* c", ["c"], True),
+        ("(a|b)* c", ["a"], False),
+        ("a+ b?", ["a"], True),
+        ("a+ b?", [], False),
+        ("(a b)*", ["a", "b", "a", "b"], True),
+        ("(a b)*", ["a", "b", "a"], False),
+    ])
+    def test_membership(self, pattern, word, expected):
+        assert regex_to_nfa(parse_regex(pattern)).accepts(word) is expected
+
+    def test_emptiness(self):
+        assert regex_to_nfa(empty()).is_empty()
+        assert not regex_to_nfa(parse_regex("a*")).is_empty()
+
+    def test_shortest_word(self):
+        assert regex_to_nfa(parse_regex("a*")).shortest_word() == []
+        assert regex_to_nfa(parse_regex("a b c")).shortest_word() == ["a", "b", "c"]
+        assert regex_to_nfa(parse_regex("a a | b")).shortest_word() == ["b"]
+
+    def test_restricted_to(self):
+        nfa = regex_to_nfa(parse_regex("a | b"))
+        assert nfa.restricted_to({"a"}).accepts(["a"])
+        assert not nfa.restricted_to({"a"}).accepts(["b"])
+        assert nfa.restricted_to(set()).is_empty()

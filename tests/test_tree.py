@@ -1,0 +1,118 @@
+"""Tests for the XML tree model (Section 2)."""
+
+import pytest
+
+from repro.xmlmodel import XMLTree
+from repro.xmlmodel.values import Null
+
+
+@pytest.fixture
+def sample():
+    return XMLTree.build(("db", [
+        ("book", {"title": "B1"}, [("author", {"name": "A", "aff": "U"})]),
+        ("book", {"title": "B2"}),
+    ]))
+
+
+def test_build_and_labels(sample):
+    assert sample.label(sample.root) == "db"
+    assert sample.children_labels(sample.root) == ["book", "book"]
+    assert len(sample) == 4
+
+
+def test_attributes_and_values(sample):
+    books = sample.children(sample.root)
+    assert sample.attribute(books[0], "title") == "B1"
+    assert sample.attribute(books[0], "missing") is None
+    assert sample.constants() == {"B1", "B2", "A", "U"}
+    assert sample.nulls() == set()
+
+
+def test_add_child_and_positions():
+    tree = XMLTree("r")
+    first = tree.add_child(tree.root, "a")
+    tree.add_child(tree.root, "c")
+    tree.add_child(tree.root, "b", position=1)
+    assert tree.children_labels(tree.root) == ["a", "b", "c"]
+    assert tree.parent(first) == tree.root
+
+
+def test_depth_and_size(sample):
+    assert sample.depth() == 2
+    assert sample.size() == 4 + 4  # 4 nodes + 4 attribute assignments
+
+
+def test_descendants_and_ancestor(sample):
+    books = sample.children(sample.root)
+    descendants = list(sample.descendants(sample.root))
+    assert len(descendants) == 3
+    author = sample.children(books[0])[0]
+    assert sample.is_ancestor(sample.root, author)
+    assert not sample.is_ancestor(author, sample.root)
+
+
+def test_remove_subtree(sample):
+    books = sample.children(sample.root)
+    sample.remove_subtree(books[0])
+    assert sample.children_labels(sample.root) == ["book"]
+    assert len(sample) == 2
+
+
+def test_remove_root_rejected(sample):
+    with pytest.raises(ValueError):
+        sample.remove_subtree(sample.root)
+
+
+def test_graft_subtree(sample):
+    other = XMLTree.build(("book", {"title": "B3"}))
+    sample.graft_subtree(sample.root, other)
+    assert sample.children_labels(sample.root) == ["book", "book", "book"]
+
+
+def test_replace_subtree(sample):
+    books = sample.children(sample.root)
+    other = XMLTree.build(("book", {"title": "B9"}, [("author", {"name": "X", "aff": "Y"})]))
+    new_root = sample.replace_subtree(books[1], other)
+    assert sample.attribute(new_root, "title") == "B9"
+    assert sample.children_labels(new_root) == ["author"]
+
+
+def test_merge_children():
+    tree = XMLTree.build(("r", [
+        ("a", {"k": "1"}, [("x",)]),
+        ("a", {"k": "2"}, [("y",)]),
+        ("b",),
+    ]))
+    children = tree.children(tree.root)
+    merged = tree.merge_children(tree.root, children[:2])
+    assert tree.children_labels(tree.root) == ["a", "b"]
+    assert sorted(tree.children_labels(merged)) == ["x", "y"]
+
+
+def test_copy_is_independent(sample):
+    clone = sample.copy()
+    clone.add_child(clone.root, "book", {"title": "B3"})
+    assert len(clone) == len(sample) + 1
+
+
+def test_structural_equality_ignores_order_when_unordered():
+    left = XMLTree.build(("r", [("a",), ("b",)]), ordered=False)
+    right = XMLTree.build(("r", [("b",), ("a",)]), ordered=False)
+    assert left.equals(right)
+    ordered_left = left.as_ordered()
+    ordered_right = right.as_ordered()
+    assert not ordered_left.equals(ordered_right)
+
+
+def test_structural_key_distinguishes_nulls():
+    left = XMLTree.build(("r", {"a": Null(1)}))
+    right = XMLTree.build(("r", {"a": Null(2)}))
+    assert not left.equals(right)
+
+
+def test_to_xml_and_to_text(sample):
+    xml = sample.to_xml()
+    assert xml.startswith("<db>") and xml.endswith("</db>")
+    assert 'title="B1"' in xml
+    text = sample.to_text()
+    assert "book" in text and "@title='B1'" in text

@@ -1,0 +1,132 @@
+"""Tests for fixed_a(r), c(r), rep(w, r), ⊑_w and univocality (Section 6)."""
+
+import pytest
+
+from repro.regexlang import (analyse, c_value, is_simple_regex, is_univocal,
+                             max_repairs, parse_regex, preorder_leq, repairs)
+
+
+class TestCValue:
+    def test_paper_example_a_or_aab_star(self):
+        # The paper: c_a(a | aab*) = 2, c_b(a | aab*) = 0, so c = 2.
+        analysis = analyse(parse_regex("a | a a b*"))
+        assert analysis.c_a("a") == 2
+        assert analysis.c_a("b") == 0
+        assert analysis.c_value() == 2
+
+    def test_simple_regexes_have_c_zero(self):
+        assert c_value(parse_regex("(a|b|c)*")) == 0
+
+    def test_required_single_occurrence(self):
+        # b c+ d* e? : every symbol's maximal fixed count is ≤ 1.
+        assert c_value(parse_regex("b c+ d* e?")) == 1
+
+    def test_exactly_two_required(self):
+        assert c_value(parse_regex("a a b*")) == 2
+
+    def test_fixed_witness(self):
+        analysis = analyse(parse_regex("a | a a b*"))
+        witness = analysis.fixed_witness("a")
+        assert witness is not None and witness["a"] == 2
+        assert analysis.permutation_contains(witness)
+
+    def test_c_value_finite_lemma_6_8(self):
+        # Lemma 6.8: c(r) is finite for every r — spot-check a few expressions.
+        for text in ["(a b)*", "a+ b+", "(a|b)* c c", "a a a | a*"]:
+            assert c_value(parse_regex(text)) >= 0
+
+
+class TestPreorder:
+    def test_paper_example_ccdd_preferred_to_cd(self):
+        # rep(cc, (cd)*(cde)*) contains ccdd and cd; ccdd is preferred (⊑_w).
+        w = {"c": 2}
+        assert preorder_leq({"c": 1, "d": 1}, {"c": 2, "d": 2}, w)
+        assert not preorder_leq({"c": 2, "d": 2}, {"c": 1, "d": 1}, w)
+
+    def test_ccdd_preferred_to_ccdde(self):
+        w = {"c": 2}
+        assert preorder_leq({"c": 2, "d": 2, "e": 1}, {"c": 2, "d": 2}, w)
+        assert not preorder_leq({"c": 2, "d": 2}, {"c": 2, "d": 2, "e": 1}, w)
+
+
+class TestRepairs:
+    def test_example_6_13_rep_bb(self):
+        # rep(BB, (BC)*) = min_ext(B,·) ∪ min_ext(BB,·) = {BC} ∪ {BBCC} as vectors.
+        expr = parse_regex("(B C)*")
+        result = repairs(["B", "B"], expr)
+        as_sets = {tuple(sorted(v.items())) for v in result}
+        assert (("B", 1), ("C", 1)) in as_sets
+        assert (("B", 2), ("C", 2)) in as_sets
+        # The ⊑_BB-maximum is BBCC (no merging, nothing extra).
+        maxima = max_repairs(["B", "B"], expr)
+        assert {tuple(sorted(v.items())) for v in maxima} == {(("B", 2), ("C", 2))}
+
+    def test_rep_of_conforming_word_contains_itself(self):
+        expr = parse_regex("(B C)*")
+        result = repairs(["B", "C"], expr)
+        assert any(v == {"B": 1, "C": 1} for v in result)
+
+    def test_rep_paper_example_cc(self):
+        expr = parse_regex("(c d)* (c d e)*")
+        result = repairs(["c", "c"], expr)
+        vectors = {tuple(sorted(v.items())) for v in result}
+        assert (("c", 2), ("d", 2)) in vectors
+        assert (("c", 1), ("d", 1)) in vectors
+        maxima = max_repairs(["c", "c"], expr)
+        assert {tuple(sorted(v.items())) for v in maxima} == {(("c", 2), ("d", 2))}
+
+    def test_rep_empty_when_unrepairable(self):
+        # R(b c+): two b's can only merge; rep(bb, bc+) = min_ext(b, bc+) ≠ ∅,
+        # but for a DTD forbidding b entirely rep is empty.
+        expr = parse_regex("c+")
+        assert repairs(["b", "b"], expr) == []
+
+
+class TestUnivocality:
+    @pytest.mark.parametrize("pattern", [
+        "b c+ d* e?",      # paper example
+        "(b*|c*)",         # paper example
+        "(b c)* (d e)*",   # paper example
+        "(a|b|c)*",        # simple
+        "",                # ε
+        "a? b* c+ d",      # nested-relational shape
+    ])
+    def test_univocal_examples(self, pattern):
+        assert is_univocal(parse_regex(pattern))
+
+    @pytest.mark.parametrize("pattern", [
+        "a | a a b*",      # c(r) = 2
+        "a a b*",          # c(r) = 2
+        "a a",             # c(r) = 2
+    ])
+    def test_non_univocal_because_c_at_least_two(self, pattern):
+        assert not is_univocal(parse_regex(pattern))
+
+    def test_bbc_star_has_c_zero_and_is_univocal(self):
+        # Every member of π((bbc)*) can gain further b's, so fixed_b is empty,
+        # c(r) = 0, and all repair sets have ⊑_w-maxima.
+        expr = parse_regex("(b b c)*")
+        assert c_value(expr) == 0
+        assert is_univocal(expr)
+
+    def test_non_univocal_because_no_maximum_repair(self):
+        # rep(ε, a|b) = {a, b} has two ⊑-maximal, incomparable elements.
+        expr = parse_regex("a | b")
+        assert analyse(expr).c_value() <= 1
+        assert not is_univocal(expr)
+
+    def test_simple_regex_detection(self):
+        assert is_simple_regex(parse_regex("(a|b|c)*"))
+        assert is_simple_regex(parse_regex(""))
+        # (a_1 | … | a_n)* requires pairwise-distinct symbols.
+        assert not is_simple_regex(parse_regex("(a|a)*"))
+        # a* is the n = 1 instance of the simple shape.
+        assert is_simple_regex(parse_regex("a*"))
+        assert not is_simple_regex(parse_regex("a b*"))
+
+    def test_maximum_repair_used_by_change_reg(self):
+        expr = parse_regex("(B C)*")
+        analysis = analyse(expr)
+        assert analysis.maximum_repair({"B": 2}) == {"B": 2, "C": 2}
+        assert analysis.maximum_repair({}) == {}
+        assert analysis.has_max_repair({"B": 3})

@@ -1,0 +1,38 @@
+"""Tests for the Const / Var value domain (Section 3.2)."""
+
+from repro.xmlmodel.values import (Null, NullFactory, fresh_null, is_constant,
+                                   is_null)
+
+
+def test_null_identity_equality():
+    assert Null(1) == Null(1)
+    assert Null(1) != Null(2)
+    assert Null(1) != "⊥1"
+
+
+def test_null_hashable_and_repr():
+    assert len({Null(1), Null(1), Null(2)}) == 2
+    assert repr(Null(3)) == "⊥3"
+
+
+def test_factory_produces_distinct_nulls():
+    factory = NullFactory()
+    produced = [factory.fresh() for _ in range(100)]
+    assert len(set(produced)) == 100
+
+
+def test_factories_with_disjoint_ranges_do_not_collide():
+    first = NullFactory(start=1)
+    second = NullFactory(start=10_000)
+    assert first.fresh() != second.fresh()
+
+
+def test_global_fresh_null_progression():
+    assert fresh_null() != fresh_null()
+
+
+def test_constant_and_null_predicates():
+    assert is_constant("abc")
+    assert not is_constant(Null(1))
+    assert is_null(Null(1))
+    assert not is_null("abc")

@@ -1,0 +1,61 @@
+"""Tests for the workload generators used by the benchmark harness."""
+
+import pytest
+
+from repro.exchange import canonical_solution, check_consistency, classify_setting
+from repro.workloads import library, nested_relational
+
+
+class TestLibraryWorkload:
+    def test_figure_1_source_conforms(self):
+        assert library.source_dtd().conforms(library.figure_1_source())
+
+    @pytest.mark.parametrize("n_books", [1, 5, 20])
+    def test_generated_sources_conform(self, n_books):
+        source = library.generate_source(n_books, authors_per_book=2, seed=3)
+        assert library.source_dtd().conforms(source)
+        assert source.children_labels(source.root).count("book") == n_books
+
+    def test_generation_is_deterministic_per_seed(self):
+        first = library.generate_source(5, seed=7)
+        second = library.generate_source(5, seed=7)
+        assert first.equals(second)
+
+    def test_exchange_scales(self):
+        setting = library.library_setting()
+        source = library.generate_source(15, authors_per_book=3, seed=1)
+        result = canonical_solution(setting, source)
+        assert result.success
+        assert setting.is_unordered_solution(source, result.tree)
+
+
+class TestCompanyWorkload:
+    def test_source_conforms(self, company_setting, company_source):
+        assert company_setting.source_dtd.conforms(company_source)
+
+    def test_setting_is_nested_relational_and_tractable(self, company_setting):
+        assert company_setting.source_dtd.is_nested_relational()
+        assert company_setting.target_dtd.is_nested_relational()
+        assert classify_setting(company_setting).tractable
+
+
+class TestScalingWorkload:
+    @pytest.mark.parametrize("levels,branching", [(1, 2), (2, 2), (2, 3)])
+    def test_setting_shape(self, levels, branching):
+        setting = nested_relational.scaling_setting(levels, branching, n_stds=3)
+        assert setting.source_dtd.is_nested_relational()
+        assert setting.target_dtd.is_nested_relational()
+        assert setting.is_fully_specified()
+        assert check_consistency(setting).consistent
+
+    def test_source_generator(self):
+        setting = nested_relational.scaling_setting(2, 2, n_stds=2)
+        source = nested_relational.scaling_source(setting, fanout=4)
+        assert setting.source_dtd.conforms(source)
+        result = canonical_solution(setting, source)
+        assert result.success
+
+    def test_dtd_size_grows_with_levels(self):
+        small = nested_relational.scaling_setting(1, 2, 2)
+        large = nested_relational.scaling_setting(3, 2, 2)
+        assert large.dtd_size() > small.dtd_size()
