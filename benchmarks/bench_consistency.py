@@ -71,6 +71,17 @@ def test_fast_path_vs_general_gap(benchmark):
     assert result.consistent
 
 
+def test_warm_engine_general_consistency(benchmark):
+    """The general procedure served from a compiled setting: skeleton
+    enumeration, goal-search memo and erased patterns are all reused, so
+    repeated checks cost a fraction of the cold calls above."""
+    engine = nr.company_engine()
+    engine.check_consistency(strategy="general")   # warm the caches
+    result = benchmark(lambda: engine.check_consistency(strategy="general"))
+    assert result.ok
+    assert engine.stats["rule_cache_misses"] == 0
+
+
 # ----------------------------- E4: SAT-encoded ----------------------------- #
 
 @pytest.mark.parametrize("n_variables", [3, 4])

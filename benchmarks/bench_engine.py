@@ -1,0 +1,146 @@
+"""E15 — the engine API: cold compile vs warm cache, and batch throughput.
+
+The engine's contract is that everything derivable from the setting alone is
+paid for once (``compile_setting``) and every later request only does
+per-tree work.  This file pins that claim down as the perf baseline for
+future PRs:
+
+* ``cold``  — the legacy per-call path of a stateless service: every request
+  re-parses the DTDs into a fresh setting, so content-model NFAs and
+  univocality analyses are recompiled per call;
+* ``warm``  — one :class:`repro.ExchangeEngine` serving repeated requests on
+  the same compiled setting (cache-stats counters prove the reuse);
+* ``batch`` — trees/second of ``certain_answers_batch`` sequentially and
+  with a thread pool.
+
+Runs both under pytest-benchmark (like the other E-files) and standalone::
+
+    python benchmarks/bench_engine.py [--smoke]
+"""
+
+import argparse
+import sys
+import time
+
+from repro import ExchangeEngine, certain_answers, check_consistency
+from repro.workloads import library
+
+
+def _cold_request(source, query):
+    # What a stateless service does per request: rebuild the setting
+    # (library_setting() re-parses both DTDs, so every content-model
+    # compilation is lost) before answering.
+    setting = library.library_setting()
+    check_consistency(setting)
+    return certain_answers(setting, source, query)
+
+
+def _sources(n_trees: int, n_books: int):
+    return [library.generate_source(n_books, authors_per_book=2, seed=seed)
+            for seed in range(n_trees)]
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry points
+# --------------------------------------------------------------------- #
+
+def test_cold_per_call_certain_answers(benchmark):
+    """Legacy per-call path: fresh setting (and NFA compilation) per request."""
+    source = library.generate_source(20, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+    outcome = benchmark(lambda: _cold_request(source, query))
+    assert outcome.has_solution
+
+
+def test_warm_engine_certain_answers(benchmark):
+    """Engine path: the compiled setting is reused across requests."""
+    source = library.generate_source(20, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+    engine = ExchangeEngine(library.library_setting())
+    engine.check_consistency()
+
+    def request():
+        engine.check_consistency()
+        return engine.certain_answers(source, query)
+
+    result = benchmark(request)
+    assert result.ok
+    stats = engine.stats
+    assert stats["rule_cache_misses"] == 0, "warm engine recompiled an NFA"
+    assert stats["rule_cache_hits"] > 0
+
+
+def test_batch_throughput(benchmark):
+    """certain_answers_batch over many trees with a shared compiled setting."""
+    engine = ExchangeEngine(library.library_setting())
+    sources = _sources(16, n_books=10)
+    query = library.query_writer_of("Book-0")
+    results = benchmark(lambda: engine.certain_answers_batch(sources, query,
+                                                             parallel=4))
+    assert all(r.ok for r in results)
+
+
+# --------------------------------------------------------------------- #
+# Standalone runner (no pytest-benchmark dependency)
+# --------------------------------------------------------------------- #
+
+def _time(operation, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes, assert the warm path wins")
+    parser.add_argument("--repeat", type=int, default=None)
+    args = parser.parse_args(argv)
+    repeat = args.repeat or (5 if args.smoke else 25)
+    n_books = 10 if args.smoke else 50
+    n_trees = 8 if args.smoke else 32
+
+    source = library.generate_source(n_books, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+
+    cold = _time(lambda: _cold_request(source, query), repeat)
+
+    engine = ExchangeEngine(library.library_setting())
+    engine.check_consistency()
+    engine.certain_answers(source, query)          # prime every cache
+    warm = _time(lambda: (engine.check_consistency(),
+                          engine.certain_answers(source, query)), repeat)
+    stats = engine.stats
+
+    sources = _sources(n_trees, n_books)
+    seq = _time(lambda: engine.certain_answers_batch(sources, query), 3)
+    par = _time(lambda: engine.certain_answers_batch(sources, query,
+                                                     parallel=4), 3)
+
+    print(f"cold per-call (rebuild setting) : {cold * 1e3:8.2f} ms/request")
+    print(f"warm engine (compiled setting)  : {warm * 1e3:8.2f} ms/request "
+          f"({cold / warm:4.1f}x)")
+    print(f"batch sequential                : {n_trees / seq:8.1f} trees/s")
+    print(f"batch parallel=4                : {n_trees / par:8.1f} trees/s")
+    print(f"rule-cache since compile        : {stats['rule_cache_hits']} hits, "
+          f"{stats['rule_cache_misses']} misses")
+    print(f"nested-relational skeleton cache: {stats.get('nr_skeletons_hits', 0)} hits, "
+          f"{stats.get('nr_skeletons_misses', 0)} misses")
+
+    if warm >= cold:
+        # Timing is machine/load dependent; report it, but only the
+        # deterministic cache invariant below gates the exit code.
+        print(f"WARNING: warm path ({warm * 1e3:.2f} ms) did not beat the "
+              f"cold path ({cold * 1e3:.2f} ms) on this run", file=sys.stderr)
+    if stats["rule_cache_misses"] != 0:
+        print("FAIL: warm engine recompiled a content model after compile",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

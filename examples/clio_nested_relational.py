@@ -4,19 +4,20 @@
 A company database (departments → employees, projects) is restructured into a
 staffing directory grouped by person plus a flat project registry.  Both DTDs
 are nested-relational, so consistency is decided in O(n·m²) and certain
-answers are computed in polynomial time via the canonical solution.
+answers are computed in polynomial time via the canonical solution.  The
+setting is compiled once (``nr.company_engine()``) and the three queries are
+answered as one batch against the shared compiled state.
 
 Run with:  python examples/clio_nested_relational.py
 """
 
-from repro import (certain_answers, check_consistency, classify_setting,
-                   canonical_solution, order_tree, parse_pattern,
-                   pattern_query)
+from repro import order_tree, parse_pattern, pattern_query
 from repro.workloads import nested_relational as nr
 
 
 def main() -> None:
-    setting = nr.company_setting()
+    engine = nr.company_engine()
+    setting = engine.setting
     source = nr.generate_company_source(n_departments=3, employees_per_dept=3,
                                         projects_per_dept=2, seed=42)
 
@@ -24,33 +25,33 @@ def main() -> None:
     print(setting.source_dtd.to_text())
     print("\nTarget DTD:")
     print(setting.target_dtd.to_text())
-    print("\nBoth nested-relational:",
-          setting.source_dtd.is_nested_relational(),
-          setting.target_dtd.is_nested_relational())
-    print("Classification:", classify_setting(setting).summary())
+    print("\nBoth nested-relational:", engine.compiled.nested_relational)
+    print("Classification:", engine.classify().detail)
 
-    consistency = check_consistency(setting)
-    print(f"Consistency ({consistency.method}):", consistency.consistent)
+    consistency = engine.check_consistency()
+    print(f"Consistency ({consistency.strategy}):", consistency.payload)
 
-    result = canonical_solution(setting, source)
-    print(f"\nCanonical solution: {len(result.tree)} nodes, "
-          f"{len(result.steps)} chase steps")
-    ordered = order_tree(result.tree, setting.target_dtd)
+    solved = engine.solve(source)
+    print(f"\nCanonical solution: {len(solved.payload)} nodes, "
+          f"{len(solved.raw.steps)} chase steps, "
+          f"{solved.elapsed * 1e3:.1f} ms")
+    ordered = order_tree(solved.payload, setting.target_dtd)
     print("Ordered solution conforms:", setting.target_dtd.conforms(ordered))
 
-    print("\nCertain answers")
-    print("  projects registered for Dept-1:",
-          sorted(certain_answers(setting, source,
-                                 nr.query_projects_of("Dept-1")).answers))
     roles = pattern_query(parse_pattern(
         'directory[person(@name=n)[position(@dept="Dept-0", @role=r)]]'))
-    print("  who works in Dept-0 and in which role:",
-          sorted(certain_answers(setting, source, roles).answers))
     salaries = pattern_query(parse_pattern(
         "directory[person(@name=n)[position(@salary=s)]]"))
+    projects, who, certain_salaries = engine.certain_answers_batch(
+        [source, source, source],
+        [nr.query_projects_of("Dept-1"), roles, salaries],
+        parallel=3)
+
+    print("\nCertain answers")
+    print("  projects registered for Dept-1:", sorted(projects.payload))
+    print("  who works in Dept-0 and in which role:", sorted(who.payload))
     print("  (name, salary) pairs that are certain:",
-          sorted(certain_answers(setting, source, salaries).answers),
-          "(salaries are invented nulls)")
+          sorted(certain_salaries.payload), "(salaries are invented nulls)")
 
 
 if __name__ == "__main__":

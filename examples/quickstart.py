@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's running example (Figures 1 and 2, Example 3.4).
+"""Quickstart: the paper's running example (Figures 1 and 2, Example 3.4),
+served through the engine API.
 
 A bibliography grouped by book is restructured into one grouped by writer;
-publication years are unknown and become nulls.  The two queries from the
-paper's introduction are then answered with certain-answer semantics.
+publication years are unknown and become nulls.  The setting is compiled
+once into an :class:`repro.ExchangeEngine`; classification, consistency,
+the canonical solution and the two certain-answer queries from the paper's
+introduction are then all requests against that engine.  (The legacy
+functional API — ``check_consistency``, ``canonical_solution``,
+``certain_answers`` — still works and the engine delegates to it; see the
+migration note in ROADMAP.md.)
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import (DataExchangeSetting, XMLTree, certain_answers,
-                   check_consistency, classify_setting, canonical_solution,
-                   order_tree, parse_dtd, parse_pattern, pattern_query, std)
+from repro import DataExchangeSetting, ExchangeEngine, order_tree, parse_dtd, std
 from repro.workloads import library
 
 
@@ -34,17 +38,20 @@ def main() -> None:
     """)
 
     # ------------------------------------------------------------------ #
-    # 2. The source-to-target dependency of Example 3.4
+    # 2. The STD of Example 3.4, compiled once into an engine
     # ------------------------------------------------------------------ #
     dependency = std(
         "bib[writer(@name=y)[work(@title=x, @year=z)]]",
         "db[book(@title=x)[author(@name=y)]]",
     )
     setting = DataExchangeSetting(source_dtd, target_dtd, [dependency])
+    engine = ExchangeEngine(setting)   # NFAs, analyses, routing: all here
 
-    report = classify_setting(setting)
-    print("Setting classification:", report.summary())
-    print("Consistency:", check_consistency(setting).consistent)
+    print("Setting classification:", engine.classify().detail)
+    consistency = engine.check_consistency()   # strategy="auto" routes to 4.5
+    print(f"Consistency: {consistency.payload} "
+          f"(strategy: {consistency.strategy}, "
+          f"{consistency.elapsed * 1e3:.2f} ms)")
     print()
 
     # ------------------------------------------------------------------ #
@@ -58,27 +65,29 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     # 4. The canonical solution (Figure 2 b): years become nulls
     # ------------------------------------------------------------------ #
-    result = canonical_solution(setting, source)
+    solved = engine.solve(source)
     print("Canonical solution (unordered, cf. Figure 2 b):")
-    print(result.tree.to_text())
-    ordered = order_tree(result.tree, target_dtd)
+    print(solved.payload.to_text())
+    ordered = order_tree(solved.payload, target_dtd)
     print("\nSerialised after ordering (Proposition 5.2):")
     print(ordered.to_xml())
     print()
 
     # ------------------------------------------------------------------ #
-    # 5. Certain answers for the two queries of the introduction
+    # 5. Certain answers for the two queries of the introduction.
+    #    The engine reuses the compiled setting: no recompilation happens.
     # ------------------------------------------------------------------ #
-    who_wrote_cc = pattern_query(parse_pattern(
-        'bib[writer(@name=w)[work(@title="Computational Complexity")]]'))
-    outcome = certain_answers(setting, source, who_wrote_cc)
-    print('Who is the writer of "Computational Complexity"?',
-          sorted(outcome.answers))
-
+    who_wrote_cc = library.query_writer_of("Computational Complexity")
     works_1994 = library.query_works_in_year("1994")
-    outcome = certain_answers(setting, source, works_1994)
-    print("What are the works written in 1994?", sorted(outcome.answers),
+    first, second = engine.certain_answers_batch(
+        [source, source], [who_wrote_cc, works_1994])
+    print('Who is the writer of "Computational Complexity"?',
+          sorted(first.payload))
+    print("What are the works written in 1994?", sorted(second.payload),
           "(unknown years are nulls — nothing is certain)")
+    stats = engine.stats
+    print(f"\nEngine cache: {stats['rule_cache_hits']} rule-cache hits, "
+          f"{stats['rule_cache_misses']} recompilations since compile.")
 
 
 if __name__ == "__main__":

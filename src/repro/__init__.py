@@ -1,6 +1,31 @@
 """repro — a reproduction of Arenas & Libkin, *XML Data Exchange: Consistency
 and Query Answering* (PODS 2005 / JACM 2008).
 
+The recommended entry point is the **engine API** (:mod:`repro.engine`): it
+separates the *compile-once* work derived from a setting ``(D_S, D_T, Σ_ST)``
+— content-model NFAs, univocality analyses, STD classification, dichotomy
+routing, consistency machinery — from the *per-request* work on source trees
+and queries, and serves the whole pipeline through one object::
+
+    from repro import ExchangeEngine, parse_dtd, std, DataExchangeSetting
+    from repro import parse_pattern, pattern_query
+
+    setting = DataExchangeSetting(source_dtd, target_dtd, [dependency])
+    engine = ExchangeEngine(setting)          # compiles the setting once
+
+    engine.classify().payload.tractable       # dichotomy routing (Thm 6.2)
+    engine.check_consistency().payload        # auto strategy routing (Sec 4)
+    engine.solve(tree).payload                # canonical solution (Sec 6.1)
+    engine.certain_answers(tree, query).payload
+    engine.certain_answers_batch(trees, query, parallel=4)
+
+Every engine method returns an :class:`~repro.engine.EngineResult` (success
+flag, payload, strategy used, timing, cache statistics).  The original
+functional API (``check_consistency``, ``canonical_solution``,
+``certain_answers``, …) remains fully supported — the engine delegates to it
+— and is the right choice for one-shot scripts; see ``examples/quickstart.py``
+for both styles side by side.
+
 The package is organised in layers:
 
 * :mod:`repro.xmlmodel`   — XML trees, attribute values (constants / nulls), DTDs;
@@ -10,18 +35,16 @@ The package is organised in layers:
 * :mod:`repro.patterns`   — tree-pattern formulae and CTQ//,∪ queries;
 * :mod:`repro.exchange`   — data exchange settings, consistency (Section 4),
   canonical pre-solutions, the chase and certain answers (Sections 5–6);
+* :mod:`repro.engine`     — the compiled, cached, batch-first facade over
+  :mod:`repro.exchange`;
 * :mod:`repro.reductions` — the paper's hardness gadgets (3-SAT reductions);
 * :mod:`repro.workloads`  — scalable workload generators for the benchmarks.
-
-Quickstart::
-
-    from repro import parse_dtd, XMLTree, std, DataExchangeSetting
-    from repro import certain_answers, parse_pattern, pattern_query, exists
-
-    # see examples/quickstart.py for the full Figure 1 / Figure 2 scenario.
 """
 
-from .exchange import (STD, CertainAnswers, ChaseResult, DataExchangeSetting,
+from .engine import (CacheStats, CompiledSetting, EngineResult, ExchangeEngine,
+                     compile_setting)
+from .exchange import (STD, CertainAnswers, ChaseError, ChaseResult,
+                       DataExchangeSetting, ExchangeError, NoSolutionError,
                        canonical_pre_solution, canonical_solution,
                        certain_answer_boolean, certain_answers, chase,
                        check_consistency, check_consistency_general,
@@ -34,7 +57,7 @@ from .regexlang import (is_univocal, parse_regex, c_value,
                         in_permutation_language)
 from .xmlmodel import DTD, Null, NullFactory, XMLTree, parse_dtd
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # XML model
@@ -44,6 +67,11 @@ __all__ = [
     # patterns and queries
     "parse_pattern", "node", "wildcard", "descendant", "Variable",
     "Query", "pattern_query", "conjunction", "exists", "union_query",
+    # engine
+    "ExchangeEngine", "EngineResult", "CompiledSetting", "compile_setting",
+    "CacheStats",
+    # errors
+    "ExchangeError", "ChaseError", "NoSolutionError",
     # exchange
     "STD", "std", "DataExchangeSetting",
     "canonical_pre_solution", "canonical_solution", "chase", "ChaseResult",

@@ -1,0 +1,21 @@
+"""The engine API: compile a setting once, serve per-tree requests forever.
+
+* :func:`compile_setting` turns a
+  :class:`~repro.exchange.setting.DataExchangeSetting` into a
+  :class:`CompiledSetting` owning every setting-derived artefact (content
+  model NFAs and univocality analyses, structural verdicts, dichotomy
+  routing, consistency machinery) with cache-hit/miss accounting;
+* :class:`ExchangeEngine` wraps a compiled setting and exposes the whole
+  pipeline — consistency, chase, certain answers, batched certain answers —
+  as methods returning a uniform :class:`EngineResult`.
+
+The functional API in :mod:`repro.exchange` remains supported; the engine
+delegates to it while handing over the compiled fast path.
+"""
+
+from .compiled import CompiledSetting, compile_setting
+from .engine import EngineResult, ExchangeEngine
+from .stats import CacheStats
+
+__all__ = ["CacheStats", "CompiledSetting", "compile_setting",
+           "EngineResult", "ExchangeEngine"]

@@ -1,0 +1,202 @@
+"""Compile-once state for a data exchange setting.
+
+Everything the pipeline can derive from the triple ``(D_S, D_T, Σ_ST)`` alone
+— and therefore everything that is wasted work when recomputed per request —
+lives here:
+
+* the per-element content-model machinery of **both** DTDs (regex→NFA,
+  semilinear sets, the univocality analyses of Definition 6.9), forced into
+  the DTD rule caches eagerly;
+* the structural verdicts: per-STD classification and the fully-specified
+  flag (Theorem 5.11 / Definition 5.10), nested-relational detection
+  (Theorem 4.5), source-DTD satisfiability, the Section-4 distinct-variable
+  proviso;
+* the :func:`~repro.exchange.dichotomy.classify_setting` routing decision;
+* reusable consistency machinery: the attribute-erased dependencies of
+  Claim 4.2, the target-side goal search (whose memo table persists across
+  requests), the ⪯-minimal source-skeleton enumeration, and the unique
+  ``D°_S`` / ``D*_T`` trees of the nested-relational algorithm.
+
+All of it is observable through :meth:`CompiledSetting.cache_stats`, whose
+miss counters prove (for tests and benchmarks) that a warm engine never
+recompiles an NFA or re-runs an analysis.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..exchange.consistency import _GoalSearch, minimal_source_skeletons
+from ..exchange.dichotomy import DichotomyReport, classify_setting
+from ..exchange.setting import DataExchangeSetting
+from ..patterns.formula import TreePattern
+from ..regexlang.univocal import RegexAnalysis
+from ..xmlmodel.tree import XMLTree
+from .stats import CacheStats
+
+__all__ = ["CompiledSetting", "compile_setting"]
+
+
+class CompiledSetting:
+    """Precompiled, request-independent state of a
+    :class:`~repro.exchange.setting.DataExchangeSetting`.
+
+    Construction performs every setting-level computation eagerly (or, for
+    the potentially expensive skeleton enumeration, memoises it on first
+    use); afterwards the object is read-only from the pipeline's point of
+    view and can be shared across threads serving per-tree requests (lazy
+    memoisation is lock-protected; the hit *counters* of the underlying DTD
+    rule caches are best-effort under concurrency — miss counters only move
+    on real recompilations, which the compile phase has already exhausted).
+    """
+
+    def __init__(self, setting: DataExchangeSetting) -> None:
+        self.setting = setting
+        self.stats = CacheStats()
+
+        # --- per-element content-model machinery (compile phase 1) ------- #
+        setting.source_dtd.precompile_rules()
+        setting.target_dtd.precompile_rules()
+        self.source_analyses: Dict[str, RegexAnalysis] = {
+            element: setting.source_dtd.rule_analysis(element)
+            for element in setting.source_dtd.element_types}
+        self.target_analyses: Dict[str, RegexAnalysis] = {
+            element: setting.target_dtd.rule_analysis(element)
+            for element in setting.target_dtd.element_types}
+
+        # --- routing decision and structural verdicts (compile phase 2) --- #
+        # The dichotomy report is the single source of truth for the
+        # STD classification and the per-element univocality verdicts.
+        self.dichotomy: DichotomyReport = classify_setting(setting)
+        self.std_classes: List[str] = list(self.dichotomy.std_classes)
+        self.fully_specified: bool = self.dichotomy.fully_specified
+        self.univocality: Dict[str, bool] = {
+            element: bool(info["univocal"])
+            for element, info in self.dichotomy.target_rules.items()}
+        self.target_univocal: bool = self.dichotomy.target_univocal
+        self.source_nested_relational: bool = \
+            setting.source_dtd.is_nested_relational()
+        self.target_nested_relational: bool = \
+            setting.target_dtd.is_nested_relational()
+        self.nested_relational: bool = (self.source_nested_relational
+                                        and self.target_nested_relational)
+        self.source_satisfiable: bool = setting.source_dtd.is_satisfiable()
+        self.distinct_source_variables: bool = \
+            setting.has_distinct_source_variables()
+        self.erased_stds: List[Tuple[TreePattern, TreePattern]] = [
+            (dep.source.erase_attributes(), dep.target.erase_attributes())
+            for dep in setting.stds]
+
+        # --- lazily memoised heavy machinery ------------------------------ #
+        self._lock = threading.Lock()
+        self._goal_search: Optional[_GoalSearch] = None
+        self._skeletons: Dict[Tuple[int, Optional[int]],
+                              Tuple[List[XMLTree], bool]] = {}
+        self._nr_skeletons: Optional[Tuple[XMLTree, XMLTree]] = None
+
+        # Baselines so cache_stats reports movement *since compilation*:
+        # misses after this point are genuine recompilations.
+        self._rule_baseline = self._rule_counts()
+
+    # ------------------------------------------------------------------ #
+    # Derived machinery (memoised, instrumented)
+    # ------------------------------------------------------------------ #
+
+    def check_owns(self, setting: DataExchangeSetting) -> None:
+        """Guard for the ``compiled=`` fast paths: raise unless this compiled
+        state was built from exactly the given setting object (a mismatched
+        handle would silently answer for the wrong setting)."""
+        if setting is not self.setting:
+            raise ValueError(
+                "the compiled= handle was built from a different "
+                "DataExchangeSetting than the one passed to this call; "
+                "compile_setting() the setting you are querying")
+
+    def goal_search(self) -> _GoalSearch:
+        """The target-side goal search of Section 4.  One instance per
+        compiled setting: its (state → satisfiable) memo table accumulates
+        across consistency checks."""
+        with self._lock:
+            if self._goal_search is None:
+                self.stats.miss("goal_search")
+                self._goal_search = _GoalSearch(self.setting.target_dtd)
+            else:
+                self.stats.hit("goal_search")
+            return self._goal_search
+
+    def source_skeletons(self, max_trees: int = 2000,
+                         max_depth: Optional[int] = None
+                         ) -> Tuple[List[XMLTree], bool]:
+        """The ⪯-minimal source skeletons (memoised per enumeration cap)."""
+        key = (max_trees, max_depth)
+        with self._lock:
+            cached = self._skeletons.get(key)
+            if cached is None:
+                self.stats.miss("skeletons")
+                cached = minimal_source_skeletons(
+                    self.setting.source_dtd, max_trees=max_trees,
+                    max_depth=max_depth)
+                self._skeletons[key] = cached
+            else:
+                self.stats.hit("skeletons")
+            return cached
+
+    def nested_relational_skeletons(self) -> Tuple[XMLTree, XMLTree]:
+        """The unique trees of ``D°_S`` and ``D*_T`` (Theorem 4.5)."""
+        if not self.nested_relational:
+            raise ValueError("the setting is not nested-relational")
+        with self._lock:
+            if self._nr_skeletons is None:
+                self.stats.miss("nr_skeletons")
+                self._nr_skeletons = (
+                    self.setting.source_dtd.nested_relational_lower().unique_tree(),
+                    self.setting.target_dtd.nested_relational_upper().unique_tree())
+            else:
+                self.stats.hit("nr_skeletons")
+            return self._nr_skeletons
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def _rule_counts(self) -> Tuple[int, int]:
+        source = self.setting.source_dtd.rule_cache_info()
+        target = self.setting.target_dtd.rule_cache_info()
+        return (source["hits"] + target["hits"],
+                source["misses"] + target["misses"])
+
+    def cache_stats(self) -> Dict[str, int]:
+        """A flat snapshot of every cache owned by this compiled setting.
+
+        ``rule_cache_misses`` counts regex→NFA/analysis compilations in
+        either DTD **since compilation finished** — a warm pipeline keeps it
+        at zero, which is exactly what the reuse tests assert.
+        """
+        hits, misses = self._rule_counts()
+        base_hits, base_misses = self._rule_baseline
+        self.stats.set_counts("rule_cache", hits - base_hits,
+                              misses - base_misses)
+        return self.stats.snapshot()
+
+    def __repr__(self) -> str:
+        verdict = []
+        if self.nested_relational:
+            verdict.append("nested-relational")
+        if self.fully_specified:
+            verdict.append("fully-specified")
+        if self.target_univocal:
+            verdict.append("univocal-target")
+        return (f"<CompiledSetting {self.setting!r} "
+                f"[{', '.join(verdict) or 'general'}]>")
+
+
+def compile_setting(setting: DataExchangeSetting) -> CompiledSetting:
+    """Precompute everything derivable from ``(D_S, D_T, Σ_ST)`` alone.
+
+    The returned :class:`CompiledSetting` is the unit of reuse of the engine
+    API: build it once per setting, then serve any number of per-tree
+    requests (consistency checks, chases, certain-answer queries) without
+    recompiling DTD content models or re-deriving structural verdicts.
+    """
+    return CompiledSetting(setting)

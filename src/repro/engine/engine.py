@@ -1,0 +1,249 @@
+"""The batch-first facade over the whole exchange pipeline.
+
+:class:`ExchangeEngine` owns a :class:`~repro.engine.compiled.CompiledSetting`
+and exposes every pipeline stage as a method returning a uniform
+:class:`EngineResult` — success flag, payload, strategy used, wall-clock
+timing and a cache-stats snapshot — instead of the four unrelated result
+dataclasses of the functional API (which remains available and is what the
+engine delegates to, handing it the compiled fast path).
+
+Per-tree work (``solve``, ``certain_answers``) is embarrassingly parallel
+across trees once the setting is compiled, so the ``*_batch`` methods fan it
+out over a ``concurrent.futures`` thread pool.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..exchange.certain_answers import CertainAnswers, certain_answers
+from ..exchange.chase import ChaseResult, canonical_solution
+from ..exchange.consistency import ConsistencyResult, check_consistency
+from ..exchange.dichotomy import DichotomyReport
+from ..exchange.errors import NoSolutionError
+from ..exchange.setting import DataExchangeSetting
+from ..patterns.queries import Query
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import NullFactory
+from .compiled import CompiledSetting, compile_setting
+
+__all__ = ["EngineResult", "ExchangeEngine"]
+
+#: Strategy names accepted by :meth:`ExchangeEngine.check_consistency`.
+CONSISTENCY_STRATEGIES = ("auto", "nested_relational", "general")
+
+
+@dataclass
+class EngineResult:
+    """Uniform outcome of every engine operation.
+
+    ``ok``
+        Did the operation produce a defined payload?  ``False`` means "no
+        solution exists" for ``solve`` / ``certain_answers`` and
+        "inconsistent" for ``check_consistency`` — never an internal error
+        (those raise).
+    ``payload``
+        The operation's primary value: a ``bool`` for consistency, the
+        canonical-solution tree for ``solve``, the set of certain-answer
+        tuples for ``certain_answers``, the dichotomy report for
+        ``classify``.
+    ``strategy``
+        Which algorithm served the request (e.g. ``"nested-relational"``,
+        ``"general"``, ``"chase"``).
+    ``elapsed``
+        Wall-clock seconds spent inside the engine for this request.
+    ``cache``
+        :meth:`CompiledSetting.cache_stats` snapshot taken after the request
+        (cumulative counters; diff two snapshots to see per-request reuse).
+    ``raw``
+        The underlying functional-API result object
+        (:class:`ConsistencyResult`, :class:`ChaseResult`,
+        :class:`CertainAnswers`, :class:`DichotomyReport`) for callers that
+        need the full detail.
+    """
+
+    ok: bool
+    payload: Any
+    strategy: str
+    elapsed: float
+    cache: Dict[str, int] = field(default_factory=dict)
+    detail: str = ""
+    raw: Any = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def unwrap(self) -> Any:
+        """The payload, or :class:`NoSolutionError` when ``ok`` is false."""
+        if not self.ok:
+            raise NoSolutionError(self.detail or "operation produced no result")
+        return self.payload
+
+
+class ExchangeEngine:
+    """A compiled, cached facade over consistency, the chase and certain
+    answers.
+
+    Build it from a setting (compiled on the spot) or from an explicitly
+    precompiled :class:`CompiledSetting`; reuse it for any number of
+    per-tree requests::
+
+        engine = ExchangeEngine(setting)
+        engine.check_consistency().payload        # True / False
+        engine.solve(tree).payload                # canonical solution tree
+        engine.certain_answers(tree, query).payload
+        engine.certain_answers_batch(trees, query, parallel=4)
+    """
+
+    def __init__(self, compiled: Union[CompiledSetting, DataExchangeSetting]) -> None:
+        if isinstance(compiled, DataExchangeSetting):
+            compiled = compile_setting(compiled)
+        if not isinstance(compiled, CompiledSetting):
+            raise TypeError(
+                f"expected a DataExchangeSetting or CompiledSetting, "
+                f"got {type(compiled).__name__}")
+        self.compiled = compiled
+        self.requests = 0
+
+    @property
+    def setting(self) -> DataExchangeSetting:
+        return self.compiled.setting
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cumulative cache statistics of the compiled setting."""
+        return self.compiled.cache_stats()
+
+    # ------------------------------------------------------------------ #
+    # Setting-level operations
+    # ------------------------------------------------------------------ #
+
+    def classify(self) -> EngineResult:
+        """The dichotomy routing decision (Theorem 6.2): is this setting in
+        the tractable class?  ``ok`` is always true; ``payload.tractable``
+        carries the verdict."""
+        started = time.perf_counter()
+        report: DichotomyReport = self.compiled.dichotomy
+        return self._result(True, report, "dichotomy", started,
+                            detail=report.summary(), raw=report)
+
+    def check_consistency(self, strategy: str = "auto",
+                          **kwargs: Any) -> EngineResult:
+        """Decide consistency (Section 4) with automatic strategy routing.
+
+        ``strategy`` is ``"auto"`` (nested-relational fast path when both
+        DTDs qualify), ``"nested_relational"`` (Theorem 4.5) or
+        ``"general"`` (Theorem 4.1); extra keyword arguments reach the
+        general procedure (e.g. ``max_source_trees``)."""
+        started = time.perf_counter()
+        normalised = strategy.replace("-", "_")
+        if normalised not in CONSISTENCY_STRATEGIES:
+            raise ValueError(
+                f"unknown consistency strategy {strategy!r}; "
+                f"expected one of {', '.join(CONSISTENCY_STRATEGIES)}")
+        outcome: ConsistencyResult = check_consistency(
+            self.setting, method=normalised.replace("_", "-"),
+            compiled=self.compiled, **kwargs)
+        return self._result(outcome.consistent, outcome.consistent,
+                            outcome.method, started,
+                            detail=outcome.detail, raw=outcome)
+
+    # ------------------------------------------------------------------ #
+    # Per-tree operations
+    # ------------------------------------------------------------------ #
+
+    def solve(self, source_tree: XMLTree,
+              nulls: Optional[NullFactory] = None) -> EngineResult:
+        """Chase ``cps(T)`` into the canonical solution ``T*`` (Section 6.1).
+
+        ``ok`` is false — with the chase's failure reason in ``detail`` —
+        when the source tree has no solution (Lemma 6.15 b)."""
+        started = time.perf_counter()
+        outcome: ChaseResult = canonical_solution(self.setting, source_tree,
+                                                  nulls)
+        return self._result(outcome.success, outcome.tree, "chase", started,
+                            detail=outcome.failure or "", raw=outcome)
+
+    def certain_answers(self, source_tree: XMLTree, query: Query,
+                        variable_order: Optional[Sequence[str]] = None,
+                        nulls: Optional[NullFactory] = None) -> EngineResult:
+        """``certain(Q, T)`` via the canonical solution (Theorem 6.2).
+
+        ``payload`` is the set of all-constant answer tuples; ``ok`` is
+        false when the source tree has no solution."""
+        started = time.perf_counter()
+        outcome: CertainAnswers = certain_answers(
+            self.setting, source_tree, query, variable_order, nulls,
+            compiled=self.compiled)
+        detail = "" if outcome.has_solution else "the source tree has no solution"
+        return self._result(outcome.has_solution, outcome.answers,
+                            "canonical-solution", started,
+                            detail=detail, raw=outcome)
+
+    def certain_answer_boolean(self, source_tree: XMLTree,
+                               query: Query) -> EngineResult:
+        """Boolean certain answers; ``payload`` is ``True`` / ``False`` and
+        ``ok`` is false (payload ``None``) when no solution exists."""
+        result = self.certain_answers(source_tree, query)
+        payload = bool(result.payload) if result.ok else None
+        return EngineResult(result.ok, payload, result.strategy,
+                            result.elapsed, result.cache, result.detail,
+                            result.raw)
+
+    # ------------------------------------------------------------------ #
+    # Batch operations
+    # ------------------------------------------------------------------ #
+
+    def solve_batch(self, source_trees: Sequence[XMLTree],
+                    parallel: Optional[int] = None) -> List[EngineResult]:
+        """Canonical solutions for many source trees (order-preserving)."""
+        return self._map(self.solve, list(source_trees), parallel)
+
+    def certain_answers_batch(self, source_trees: Sequence[XMLTree],
+                              queries: Union[Query, Sequence[Query]],
+                              parallel: Optional[int] = None
+                              ) -> List[EngineResult]:
+        """``certain(Q_i, T_i)`` for many trees (order-preserving).
+
+        ``queries`` is either a single query evaluated against every tree or
+        a sequence paired elementwise with ``source_trees``.  ``parallel=N``
+        fans the per-tree work out over ``N`` worker threads — the compiled
+        setting is shared read-only, each request gets its own null factory.
+        """
+        trees = list(source_trees)
+        if isinstance(queries, Query):
+            pairs = [(tree, queries) for tree in trees]
+        else:
+            query_list = list(queries)
+            if len(query_list) != len(trees):
+                raise ValueError(
+                    f"{len(trees)} source tree(s) but {len(query_list)} "
+                    "query/queries; pass one query or exactly one per tree")
+            pairs = list(zip(trees, query_list))
+        return self._map(lambda pair: self.certain_answers(*pair), pairs,
+                         parallel)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _map(self, operation: Callable[[Any], EngineResult],
+             items: List[Any], parallel: Optional[int]) -> List[EngineResult]:
+        if parallel is not None and parallel > 1 and len(items) > 1:
+            workers = min(parallel, len(items))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(operation, items))
+        return [operation(item) for item in items]
+
+    def _result(self, ok: bool, payload: Any, strategy: str, started: float,
+                detail: str = "", raw: Any = None) -> EngineResult:
+        self.requests += 1
+        return EngineResult(ok, payload, strategy,
+                            time.perf_counter() - started,
+                            self.compiled.cache_stats(), detail, raw)
+
+    def __repr__(self) -> str:
+        return f"<ExchangeEngine {self.compiled!r} requests={self.requests}>"

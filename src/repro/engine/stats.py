@@ -1,0 +1,74 @@
+"""Cache-hit/miss accounting for compiled settings and engines.
+
+A :class:`CacheStats` object is a small named-counter registry.  Every cache
+owned by a :class:`~repro.engine.compiled.CompiledSetting` records its hits
+and misses here, so callers (and the test-suite) can *prove* that a warm
+engine reuses precompiled state instead of rebuilding it — e.g. that a second
+``certain_answers`` call performs zero NFA recompilations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Mapping
+
+__all__ = ["CacheStats"]
+
+
+class CacheStats:
+    """Named hit/miss counters with cheap snapshot/delta arithmetic."""
+
+    def __init__(self) -> None:
+        self._hits: Counter = Counter()
+        self._misses: Counter = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def hit(self, name: str, count: int = 1) -> None:
+        self._hits[name] += count
+
+    def miss(self, name: str, count: int = 1) -> None:
+        self._misses[name] += count
+
+    def set_counts(self, name: str, hits: int, misses: int) -> None:
+        """Overwrite both counters of ``name`` (used for caches that keep
+        their own counts, such as the per-DTD rule caches)."""
+        self._hits[name] = hits
+        self._misses[name] = misses
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def hits(self, name: str) -> int:
+        return self._hits[name]
+
+    def misses(self, name: str) -> int:
+        return self._misses[name]
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self._hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self._misses.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """A flat ``{"<name>_hits": n, "<name>_misses": m}`` mapping."""
+        flat: Dict[str, int] = {}
+        for name in sorted(set(self._hits) | set(self._misses)):
+            flat[f"{name}_hits"] = self._hits[name]
+            flat[f"{name}_misses"] = self._misses[name]
+        return flat
+
+    @staticmethod
+    def delta(before: Mapping[str, int], after: Mapping[str, int]) -> Dict[str, int]:
+        """Counter movement between two :meth:`snapshot` results."""
+        return {key: after.get(key, 0) - before.get(key, 0)
+                for key in set(before) | set(after)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CacheStats hits={self.total_hits} misses={self.total_misses}>"

@@ -6,6 +6,7 @@ from .consistency import (ConsistencyResult, check_consistency,
                           check_consistency_general, minimal_source_skeletons,
                           pattern_satisfiable, target_satisfiable)
 from .dichotomy import DichotomyReport, classify_setting
+from .errors import ChaseError, ExchangeError, NoSolutionError
 from .naive import NaiveResult, enumerate_target_trees, naive_certain_answers
 from .nested_relational import (NestedRelationalConsistency,
                                 check_consistency_nested_relational)
@@ -18,7 +19,8 @@ __all__ = [
     "STD", "std", "classify_std",
     "DataExchangeSetting", "SolutionReport",
     "canonical_pre_solution", "pattern_to_tree", "PreSolutionError",
-    "chase", "canonical_solution", "ChaseResult", "ChaseError",
+    "chase", "canonical_solution", "ChaseResult",
+    "ExchangeError", "ChaseError", "NoSolutionError",
     "certain_answers", "certain_answer_boolean", "CertainAnswers",
     "order_tree", "order_word", "OrderingError",
     "check_consistency", "check_consistency_general", "ConsistencyResult",

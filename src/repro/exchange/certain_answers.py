@@ -15,15 +15,20 @@ answer set is undefined (``has_solution`` is ``False`` in the result).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory, Value, is_constant
 from .chase import ChaseResult, canonical_solution
+from .errors import NoSolutionError
 from .setting import DataExchangeSetting
 
-__all__ = ["CertainAnswers", "certain_answers", "certain_answer_boolean"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.compiled import CompiledSetting
+
+__all__ = ["CertainAnswers", "certain_answers", "certain_answer_boolean",
+           "NoSolutionError"]
 
 
 @dataclass
@@ -44,25 +49,26 @@ class CertainAnswers:
     def certain(self) -> bool:
         """For Boolean queries: the value of ``certain(Q, T)``.
 
-        Raises ``ValueError`` when no solution exists (certain answers are
-        then undefined — consistency should be checked first)."""
+        Raises :class:`NoSolutionError` when no solution exists (certain
+        answers are then undefined — consistency should be checked first)."""
         if not self.has_solution:
-            raise ValueError("the source tree has no solution; "
-                             "certain answers are undefined")
+            raise NoSolutionError("the source tree has no solution; "
+                                  "certain answers are undefined")
         assert self.answers is not None
         return bool(self.answers)
 
     def contains(self, tuple_: Sequence[Value]) -> bool:
         """Is the tuple a certain answer?"""
         if not self.has_solution or self.answers is None:
-            raise ValueError("the source tree has no solution")
+            raise NoSolutionError("the source tree has no solution")
         return tuple(tuple_) in self.answers
 
 
 def certain_answers(setting: DataExchangeSetting, source_tree: XMLTree,
                     query: Query,
                     variable_order: Optional[Sequence[str]] = None,
-                    nulls: Optional[NullFactory] = None) -> CertainAnswers:
+                    nulls: Optional[NullFactory] = None,
+                    compiled: Optional["CompiledSetting"] = None) -> CertainAnswers:
     """Compute ``certain(Q, T)`` via the canonical solution (Theorem 6.2).
 
     Preconditions (checked): the setting is fully specified.  The tractability
@@ -71,8 +77,16 @@ def certain_answers(setting: DataExchangeSetting, source_tree: XMLTree,
     solution may not exist or may not characterise certain answers, matching
     the paper's dichotomy — use :mod:`repro.exchange.naive` to cross-check on
     small instances.
+
+    ``compiled`` (a :class:`repro.engine.CompiledSetting` for this setting)
+    supplies the precomputed fully-specified verdict, so only the per-tree
+    chase and query evaluation remain on the request path.
     """
-    if not setting.is_fully_specified():
+    if compiled is not None:
+        compiled.check_owns(setting)
+    fully_specified = (compiled.fully_specified if compiled is not None
+                       else setting.is_fully_specified())
+    if not fully_specified:
         raise ValueError(
             "certain_answers via canonical solutions requires fully-specified "
             "STDs (Definition 5.10); this setting is not fully specified")

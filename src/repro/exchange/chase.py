@@ -34,16 +34,11 @@ from ..regexlang.parikh import CountVector, parikh_vector
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory, Value, is_constant
+from .errors import ChaseError
 from .presolution import canonical_pre_solution
 from .setting import DataExchangeSetting
 
 __all__ = ["ChaseError", "ChaseResult", "chase", "canonical_solution"]
-
-
-class ChaseError(RuntimeError):
-    """Raised when the chase is applied outside its supported class (for
-    example a non-univocal merge with target multiplicity above one), *not*
-    when the chase legitimately fails — failures are reported in the result."""
 
 
 @dataclass

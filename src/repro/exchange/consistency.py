@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
 
 from ..patterns.evaluate import pattern_holds
 from ..patterns.formula import (DescendantPattern, NodePattern, TreePattern)
@@ -37,6 +38,9 @@ from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from .nested_relational import check_consistency_nested_relational
 from .setting import DataExchangeSetting
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.compiled import CompiledSetting
 
 __all__ = [
     "ConsistencyResult", "check_consistency", "check_consistency_general",
@@ -280,22 +284,39 @@ def minimal_source_skeletons(dtd: DTD, max_trees: int = 2000,
 
 def check_consistency_general(setting: DataExchangeSetting,
                               max_source_trees: int = 2000,
-                              max_depth: Optional[int] = None) -> ConsistencyResult:
+                              max_depth: Optional[int] = None,
+                              compiled: Optional["CompiledSetting"] = None
+                              ) -> ConsistencyResult:
     """General consistency check (the Theorem 4.1 decision problem).
 
     Enumerates ⪯-minimal source skeletons, fires the attribute-erased source
     patterns on each, and tests joint target satisfiability of the fired
     targets.  Exact for non-recursive source DTDs within the caps; bounded
     (sound for "consistent", best-effort for "inconsistent") otherwise.
+
+    ``compiled`` (a :class:`repro.engine.CompiledSetting` for this setting)
+    supplies the precomputed satisfiability verdict, the cached skeleton
+    enumeration, the attribute-erased dependencies and a goal-search object
+    whose memo table persists across calls.
     """
-    if not setting.source_dtd.is_satisfiable():
-        return ConsistencyResult(False, "general", True,
-                                 detail="SAT(D_S) is empty")
-    skeletons, complete = minimal_source_skeletons(
-        setting.source_dtd, max_trees=max_source_trees, max_depth=max_depth)
-    search = _GoalSearch(setting.target_dtd)
-    erased = [(dep.source.erase_attributes(), dep.target.erase_attributes())
-              for dep in setting.stds]
+    if compiled is not None:
+        compiled.check_owns(setting)
+        if not compiled.source_satisfiable:
+            return ConsistencyResult(False, "general", True,
+                                     detail="SAT(D_S) is empty")
+        skeletons, complete = compiled.source_skeletons(
+            max_trees=max_source_trees, max_depth=max_depth)
+        search = compiled.goal_search()
+        erased = compiled.erased_stds
+    else:
+        if not setting.source_dtd.is_satisfiable():
+            return ConsistencyResult(False, "general", True,
+                                     detail="SAT(D_S) is empty")
+        skeletons, complete = minimal_source_skeletons(
+            setting.source_dtd, max_trees=max_source_trees, max_depth=max_depth)
+        search = _GoalSearch(setting.target_dtd)
+        erased = [(dep.source.erase_attributes(), dep.target.erase_attributes())
+                  for dep in setting.stds]
     for skeleton in skeletons:
         fired = [target for source, target in erased
                  if pattern_holds(skeleton, source)]
@@ -309,26 +330,36 @@ def check_consistency_general(setting: DataExchangeSetting,
 def check_consistency(setting: DataExchangeSetting,
                       method: str = "auto",
                       require_distinct_variables: bool = False,
+                      compiled: Optional["CompiledSetting"] = None,
                       **kwargs) -> ConsistencyResult:
     """Decide consistency of a data exchange setting.
 
     ``method`` is ``"auto"`` (nested-relational fast path when applicable),
     ``"nested-relational"`` (Theorem 4.5, O(n·m²)) or ``"general"``
-    (Theorem 4.1 decision problem).
+    (Theorem 4.1 decision problem).  ``compiled`` supplies precomputed
+    setting-level state (see :func:`repro.engine.compile_setting`).
     """
-    if require_distinct_variables and not setting.has_distinct_source_variables():
-        raise ValueError(
-            "a source pattern repeats a variable; Section 4 assumes "
-            "pairwise-distinct variables in source patterns")
-    nested = (setting.source_dtd.is_nested_relational()
-              and setting.target_dtd.is_nested_relational())
+    if compiled is not None:
+        compiled.check_owns(setting)
+    if require_distinct_variables:
+        distinct = (compiled.distinct_source_variables if compiled is not None
+                    else setting.has_distinct_source_variables())
+        if not distinct:
+            raise ValueError(
+                "a source pattern repeats a variable; Section 4 assumes "
+                "pairwise-distinct variables in source patterns")
+    if compiled is not None:
+        nested = compiled.nested_relational
+    else:
+        nested = (setting.source_dtd.is_nested_relational()
+                  and setting.target_dtd.is_nested_relational())
     if method == "nested-relational" or (method == "auto" and nested):
         outcome = check_consistency_nested_relational(
-            setting, require_distinct_variables=False)
+            setting, require_distinct_variables=False, compiled=compiled)
         return ConsistencyResult(outcome.consistent, "nested-relational", True,
                                  outcome.source_skeleton,
                                  detail=f"{len(outcome.culprits)} culprit STD(s)"
                                  if not outcome.consistent else "")
     if method not in {"auto", "general"}:
         raise ValueError(f"unknown consistency method {method!r}")
-    return check_consistency_general(setting, **kwargs)
+    return check_consistency_general(setting, compiled=compiled, **kwargs)

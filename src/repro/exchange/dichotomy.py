@@ -17,12 +17,14 @@ setting it is decidable if it falls in the tractable case".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional
 
-from ..regexlang.univocal import analyse
 from .setting import DataExchangeSetting
 from .std import classify_std
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.compiled import CompiledSetting
 
 __all__ = ["DichotomyReport", "classify_setting"]
 
@@ -50,12 +52,27 @@ class DichotomyReport:
 
 
 def classify_setting(setting: DataExchangeSetting,
-                     univocality_bound: Optional[int] = None) -> DichotomyReport:
+                     univocality_bound: Optional[int] = None,
+                     compiled: Optional["CompiledSetting"] = None) -> DichotomyReport:
     """Classify a setting against the paper's dichotomy.
 
     ``univocality_bound`` is forwarded to the univocality decision procedure
-    (see :mod:`repro.regexlang.univocal`).
+    (see :mod:`repro.regexlang.univocal`).  When ``compiled`` (a
+    :class:`repro.engine.CompiledSetting` for this setting) is given and no
+    custom bound is requested, the precomputed report is returned directly.
     """
+    if compiled is not None:
+        compiled.check_owns(setting)
+        if univocality_bound is None:
+            # Fresh containers so caller mutation (reports are plain
+            # dataclasses meant for display) cannot poison the cached report.
+            report = compiled.dichotomy
+            return replace(
+                report,
+                target_rules={element: dict(info)
+                              for element, info in report.target_rules.items()},
+                std_classes=list(report.std_classes),
+                reasons=list(report.reasons))
     reasons: List[str] = []
     std_classes = setting.std_classes()
     fully_specified = all(cls == "fully-specified" for cls in std_classes)
@@ -69,7 +86,9 @@ def classify_setting(setting: DataExchangeSetting,
     target_univocal = True
     for element in sorted(setting.target_dtd.element_types):
         model = setting.target_dtd.content_model(element)
-        analysis = analyse(model)
+        # Reuses the DTD's rule cache instead of re-analysing the regex on
+        # every classification (the analysis itself is bound-independent).
+        analysis = setting.target_dtd.rule_analysis(element)
         c_value = analysis.c_value()
         univocal = analysis.is_univocal(univocality_bound)
         target_rules[element] = {

@@ -1,0 +1,28 @@
+"""Shared exception hierarchy for the exchange pipeline.
+
+All failures that the pipeline can signal derive from :class:`ExchangeError`,
+so callers can guard a whole request with a single ``except``.  The concrete
+classes additionally inherit from the builtin each of them historically
+subclassed (``RuntimeError`` / ``ValueError``), so existing ``except``
+clauses keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ExchangeError", "ChaseError", "NoSolutionError"]
+
+
+class ExchangeError(Exception):
+    """Base class for every error raised by the exchange pipeline."""
+
+
+class ChaseError(ExchangeError, RuntimeError):
+    """Raised when the chase is applied outside its supported class (for
+    example a non-univocal merge with target multiplicity above one), *not*
+    when the chase legitimately fails — failures are reported in the result."""
+
+
+class NoSolutionError(ExchangeError, ValueError):
+    """Raised when certain answers are requested for a source tree that has
+    no solution: the intersection over an empty set of solutions is undefined,
+    so consistency should be checked first (Lemma 6.15 b)."""

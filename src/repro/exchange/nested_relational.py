@@ -19,12 +19,15 @@ The paper's algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..patterns.evaluate import pattern_holds
 from ..xmlmodel.tree import XMLTree
 from .setting import DataExchangeSetting
 from .std import STD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.compiled import CompiledSetting
 
 __all__ = ["NestedRelationalConsistency", "check_consistency_nested_relational"]
 
@@ -45,32 +48,51 @@ class NestedRelationalConsistency:
 
 def check_consistency_nested_relational(
         setting: DataExchangeSetting,
-        require_distinct_variables: bool = True) -> NestedRelationalConsistency:
+        require_distinct_variables: bool = True,
+        compiled: Optional["CompiledSetting"] = None) -> NestedRelationalConsistency:
     """Decide consistency of a nested-relational setting (Theorem 4.5).
 
     Raises ``ValueError`` when either DTD is not nested-relational, or when
     ``require_distinct_variables`` is set and some source pattern repeats a
     variable (the reduction of Claim 4.2 is only valid under the
     distinct-variable proviso of Section 4).
+
+    ``compiled`` (a :class:`repro.engine.CompiledSetting` for this setting)
+    supplies the class verdicts, the unique ``D°_S`` / ``D*_T`` skeletons and
+    the attribute-erased dependencies, so repeated checks skip all regex work.
     """
     source_dtd = setting.source_dtd
     target_dtd = setting.target_dtd
-    if not source_dtd.is_nested_relational():
-        raise ValueError("the source DTD is not nested-relational")
-    if not target_dtd.is_nested_relational():
-        raise ValueError("the target DTD is not nested-relational")
-    if require_distinct_variables and not setting.has_distinct_source_variables():
-        raise ValueError(
-            "a source pattern repeats a variable; the Section 4 consistency "
-            "analysis assumes pairwise-distinct variables in source patterns")
+    if compiled is not None:
+        compiled.check_owns(setting)
+        if not compiled.source_nested_relational:
+            raise ValueError("the source DTD is not nested-relational")
+        if not compiled.target_nested_relational:
+            raise ValueError("the target DTD is not nested-relational")
+    else:
+        if not source_dtd.is_nested_relational():
+            raise ValueError("the source DTD is not nested-relational")
+        if not target_dtd.is_nested_relational():
+            raise ValueError("the target DTD is not nested-relational")
+    if require_distinct_variables:
+        distinct = (compiled.distinct_source_variables if compiled is not None
+                    else setting.has_distinct_source_variables())
+        if not distinct:
+            raise ValueError(
+                "a source pattern repeats a variable; the Section 4 consistency "
+                "analysis assumes pairwise-distinct variables in source patterns")
 
-    source_skeleton = source_dtd.nested_relational_lower().unique_tree()
-    target_skeleton = target_dtd.nested_relational_upper().unique_tree()
+    if compiled is not None:
+        source_skeleton, target_skeleton = compiled.nested_relational_skeletons()
+        erased = compiled.erased_stds
+    else:
+        source_skeleton = source_dtd.nested_relational_lower().unique_tree()
+        target_skeleton = target_dtd.nested_relational_upper().unique_tree()
+        erased = [(dep.source.erase_attributes(), dep.target.erase_attributes())
+                  for dep in setting.stds]
 
     culprits: List[STD] = []
-    for dependency in setting.stds:
-        source_pattern = dependency.source.erase_attributes()
-        target_pattern = dependency.target.erase_attributes()
+    for dependency, (source_pattern, target_pattern) in zip(setting.stds, erased):
         if (pattern_holds(source_skeleton, source_pattern)
                 and not pattern_holds(target_skeleton, target_pattern)):
             culprits.append(dependency)

@@ -23,8 +23,9 @@ from ..exchange.setting import DataExchangeSetting
 from ..exchange.std import std
 
 __all__ = [
-    "source_dtd", "target_dtd", "library_setting", "figure_1_source",
-    "generate_source", "query_writer_of", "query_works_in_year",
+    "source_dtd", "target_dtd", "library_setting", "library_engine",
+    "figure_1_source", "generate_source", "query_writer_of",
+    "query_works_in_year",
 ]
 
 _SOURCE_DTD_TEXT = """
@@ -61,6 +62,12 @@ def library_setting() -> DataExchangeSetting:
         "db[book(@title=x)[author(@name=y)]]",
     )
     return DataExchangeSetting(source_dtd(), target_dtd(), [dependency])
+
+
+def library_engine() -> "ExchangeEngine":
+    """The Example 3.4 setting compiled into a ready-to-serve engine."""
+    from ..engine import ExchangeEngine
+    return ExchangeEngine(library_setting())
 
 
 def figure_1_source() -> XMLTree:

@@ -26,8 +26,8 @@ from ..exchange.setting import DataExchangeSetting
 from ..exchange.std import STD, std
 
 __all__ = [
-    "company_setting", "generate_company_source", "query_projects_of",
-    "scaling_setting", "scaling_source",
+    "company_setting", "company_engine", "generate_company_source",
+    "query_projects_of", "scaling_setting", "scaling_source",
 ]
 
 
@@ -76,6 +76,12 @@ def company_setting() -> DataExchangeSetting:
             "company[dept(@dname=d)[project(@pname=p, @budget=b)]]"),
     ]
     return DataExchangeSetting(source, target, stds)
+
+
+def company_engine() -> "ExchangeEngine":
+    """The company scenario compiled into a ready-to-serve engine."""
+    from ..engine import ExchangeEngine
+    return ExchangeEngine(company_setting())
 
 
 def generate_company_source(n_departments: int, employees_per_dept: int = 3,

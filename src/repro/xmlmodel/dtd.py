@@ -78,6 +78,8 @@ class DTD:
         for element in self.rules:
             self.attributes.setdefault(element, set())
         self._cache: Dict[str, _RuleCache] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -104,18 +106,36 @@ class DTD:
         return total
 
     def _rule_cache(self, element: str) -> _RuleCache:
-        if element not in self._cache:
+        cached = self._cache.get(element)
+        if cached is None:
+            self._cache_misses += 1
             model = self.content_model(element)
-            self._cache[element] = _RuleCache(
+            cached = _RuleCache(
                 nfa=regex_to_nfa(model),
                 semilinear=semilinear_of(model),
                 analysis=analyse(model),
             )
-        return self._cache[element]
+            self._cache[element] = cached
+        else:
+            self._cache_hits += 1
+        return cached
 
     def rule_analysis(self, element: str) -> RegexAnalysis:
         """The cached :class:`RegexAnalysis` of ``P(ℓ)`` (used by the chase)."""
         return self._rule_cache(element).analysis
+
+    def precompile_rules(self) -> None:
+        """Force the NFA / semilinear / univocality analysis of every content
+        model into the rule cache (compile-once entry point for the engine)."""
+        for element in self.rules:
+            self._rule_cache(element)
+
+    def rule_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/entry counters of the per-element rule cache.  A *miss*
+        is a fresh regex→NFA compilation; after :meth:`precompile_rules` the
+        miss counter should never move again for this DTD instance."""
+        return {"hits": self._cache_hits, "misses": self._cache_misses,
+                "entries": len(self._cache)}
 
     # ------------------------------------------------------------------ #
     # Conformance (ordered and unordered)

@@ -1,0 +1,281 @@
+"""The engine API: parity with the functional API, caching, batching, errors."""
+
+import pytest
+
+from repro import (ChaseError, CompiledSetting, DataExchangeSetting,
+                   EngineResult, ExchangeEngine, ExchangeError, NoSolutionError,
+                   canonical_solution, certain_answers, check_consistency,
+                   check_consistency_general, classify_setting, compile_setting,
+                   std)
+from repro.workloads import library, nested_relational
+from repro.xmlmodel import DTD, XMLTree
+
+
+@pytest.fixture
+def library_engine(library_setting):
+    return ExchangeEngine(library_setting)
+
+
+@pytest.fixture
+def inconsistent_setting():
+    """The Section-4 example: the STD forces l2 below l1, the DTD forbids it."""
+    source_dtd = DTD("rs", {"rs": ""})
+    target_dtd = DTD("r", {"r": "l1 | l2", "l1": "", "l2": ""}, {"l2": ["a"]})
+    return DataExchangeSetting(source_dtd, target_dtd,
+                               [std("r[l1[l2(@a=x)]]", "rs")])
+
+
+class TestCompiledSetting:
+    def test_structural_verdicts_match_legacy_predicates(self, library_setting):
+        compiled = compile_setting(library_setting)
+        assert compiled.fully_specified == library_setting.is_fully_specified()
+        assert compiled.nested_relational
+        assert compiled.target_univocal == library_setting.target_dtd.is_univocal()
+        assert compiled.source_satisfiable
+        assert compiled.std_classes == library_setting.std_classes()
+
+    def test_compile_precompiles_every_content_model(self, library_setting):
+        compiled = compile_setting(library_setting)
+        info = library_setting.source_dtd.rule_cache_info()
+        assert info["entries"] == len(library_setting.source_dtd.element_types)
+        assert set(compiled.target_analyses) == \
+            library_setting.target_dtd.element_types
+
+    def test_dichotomy_matches_classify_setting(self, company_setting):
+        compiled = compile_setting(company_setting)
+        legacy = classify_setting(company_setting)
+        assert compiled.dichotomy.tractable == legacy.tractable
+        assert compiled.dichotomy.std_classes == legacy.std_classes
+        assert compiled.dichotomy.target_rules == legacy.target_rules
+        # classify_setting with the compiled handle serves the cached verdicts
+        # through a defensive copy: mutating it must not poison the cache.
+        served = classify_setting(company_setting, compiled=compiled)
+        assert served == compiled.dichotomy
+        served.reasons.append("mutated by caller")
+        served.target_rules.clear()
+        assert compiled.dichotomy.reasons == legacy.reasons
+        assert compiled.dichotomy.target_rules == legacy.target_rules
+
+    def test_mismatched_compiled_handle_is_rejected(self, library_setting,
+                                                    company_setting):
+        wrong = compile_setting(company_setting)
+        with pytest.raises(ValueError):
+            check_consistency(library_setting, compiled=wrong)
+        with pytest.raises(ValueError):
+            certain_answers(library_setting, library.figure_1_source(),
+                            library.query_writer_of("X"), compiled=wrong)
+        with pytest.raises(ValueError):
+            classify_setting(library_setting, compiled=wrong)
+
+    def test_nested_relational_skeletons_rejected_outside_class(
+            self, figure_6_setting):
+        compiled = compile_setting(figure_6_setting)
+        assert not compiled.nested_relational
+        with pytest.raises(ValueError):
+            compiled.nested_relational_skeletons()
+
+
+class TestEngineParityQuickstart:
+    """Engine results equal the legacy functional API on Figures 1/2."""
+
+    def test_consistency_parity(self, library_setting, library_engine):
+        legacy = check_consistency(library_setting)
+        result = library_engine.check_consistency()
+        assert result.ok is legacy.consistent is True
+        assert result.strategy == legacy.method == "nested-relational"
+        assert result.raw.consistent == legacy.consistent
+
+    def test_solve_parity(self, library_setting, library_engine, figure_1_source):
+        legacy = canonical_solution(library_setting, figure_1_source)
+        result = library_engine.solve(figure_1_source)
+        assert result.ok is legacy.success is True
+        assert sorted(result.payload.children_labels(result.payload.root)) == \
+            sorted(legacy.tree.children_labels(legacy.tree.root))
+        assert library_setting.is_unordered_solution(figure_1_source,
+                                                     result.payload)
+
+    def test_certain_answers_parity(self, library_setting, library_engine,
+                                    figure_1_source):
+        query = library.query_writer_of("Computational Complexity")
+        legacy = certain_answers(library_setting, figure_1_source, query)
+        result = library_engine.certain_answers(figure_1_source, query)
+        assert result.ok is legacy.has_solution is True
+        assert result.payload == legacy.answers == {("Papadimitriou",)}
+
+    def test_boolean_certain_answers_parity(self, library_setting,
+                                            library_engine, figure_1_source):
+        query = library.query_writer_of("Computational Complexity")
+        legacy = certain_answers(library_setting, figure_1_source, query)
+        result = library_engine.certain_answer_boolean(figure_1_source, query)
+        assert result.ok and result.payload is legacy.certain() is True
+
+
+class TestEngineParityNestedRelational:
+    def test_company_consistency_parity(self, company_setting):
+        engine = ExchangeEngine(company_setting)
+        legacy = check_consistency(company_setting)
+        result = engine.check_consistency()
+        assert result.ok is legacy.consistent is True
+        assert result.strategy == "nested-relational"
+        # Explicit override routes to the general procedure and agrees.
+        general = engine.check_consistency(strategy="general")
+        assert general.ok is check_consistency_general(company_setting).consistent
+        assert general.strategy == "general"
+
+    def test_company_certain_answers_parity(self, company_setting,
+                                            company_source):
+        engine = ExchangeEngine(company_setting)
+        query = nested_relational.query_projects_of("Dept-0")
+        legacy = certain_answers(company_setting, company_source, query)
+        result = engine.certain_answers(company_source, query)
+        assert result.ok is legacy.has_solution is True
+        assert result.payload == legacy.answers
+
+    def test_strategy_spelling_variants(self, company_setting):
+        engine = ExchangeEngine(company_setting)
+        assert engine.check_consistency(strategy="nested_relational").ok
+        assert engine.check_consistency(strategy="nested-relational").ok
+        with pytest.raises(ValueError):
+            engine.check_consistency(strategy="quantum")
+
+
+class TestEngineParityInconsistent:
+    def test_consistency_parity(self, inconsistent_setting):
+        engine = ExchangeEngine(inconsistent_setting)
+        legacy = check_consistency(inconsistent_setting)
+        result = engine.check_consistency()
+        assert result.ok is legacy.consistent is False
+        assert result.strategy == legacy.method == "general"
+        # Repeated calls reuse the compiled machinery and agree.
+        assert engine.check_consistency().ok is False
+
+    def test_solve_and_certain_answers_report_no_solution(
+            self, inconsistent_setting):
+        engine = ExchangeEngine(inconsistent_setting)
+        source = XMLTree("rs", ordered=True)
+        legacy = certain_answers(inconsistent_setting, source,
+                                 library.query_writer_of("X"))
+        solved = engine.solve(source)
+        answered = engine.certain_answers(source,
+                                          library.query_writer_of("X"))
+        assert legacy.has_solution is solved.ok is answered.ok is False
+        assert not solved and not answered
+        with pytest.raises(NoSolutionError):
+            answered.unwrap()
+
+
+class TestCacheReuse:
+    def test_second_call_recompiles_nothing(self, library_setting,
+                                            figure_1_source):
+        engine = ExchangeEngine(library_setting)
+        query = library.query_writer_of("Computational Complexity")
+
+        first = engine.certain_answers(figure_1_source, query)
+        after_first = first.cache
+        second = engine.certain_answers(figure_1_source, query)
+        after_second = second.cache
+
+        assert after_second["rule_cache_misses"] == \
+            after_first["rule_cache_misses"] == 0
+        assert after_second["rule_cache_hits"] > after_first["rule_cache_hits"]
+
+    def test_consistency_machinery_is_reused(self, inconsistent_setting):
+        engine = ExchangeEngine(inconsistent_setting)
+        first = engine.check_consistency()
+        second = engine.check_consistency()
+        delta_hits = (second.cache["skeletons_hits"]
+                      - first.cache["skeletons_hits"])
+        assert delta_hits == 1
+        assert second.cache["skeletons_misses"] == 1  # only the first call
+        assert second.cache["goal_search_misses"] == 1
+        assert second.cache["goal_search_hits"] >= 1
+
+    def test_fresh_compiled_setting_starts_at_zero_recompilations(
+            self, library_setting):
+        compiled = compile_setting(library_setting)
+        stats = compiled.cache_stats()
+        assert stats["rule_cache_misses"] == 0
+
+
+class TestBatch:
+    def test_batch_matches_single_calls(self, library_setting):
+        engine = ExchangeEngine(library_setting)
+        sources = [library.generate_source(4, seed=s) for s in range(5)]
+        query = library.query_writer_of("Book-0")
+        single = [engine.certain_answers(tree, query).payload
+                  for tree in sources]
+        sequential = engine.certain_answers_batch(sources, query)
+        threaded = engine.certain_answers_batch(sources, query, parallel=3)
+        assert [r.payload for r in sequential] == single
+        assert [r.payload for r in threaded] == single
+        assert all(r.ok for r in threaded)
+
+    def test_batch_with_paired_queries(self, library_setting):
+        engine = ExchangeEngine(library_setting)
+        sources = [library.generate_source(3, seed=s) for s in range(3)]
+        queries = [library.query_writer_of(f"Book-{i}") for i in range(3)]
+        results = engine.certain_answers_batch(sources, queries, parallel=2)
+        for tree, query, result in zip(sources, queries, results):
+            assert result.payload == engine.certain_answers(tree, query).payload
+
+    def test_batch_length_mismatch_raises(self, library_setting):
+        engine = ExchangeEngine(library_setting)
+        sources = [library.figure_1_source()]
+        with pytest.raises(ValueError):
+            engine.certain_answers_batch(
+                sources, [library.query_writer_of("A"),
+                          library.query_writer_of("B")])
+
+    def test_solve_batch(self, library_setting):
+        engine = ExchangeEngine(library_setting)
+        sources = [library.generate_source(3, seed=s) for s in range(4)]
+        results = engine.solve_batch(sources, parallel=2)
+        assert all(r.ok for r in results)
+        for tree, result in zip(sources, results):
+            assert library_setting.is_unordered_solution(tree, result.payload)
+
+
+class TestEngineResultProtocol:
+    def test_uniform_fields(self, library_engine, figure_1_source):
+        for result in (library_engine.classify(),
+                       library_engine.check_consistency(),
+                       library_engine.solve(figure_1_source)):
+            assert isinstance(result, EngineResult)
+            assert result.elapsed >= 0.0
+            assert isinstance(result.strategy, str) and result.strategy
+            assert isinstance(result.cache, dict)
+            assert result.raw is not None
+
+    def test_classify_payload_is_dichotomy_report(self, library_engine,
+                                                  library_setting):
+        result = library_engine.classify()
+        assert result.ok
+        assert result.payload.tractable == \
+            classify_setting(library_setting).tractable
+
+    def test_engine_accepts_precompiled_setting(self, library_setting):
+        compiled = compile_setting(library_setting)
+        engine = ExchangeEngine(compiled)
+        assert engine.compiled is compiled
+        assert isinstance(engine.compiled, CompiledSetting)
+        with pytest.raises(TypeError):
+            ExchangeEngine("not a setting")
+
+
+class TestErrorHierarchy:
+    def test_no_solution_error_is_value_error(self):
+        assert issubclass(NoSolutionError, ValueError)
+        assert issubclass(NoSolutionError, ExchangeError)
+
+    def test_chase_error_is_runtime_error(self):
+        assert issubclass(ChaseError, RuntimeError)
+        assert issubclass(ChaseError, ExchangeError)
+
+    def test_certain_answers_raise_dedicated_error(self, inconsistent_setting):
+        source = XMLTree("rs", ordered=True)
+        outcome = certain_answers(inconsistent_setting, source,
+                                  library.query_writer_of("X"))
+        with pytest.raises(NoSolutionError):
+            outcome.certain()
+        with pytest.raises(NoSolutionError):
+            outcome.contains(("x",))
