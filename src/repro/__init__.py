@@ -41,8 +41,9 @@ The package is organised in layers:
 * :mod:`repro.workloads`  — scalable workload generators for the benchmarks.
 """
 
-from .engine import (CacheStats, CompiledSetting, EngineResult, ExchangeEngine,
-                     compile_setting)
+from . import generators
+from .engine import (CacheStats, CompiledSetting, EngineResult, EngineStats,
+                     ExchangeEngine, compile_setting)
 from .exchange import (STD, CertainAnswers, ChaseError, ChaseResult,
                        DataExchangeSetting, ExchangeError, NoSolutionError,
                        canonical_pre_solution, canonical_solution,
@@ -57,7 +58,7 @@ from .regexlang import (is_univocal, parse_regex, c_value,
                         in_permutation_language)
 from .xmlmodel import DTD, Null, NullFactory, XMLTree, parse_dtd
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # XML model
@@ -68,8 +69,10 @@ __all__ = [
     "parse_pattern", "node", "wildcard", "descendant", "Variable",
     "Query", "pattern_query", "conjunction", "exists", "union_query",
     # engine
-    "ExchangeEngine", "EngineResult", "CompiledSetting", "compile_setting",
-    "CacheStats",
+    "ExchangeEngine", "EngineResult", "EngineStats", "CompiledSetting",
+    "compile_setting", "CacheStats",
+    # generators
+    "generators",
     # errors
     "ExchangeError", "ChaseError", "NoSolutionError",
     # exchange

@@ -100,6 +100,23 @@ class CompiledSetting:
         self._rule_baseline = self._rule_counts()
 
     # ------------------------------------------------------------------ #
+    # Pickling (process-parallel batch execution)
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        """Everything but the lock travels: a compiled setting shipped to a
+        worker process arrives warm (NFAs, analyses, verdicts, memo tables)
+        and never recompiles, which is what makes process-parallel batches
+        profitable."""
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
     # Derived machinery (memoised, instrumented)
     # ------------------------------------------------------------------ #
 

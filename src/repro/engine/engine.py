@@ -8,16 +8,31 @@ dataclasses of the functional API (which remains available and is what the
 engine delegates to, handing it the compiled fast path).
 
 Per-tree work (``solve``, ``certain_answers``) is embarrassingly parallel
-across trees once the setting is compiled, so the ``*_batch`` methods fan it
-out over a ``concurrent.futures`` thread pool.
+across trees once the setting is compiled; the ``*_batch`` methods fan it
+out over a ``concurrent.futures`` pool.  ``executor="thread"`` shares the
+compiled setting in-process (cheap, but chase/query work is GIL-bound);
+``executor="process"`` pickles the compiled setting once per worker — it
+arrives warm, so workers never recompile — and escapes the GIL for
+CPU-bound batches.
+
+On top of the compiled-setting caches the engine keeps a **result cache**
+keyed by ``(tree_fingerprint, query_fingerprint, variable_order)``: repeated
+``certain_answers`` requests for the same tree and query are served without
+re-chasing.  Hits and misses are surfaced through the ``cache`` snapshot of
+every :class:`EngineResult` (``result_cache_hits`` / ``result_cache_misses``)
+and through :meth:`ExchangeEngine.stats_summary`.  Only *results* are cached
+— including "no solution" outcomes — never exceptions: a call that raises
+(:class:`~repro.exchange.errors.ChaseError`, a precondition ``ValueError``)
+is recomputed, and re-raises, every time.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exchange.certain_answers import CertainAnswers, certain_answers
 from ..exchange.chase import ChaseResult, canonical_solution
@@ -29,11 +44,15 @@ from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory
 from .compiled import CompiledSetting, compile_setting
+from .stats import CacheStats, EngineStats
 
-__all__ = ["EngineResult", "ExchangeEngine"]
+__all__ = ["EngineResult", "EngineStats", "ExchangeEngine"]
 
 #: Strategy names accepted by :meth:`ExchangeEngine.check_consistency`.
 CONSISTENCY_STRATEGIES = ("auto", "nested_relational", "general")
+
+#: Executor names accepted by the ``*_batch`` methods.
+BATCH_EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass
@@ -98,7 +117,8 @@ class ExchangeEngine:
         engine.certain_answers_batch(trees, query, parallel=4)
     """
 
-    def __init__(self, compiled: Union[CompiledSetting, DataExchangeSetting]) -> None:
+    def __init__(self, compiled: Union[CompiledSetting, DataExchangeSetting],
+                 result_cache: bool = True) -> None:
         if isinstance(compiled, DataExchangeSetting):
             compiled = compile_setting(compiled)
         if not isinstance(compiled, CompiledSetting):
@@ -107,6 +127,17 @@ class ExchangeEngine:
                 f"got {type(compiled).__name__}")
         self.compiled = compiled
         self.requests = 0
+        #: ``result_cache=False`` disables the engine-level result cache
+        #: (every request recomputes; counters stay at zero).
+        self.result_cache_enabled = result_cache
+        self._results: Dict[Tuple[str, str, Optional[Tuple[str, ...]]],
+                            CertainAnswers] = {}
+        self._engine_stats = CacheStats()
+        # Guards the result cache, its counters and the request counter
+        # against thread-pool batches; computation happens outside the lock
+        # (two threads racing past the lookup may both compute — the
+        # counters then truthfully report two misses).
+        self._lock = threading.Lock()
 
     @property
     def setting(self) -> DataExchangeSetting:
@@ -114,8 +145,28 @@ class ExchangeEngine:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Cumulative cache statistics of the compiled setting."""
-        return self.compiled.cache_stats()
+        """Cumulative cache statistics: the compiled setting's caches merged
+        with the engine-level result cache counters."""
+        merged = self.compiled.cache_stats()
+        merged.update(self._engine_stats.snapshot())
+        merged.setdefault("result_cache_hits", 0)
+        merged.setdefault("result_cache_misses", 0)
+        return merged
+
+    def stats_summary(self) -> EngineStats:
+        """The engine's counters as a structured :class:`EngineStats`."""
+        counters = self.stats
+        return EngineStats(
+            requests=self.requests,
+            result_cache_hits=counters["result_cache_hits"],
+            result_cache_misses=counters["result_cache_misses"],
+            result_cache_entries=len(self._results),
+            counters=counters)
+
+    def clear_result_cache(self) -> None:
+        """Drop every cached result (counters are kept)."""
+        with self._lock:
+            self._results.clear()
 
     # ------------------------------------------------------------------ #
     # Setting-level operations
@@ -173,11 +224,44 @@ class ExchangeEngine:
         """``certain(Q, T)`` via the canonical solution (Theorem 6.2).
 
         ``payload`` is the set of all-constant answer tuples; ``ok`` is
-        false when the source tree has no solution."""
+        false when the source tree has no solution.  Repeated requests for a
+        fingerprint-identical ``(tree, query, variable_order)`` triple are
+        served from the result cache (observable only through the
+        ``result_cache_*`` counters — payload, strategy and detail are
+        identical to a fresh computation).  Passing an explicit ``nulls``
+        factory bypasses the cache: the caller is asking for the canonical
+        solution to be built from *that* factory, which a cached outcome
+        would silently ignore."""
         started = time.perf_counter()
+        key = (None if nulls is not None
+               else self._result_key(source_tree, query, variable_order))
+        if key is not None:
+            with self._lock:
+                cached = self._results.get(key)
+                if cached is None:
+                    self._engine_stats.miss("result_cache")
+                else:
+                    self._engine_stats.hit("result_cache")
+            if cached is not None:
+                return self._certain_result(cached, started)
         outcome: CertainAnswers = certain_answers(
             self.setting, source_tree, query, variable_order, nulls,
             compiled=self.compiled)
+        if key is not None:
+            with self._lock:
+                self._results[key] = outcome
+        return self._certain_result(outcome, started)
+
+    def _result_key(self, source_tree: XMLTree, query: Query,
+                    variable_order: Optional[Sequence[str]]
+                    ) -> Optional[Tuple[str, str, Optional[Tuple[str, ...]]]]:
+        if not self.result_cache_enabled:
+            return None
+        order = tuple(variable_order) if variable_order is not None else None
+        return (source_tree.fingerprint(), query.fingerprint(), order)
+
+    def _certain_result(self, outcome: CertainAnswers,
+                        started: float) -> EngineResult:
         detail = "" if outcome.has_solution else "the source tree has no solution"
         return self._result(outcome.has_solution, outcome.answers,
                             "canonical-solution", started,
@@ -198,20 +282,43 @@ class ExchangeEngine:
     # ------------------------------------------------------------------ #
 
     def solve_batch(self, source_trees: Sequence[XMLTree],
-                    parallel: Optional[int] = None) -> List[EngineResult]:
-        """Canonical solutions for many source trees (order-preserving)."""
-        return self._map(self.solve, list(source_trees), parallel)
+                    parallel: Optional[int] = None,
+                    executor: str = "thread") -> List[EngineResult]:
+        """Canonical solutions for many source trees (order-preserving).
+
+        ``executor`` is ``"thread"`` (default), ``"process"`` or
+        ``"serial"``; see :meth:`certain_answers_batch`."""
+        return self._map_batch("solve", self.solve, list(source_trees),
+                               parallel, executor)
 
     def certain_answers_batch(self, source_trees: Sequence[XMLTree],
                               queries: Union[Query, Sequence[Query]],
-                              parallel: Optional[int] = None
-                              ) -> List[EngineResult]:
+                              parallel: Optional[int] = None,
+                              executor: str = "thread") -> List[EngineResult]:
         """``certain(Q_i, T_i)`` for many trees (order-preserving).
 
         ``queries`` is either a single query evaluated against every tree or
         a sequence paired elementwise with ``source_trees``.  ``parallel=N``
-        fans the per-tree work out over ``N`` worker threads — the compiled
-        setting is shared read-only, each request gets its own null factory.
+        fans the per-tree work out over ``N`` workers:
+
+        * ``executor="thread"`` — a thread pool sharing the compiled setting
+          read-only (each request gets its own null factory); cheap to start
+          but GIL-bound for CPU-heavy chases;
+        * ``executor="process"`` — a process pool; the compiled setting is
+          pickled once per worker (arriving warm, so workers never
+          recompile) and per-tree work runs on separate cores.  Errors
+          raised by a worker propagate to the caller exactly as in the
+          serial path;
+        * ``executor="serial"`` — force in-line execution regardless of
+          ``parallel``.
+
+        All three executors consult (and fill) the engine's result cache in
+        the parent, and payloads are identical across executors.  The serial
+        and process paths never dispatch a fingerprint-identical request
+        twice (the process path collapses in-batch duplicates onto one
+        task); the thread path consults the cache per request, so
+        *concurrent* duplicates racing past the lookup may occasionally
+        compute in parallel — counters then truthfully report extra misses.
         """
         trees = list(source_trees)
         if isinstance(queries, Query):
@@ -223,27 +330,149 @@ class ExchangeEngine:
                     f"{len(trees)} source tree(s) but {len(query_list)} "
                     "query/queries; pass one query or exactly one per tree")
             pairs = list(zip(trees, query_list))
-        return self._map(lambda pair: self.certain_answers(*pair), pairs,
-                         parallel)
+        return self._map_batch("certain_answers",
+                               lambda pair: self.certain_answers(*pair),
+                               pairs, parallel, executor)
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 
-    def _map(self, operation: Callable[[Any], EngineResult],
-             items: List[Any], parallel: Optional[int]) -> List[EngineResult]:
-        if parallel is not None and parallel > 1 and len(items) > 1:
-            workers = min(parallel, len(items))
+    def _map_batch(self, operation_name: str,
+                   operation: Callable[[Any], EngineResult],
+                   items: List[Any], parallel: Optional[int], executor: str
+                   ) -> List[EngineResult]:
+        if executor not in BATCH_EXECUTORS:
+            raise ValueError(f"unknown batch executor {executor!r}; "
+                             f"expected one of {', '.join(BATCH_EXECUTORS)}")
+        workers = min(parallel or 1, len(items))
+        if executor == "process" and workers > 1:
+            return self._map_process(operation_name, items, workers)
+        if executor == "thread" and workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(operation, items))
         return [operation(item) for item in items]
 
+    def _map_process(self, operation_name: str, items: List[Any],
+                     workers: int) -> List[EngineResult]:
+        """Fan per-tree work out over a process pool.
+
+        The result cache is consulted in the parent first, and duplicates
+        *within* the batch are collapsed onto one task, so no fingerprint-
+        identical request is ever dispatched twice — cached and deduplicated
+        occurrences count as hits, exactly like the serial path.  Worker
+        outcomes are stored back into the cache, and every returned result
+        carries the parent's merged cache snapshot (the same view the other
+        executors report).
+        """
+        results: List[Optional[EngineResult]] = [None] * len(items)
+        tasks: List[Tuple[str, Any]] = []
+        #: result index -> position in ``tasks`` serving it.
+        served_by: List[Tuple[int, int]] = []
+        task_keys: List[Optional[Tuple]] = []
+        task_of_key: Dict[Tuple, int] = {}
+        for index, item in enumerate(items):
+            key = None
+            if operation_name == "certain_answers":
+                tree, query = item
+                key = self._result_key(tree, query, None)
+                if key is not None:
+                    with self._lock:
+                        cached = self._results.get(key)
+                        if cached is not None:
+                            self._engine_stats.hit("result_cache")
+                        elif key in task_of_key:
+                            self._engine_stats.hit("result_cache")
+                        else:
+                            self._engine_stats.miss("result_cache")
+                    if cached is not None:
+                        started = time.perf_counter()
+                        results[index] = self._certain_result(cached, started)
+                        continue
+                    pending = task_of_key.get(key)
+                    if pending is not None:
+                        # A fingerprint-identical request is already in this
+                        # batch: share its task (and future cache entry).
+                        served_by.append((index, pending))
+                        continue
+                    task_of_key[key] = len(tasks)
+            task_keys.append(key)
+            served_by.append((index, len(tasks)))
+            tasks.append((operation_name, item))
+        if tasks:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(tasks)),
+                    initializer=_process_worker_init,
+                    initargs=(self.compiled,)) as pool:
+                worker_results = list(pool.map(_process_worker_run, tasks))
+            for position, result in enumerate(worker_results):
+                key = task_keys[position]
+                if key is not None:
+                    with self._lock:
+                        self._results[key] = result.raw
+            for index, position in served_by:
+                result = worker_results[position]
+                with self._lock:
+                    self.requests += 1
+                results[index] = result
+            # One snapshot after the whole batch: the merged parent view
+            # every other executor's results carry (worker-local snapshots
+            # lack the engine-level counters).
+            snapshot = self.stats
+            for result in worker_results:
+                result.cache = snapshot
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
     def _result(self, ok: bool, payload: Any, strategy: str, started: float,
                 detail: str = "", raw: Any = None) -> EngineResult:
-        self.requests += 1
+        with self._lock:
+            self.requests += 1
         return EngineResult(ok, payload, strategy,
                             time.perf_counter() - started,
-                            self.compiled.cache_stats(), detail, raw)
+                            self.stats, detail, raw)
 
     def __repr__(self) -> str:
         return f"<ExchangeEngine {self.compiled!r} requests={self.requests}>"
+
+
+# --------------------------------------------------------------------- #
+# Process-pool workers
+# --------------------------------------------------------------------- #
+#
+# The compiled setting travels to each worker exactly once (through the pool
+# initializer, which pickles ``initargs`` per worker); tasks then only carry
+# the per-tree payload.  Workers rebuild plain EngineResults so the parent
+# can merge them with cache-served results order-preservingly.  Exceptions
+# raised here (ChaseError, precondition ValueErrors, ...) propagate through
+# ``pool.map`` to the caller unchanged.
+
+_WORKER_COMPILED: Optional[CompiledSetting] = None
+
+
+def _process_worker_init(compiled: CompiledSetting) -> None:
+    global _WORKER_COMPILED
+    _WORKER_COMPILED = compiled
+
+
+def _process_worker_run(task: Tuple[str, Any]) -> EngineResult:
+    compiled = _WORKER_COMPILED
+    assert compiled is not None, "worker used before initialisation"
+    operation_name, item = task
+    started = time.perf_counter()
+    if operation_name == "solve":
+        outcome = canonical_solution(compiled.setting, item)
+        return EngineResult(outcome.success, outcome.tree, "chase",
+                            time.perf_counter() - started,
+                            compiled.cache_stats(),
+                            outcome.failure or "", outcome)
+    if operation_name == "certain_answers":
+        tree, query = item
+        result = certain_answers(compiled.setting, tree, query,
+                                 compiled=compiled)
+        detail = "" if result.has_solution else "the source tree has no solution"
+        return EngineResult(result.has_solution, result.answers,
+                            "canonical-solution",
+                            time.perf_counter() - started,
+                            compiled.cache_stats(), detail, result)
+    raise ValueError(f"unknown worker operation {operation_name!r}")

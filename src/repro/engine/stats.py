@@ -10,9 +10,27 @@ engine reuses precompiled state instead of rebuilding it — e.g. that a second
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
-__all__ = ["CacheStats"]
+__all__ = ["CacheStats", "EngineStats"]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """A point-in-time summary of one :class:`~repro.engine.ExchangeEngine`.
+
+    ``result_cache_*`` counters describe the engine-level result cache keyed
+    by ``(tree_fingerprint, query_fingerprint)``; ``counters`` is the full
+    merged snapshot (compiled-setting caches plus engine caches) that every
+    :class:`~repro.engine.EngineResult` also carries in its ``cache`` field.
+    """
+
+    requests: int
+    result_cache_hits: int
+    result_cache_misses: int
+    result_cache_entries: int
+    counters: Dict[str, int] = field(default_factory=dict)
 
 
 class CacheStats:

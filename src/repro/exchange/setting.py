@@ -12,6 +12,7 @@ orders the final result on demand.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -113,6 +114,15 @@ class DataExchangeSetting:
     def is_unordered_solution(self, source_tree: XMLTree, candidate: XMLTree) -> bool:
         """Is ``candidate`` an unordered (weak) solution for ``source_tree``?"""
         return self.solution_report(source_tree, candidate, ordered=False).is_solution
+
+    def fingerprint(self) -> str:
+        """A content fingerprint of the whole setting: the SHA-256 digest of
+        both DTDs (textual rendering) and the STD list in order.  Settings
+        with equal fingerprints are syntactically identical, which makes the
+        digest usable as a sharding / result-cache namespace key."""
+        key = "\n".join([self.source_dtd.to_text(), self.target_dtd.to_text(),
+                         *(str(dep) for dep in self.stds)])
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()
 
     def __repr__(self) -> str:
         return (f"<DataExchangeSetting source={self.source_dtd.root!r} "

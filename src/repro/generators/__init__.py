@@ -1,0 +1,36 @@
+"""ScenarioForge: seeded random generators for data-exchange artifacts.
+
+Every generator is a pure function of its seed and knobs and returns an
+artifact bundling the built object with a plain-data ``spec`` — the
+``(seed, spec)`` pair reproduces the artifact exactly, which is what the
+property-test harness (:mod:`tests.test_properties_generated`), the
+benchmark's ``--generated`` mode and :mod:`repro.workloads.generated` rely
+on.
+
+* :func:`generate_dtd` — DTDs (nested-relational / general / non-univocal);
+* :func:`generate_tree` / :func:`generate_trees` — conforming source trees
+  of tunable depth and branching;
+* :func:`generate_std` / :func:`generate_stds` — fully-specified STDs over a
+  source/target DTD pair;
+* :func:`generate_query` / :func:`generate_queries` — CTQ//,∪ queries
+  against a target DTD;
+* :func:`generate_scenario` / :func:`scenario_batch` — full engine workloads
+  (setting + trees + queries).
+"""
+
+from .dtds import DTD_PROFILES, GeneratedDTD, generate_dtd
+from .queries import (GeneratedQuery, QUERY_KINDS, generate_queries,
+                      generate_query)
+from .scenarios import (SCENARIO_PROFILES, Scenario, generate_scenario,
+                        scenario_batch)
+from .stds import GeneratedSTD, generate_std, generate_stds
+from .trees import (GeneratedTree, GenerationError, generate_tree,
+                    generate_trees)
+
+__all__ = [
+    "DTD_PROFILES", "GeneratedDTD", "generate_dtd",
+    "GeneratedTree", "GenerationError", "generate_tree", "generate_trees",
+    "GeneratedSTD", "generate_std", "generate_stds",
+    "GeneratedQuery", "QUERY_KINDS", "generate_query", "generate_queries",
+    "Scenario", "SCENARIO_PROFILES", "generate_scenario", "scenario_batch",
+]

@@ -1,0 +1,138 @@
+"""Seeded random DTD generation.
+
+Every generator in :mod:`repro.generators` follows the same contract: it is a
+pure function of its ``seed`` (and explicit size knobs) and returns an
+artifact carrying both the built object and a ``spec`` — a plain-data
+description from which the object can be rebuilt exactly.  The ``spec`` is
+what goes into bug reports and benchmark logs: ``(seed, spec)`` pins the
+scenario down across machines and sessions.
+
+DTD profiles
+------------
+
+``"nested_relational"``
+    Rules of the shape ``ℓ → l̃_1 … l̃_m`` over pairwise-distinct symbols with
+    quantifiers in ``{1, ?, +, *}`` (the Clio class of Theorem 4.5).  Always
+    non-recursive, always univocal.
+``"general"``
+    Concatenations mixing quantified single symbols with small union groups
+    such as ``(a|b)`` and ``(a|b)*``.  Still non-recursive and satisfiable by
+    construction, but outside the nested-relational class.
+``"non_univocal"``
+    Like ``"general"`` but with at least one duplicated factor (for example
+    ``a a``), which pushes ``c(r)`` above 1 and breaks univocality
+    (Definition 6.9) — the class where the chase's merge step is undefined.
+
+Element types are generated in levels (an element may only mention
+strictly-later elements in its content model), so every generated DTD is
+non-recursive and ``SAT(D)`` is never empty.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..xmlmodel.dtd import DTD
+
+__all__ = ["GeneratedDTD", "generate_dtd", "DTD_PROFILES"]
+
+DTD_PROFILES = ("nested_relational", "general", "non_univocal")
+
+#: Attribute names are drawn from a small shared pool so that independently
+#: generated patterns and queries can talk about the same attributes.
+ATTRIBUTE_POOL = ("id", "name", "val", "kind")
+
+_QUANTIFIERS = ("", "?", "+", "*")
+
+
+@dataclass(frozen=True)
+class GeneratedDTD:
+    """A reproducible DTD artifact: the object plus its ``(seed, spec)``."""
+
+    seed: int
+    profile: str
+    dtd: DTD
+    #: Plain-data description: ``{"root": ..., "rules": {elem: model_str},
+    #: "attributes": {elem: [names]}}``.  ``generate_dtd`` with the same seed
+    #: and knobs rebuilds exactly this spec.
+    spec: Dict[str, object]
+
+
+def generate_dtd(seed: int, profile: str = "nested_relational",
+                 n_elements: int = 6, max_children: int = 3,
+                 max_attrs: int = 2, prefix: str = "e") -> GeneratedDTD:
+    """Generate a random DTD of the given profile.
+
+    ``n_elements`` bounds the universe of element types; ``max_children``
+    bounds how many distinct child types one rule mentions; ``max_attrs``
+    bounds attributes per element (drawn from :data:`ATTRIBUTE_POOL`).
+    """
+    if profile not in DTD_PROFILES:
+        raise ValueError(f"unknown DTD profile {profile!r}; "
+                         f"expected one of {DTD_PROFILES}")
+    if n_elements < 2:
+        raise ValueError("need at least 2 element types")
+    rng = random.Random(("dtd", profile, seed, n_elements, max_children,
+                         max_attrs, prefix).__repr__())
+    names = [f"{prefix}{i}" for i in range(n_elements)]
+    rules: Dict[str, str] = {}
+    attributes: Dict[str, List[str]] = {}
+
+    duplicated = False
+    for index, name in enumerate(names):
+        later = names[index + 1:]
+        if not later:
+            rules[name] = ""
+        else:
+            want = rng.randint(0 if index else 1, min(max_children, len(later)))
+            children = rng.sample(later, k=want)
+            if profile == "nested_relational":
+                rules[name] = " ".join(
+                    f"{child}{rng.choice(_QUANTIFIERS)}" for child in children)
+            else:
+                rules[name] = _general_rule(rng, children)
+        # The root keeps no attributes (the paper's convention); everyone
+        # else gets a small draw from the shared pool.
+        if index == 0:
+            attributes[name] = []
+        else:
+            count = rng.randint(0, max_attrs)
+            attributes[name] = sorted(rng.sample(ATTRIBUTE_POOL,
+                                                 k=min(count, len(ATTRIBUTE_POOL))))
+
+    if profile == "non_univocal":
+        # Force a duplicated factor into the rule of the first element that
+        # has at least one child: ``... a a`` gives c(rule) ≥ 2.
+        for name in names:
+            first = rules[name].split()
+            if first:
+                symbol = first[0].rstrip("?+*")
+                rules[name] = " ".join([symbol, symbol] + first[1:])
+                duplicated = True
+                break
+        if not duplicated:  # pragma: no cover - n_elements >= 2 prevents this
+            raise AssertionError("no rule available to de-univocalise")
+
+    dtd = DTD(names[0], rules, attributes)
+    spec = {
+        "root": names[0],
+        "rules": dict(rules),
+        "attributes": {k: list(v) for k, v in attributes.items()},
+    }
+    return GeneratedDTD(seed, profile, dtd, spec)
+
+
+def _general_rule(rng: random.Random, children: Sequence[str]) -> str:
+    """A concatenation of quantified symbols and small union groups."""
+    remaining = list(children)
+    parts: List[str] = []
+    while remaining:
+        if len(remaining) >= 2 and rng.random() < 0.4:
+            left, right = remaining.pop(0), remaining.pop(0)
+            group = f"({left}|{right})"
+            parts.append(group + rng.choice(("", "*")))
+        else:
+            parts.append(remaining.pop(0) + rng.choice(_QUANTIFIERS))
+    return " ".join(parts)

@@ -1,0 +1,47 @@
+"""Shared helpers for pattern-producing generators.
+
+Both the STD generator and the query generator build linear tree patterns
+along a random root-down path of a DTD graph; the walk and the pattern
+construction live here so the two generators can never drift apart.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from ..patterns.formula import NodePattern, Term, node
+from ..xmlmodel.dtd import DTD
+
+__all__ = ["random_path", "path_pattern"]
+
+
+def random_path(dtd: DTD, rng: random.Random, max_path: int,
+                stop_probability: float) -> List[str]:
+    """A root-down label path through ``G(D)`` of length ≤ ``max_path``.
+
+    At every step the walk stops early with ``stop_probability`` (or when
+    the current element has no children in its content model).
+    """
+    path = [dtd.root]
+    current = dtd.root
+    for _ in range(max_path - 1):
+        choices = sorted(dtd.content_model(current).alphabet())
+        if not choices or rng.random() < stop_probability:
+            break
+        current = rng.choice(choices)
+        path.append(current)
+    return path
+
+
+def path_pattern(dtd: DTD, path: Sequence[str],
+                 term_for: Callable[[str], Term]) -> NodePattern:
+    """Build the linear pattern ``path[0][path[1][…]]``, binding every DTD
+    attribute along the path to the term ``term_for`` chooses for it."""
+    pattern = None
+    for label in reversed(path):
+        attrs = {name: term_for(name)
+                 for name in sorted(dtd.attributes_of(label))}
+        children = [pattern] if pattern is not None else []
+        pattern = node(label, attrs, *children)
+    return pattern

@@ -1,0 +1,118 @@
+"""Seeded random generation of CTQ//,∪ queries against a target DTD.
+
+Queries are built from root-down paths in the target DTD graph (the trees
+they will be evaluated on are canonical solutions, which conform to that
+DTD), with attribute comparisons against variables or pool constants.  Three
+shapes are produced:
+
+* ``"pattern"`` — a single tree-pattern atom,
+* ``"exists"``  — the atom with a random subset of its variables projected
+  away,
+* ``"union"``   — a union of two exists-projections sharing the same free
+  variables (the CTQ∪ fragment).
+
+Each artifact records ``(seed, spec)`` with the query's string rendering and
+fragment classification, so failing property-harness cases can be replayed
+exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..patterns.formula import Variable
+from ..patterns.queries import (Query, classify_query, exists, pattern_query,
+                                union_query)
+from ..xmlmodel.dtd import DTD
+from .paths import path_pattern, random_path
+
+__all__ = ["GeneratedQuery", "generate_query", "generate_queries",
+           "QUERY_KINDS"]
+
+QUERY_KINDS = ("pattern", "exists", "union")
+
+
+@dataclass(frozen=True)
+class GeneratedQuery:
+    """A reproducible query artifact: the object plus its ``(seed, spec)``."""
+
+    seed: int
+    query: Query
+    #: ``{"kind": ..., "fragment": ..., "text": ...}``.
+    spec: Dict[str, str]
+
+
+def generate_query(target_dtd: DTD, seed: int, kind: Optional[str] = None,
+                   max_path: int = 3, constant_probability: float = 0.25,
+                   value_pool: int = 8) -> GeneratedQuery:
+    """Generate one query against ``target_dtd``.
+
+    ``kind`` is one of :data:`QUERY_KINDS` (seed-chosen when omitted);
+    ``value_pool`` matches the constant pool of the tree generator so that
+    constant comparisons can actually hit generated values.
+    """
+    rng = random.Random(("query", seed, kind, max_path, constant_probability,
+                         value_pool).__repr__())
+    chosen = kind or rng.choice(QUERY_KINDS)
+    if chosen not in QUERY_KINDS:
+        raise ValueError(f"unknown query kind {chosen!r}; "
+                         f"expected one of {QUERY_KINDS}")
+
+    first = _path_atom(target_dtd, rng, max_path, constant_probability,
+                       value_pool, prefix="q")
+    if chosen == "pattern":
+        query: Query = first
+    elif chosen == "exists":
+        query = _project_some(first, rng)
+    else:
+        second = _path_atom(target_dtd, rng, max_path, constant_probability,
+                            value_pool, prefix="q")
+        shared = sorted(set(first.free_variables())
+                        & set(second.free_variables()))
+        left = exists([v for v in first.free_variables() if v not in shared],
+                      first)
+        right = exists([v for v in second.free_variables() if v not in shared],
+                       second)
+        query = union_query(left, right)
+    spec = {"kind": chosen, "fragment": classify_query(query),
+            "text": str(query)}
+    return GeneratedQuery(seed, query, spec)
+
+
+def generate_queries(target_dtd: DTD, count: int, seed: int,
+                     **knobs) -> List[GeneratedQuery]:
+    """``count`` independent queries with seeds derived from ``seed``."""
+    rng = random.Random(("queries", seed, count).__repr__())
+    return [generate_query(target_dtd, rng.randrange(2 ** 31), **knobs)
+            for _ in range(count)]
+
+
+# --------------------------------------------------------------------- #
+# Internals
+# --------------------------------------------------------------------- #
+
+def _path_atom(dtd: DTD, rng: random.Random, max_path: int,
+               constant_probability: float, value_pool: int, prefix: str):
+    """A single-pattern query along a random root-down path of the DTD."""
+    path = random_path(dtd, rng, max_path, stop_probability=0.2)
+    counter = [0]
+
+    def term(_attr: str):
+        if rng.random() < constant_probability:
+            return f"v{rng.randrange(value_pool)}"
+        counter[0] += 1
+        return Variable(f"{prefix}{counter[0]}")
+
+    return pattern_query(path_pattern(dtd, path, term))
+
+
+def _project_some(atom, rng: random.Random) -> Query:
+    """Existentially project a random (possibly empty) variable subset."""
+    free = atom.free_variables()
+    if not free:
+        return atom
+    keep = rng.randint(0, len(free))
+    projected = rng.sample(free, k=len(free) - keep)
+    return exists(projected, atom)

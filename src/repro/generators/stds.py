@@ -1,0 +1,95 @@
+"""Seeded random generation of source-to-target dependencies.
+
+An STD is generated from a root-down path in the source DTD graph and a
+root-down path in the target DTD graph.  Source-side attributes bind fresh,
+pairwise-distinct variables (so the Section 4 proviso holds for every
+generated STD); target-side attributes bind either an exported source
+variable, a fresh existential variable, or — with small, tunable probability
+— a constant (constants make inconsistent settings and no-solution source
+trees reachable, which the property harness wants to see).
+
+Because the target pattern is rooted at the target DTD's root and uses
+neither ``//`` nor the wildcard, every generated STD is *fully specified*
+(Definition 5.10), which keeps the certain-answers pipeline applicable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..exchange.std import STD
+from ..patterns.formula import Variable
+from ..xmlmodel.dtd import DTD
+from .paths import path_pattern, random_path
+
+__all__ = ["GeneratedSTD", "generate_std", "generate_stds"]
+
+
+@dataclass(frozen=True)
+class GeneratedSTD:
+    """A reproducible STD artifact: the object plus its ``(seed, spec)``."""
+
+    seed: int
+    std: STD
+    #: ``{"source": str, "target": str}`` — the two patterns in the concrete
+    #: syntax of :func:`repro.parse_pattern`.
+    spec: Dict[str, str]
+
+
+def generate_std(source_dtd: DTD, target_dtd: DTD, seed: int,
+                 max_path: int = 3, constant_probability: float = 0.1,
+                 value_pool: int = 8) -> GeneratedSTD:
+    """Generate one fully-specified STD over the DTD pair.
+
+    ``max_path`` bounds the length of both pattern paths; ``value_pool``
+    matches the constant pool of :mod:`repro.generators.trees` so target-side
+    constants can actually collide with generated source values.
+    """
+    rng = random.Random(("std", seed, max_path, constant_probability,
+                         value_pool).__repr__())
+    source_path = random_path(source_dtd, rng, max_path,
+                              stop_probability=0.25)
+    target_path = random_path(target_dtd, rng, max_path,
+                              stop_probability=0.25)
+
+    counter = [0]
+    source_vars: List[str] = []
+
+    def fresh_source_var() -> Variable:
+        counter[0] += 1
+        name = f"x{counter[0]}"
+        source_vars.append(name)
+        return Variable(name)
+
+    source_pattern = path_pattern(
+        source_dtd, source_path,
+        lambda _attr: fresh_source_var())
+
+    existential = [0]
+
+    def target_term(_attr: str):
+        roll = rng.random()
+        if roll < constant_probability:
+            return f"v{rng.randrange(value_pool)}"
+        if source_vars and roll < 0.65:
+            return Variable(rng.choice(source_vars))
+        existential[0] += 1
+        return Variable(f"z{existential[0]}")
+
+    target_pattern = path_pattern(target_dtd, target_path, target_term)
+    dependency = STD(target_pattern, source_pattern)
+    spec = {"source": str(source_pattern), "target": str(target_pattern)}
+    return GeneratedSTD(seed, dependency, spec)
+
+
+def generate_stds(source_dtd: DTD, target_dtd: DTD, count: int, seed: int,
+                  **knobs) -> List[GeneratedSTD]:
+    """``count`` independent STDs with seeds derived from ``seed``."""
+    rng = random.Random(("stds", seed, count).__repr__())
+    return [generate_std(source_dtd, target_dtd, rng.randrange(2 ** 31),
+                         **knobs)
+            for _ in range(count)]
+
+

@@ -1,0 +1,159 @@
+"""Seeded random generation of DTD-conforming XML trees.
+
+Words are sampled directly from the content-model regular expression (choose
+a branch of every union, a repetition count for every star/plus), so every
+generated tree conforms to the DTD by construction — ``T ⊨ D`` in the ordered
+sense.  Attribute values are constants drawn from a small pool, which makes
+value collisions (and therefore chase merges, attribute clashes and
+interesting certain-answer joins) likely instead of vanishingly rare.
+
+Depth is bounded: below ``max_depth`` the sampler picks *minimal* words
+(every star repeats zero times, every union takes its cheapest branch), so
+generation terminates even on recursive DTDs whose minimal trees are finite.
+A hard guard raises :class:`GenerationError` when a DTD forces unbounded
+expansion (for example a rule whose every word mentions the element itself).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..regexlang.ast import (Concat, Empty, Epsilon, Regex, Star, Symbol,
+                             Union)
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+
+__all__ = ["GenerationError", "GeneratedTree", "generate_tree",
+           "generate_trees"]
+
+#: Extra levels the sampler may use past ``max_depth`` while draining
+#: mandatory (non-starred) structure of a recursive DTD.
+_DEPTH_SLACK = 16
+
+
+class GenerationError(RuntimeError):
+    """Raised when no conforming artifact can be generated (empty content
+    model, or a recursive DTD forcing unbounded trees)."""
+
+
+@dataclass(frozen=True)
+class GeneratedTree:
+    """A reproducible conforming tree: the object plus its ``(seed, spec)``."""
+
+    seed: int
+    tree: XMLTree
+    #: ``{"max_depth": ..., "max_repeat": ..., "value_pool": ...,
+    #:   "fingerprint": ...}`` — the knobs plus the content fingerprint of the
+    #: produced tree (see :meth:`repro.XMLTree.fingerprint`).
+    spec: Dict[str, object]
+
+
+def generate_tree(dtd: DTD, seed: int, max_depth: int = 6,
+                  max_repeat: int = 3, value_pool: int = 8,
+                  max_nodes: Optional[int] = None) -> GeneratedTree:
+    """Sample one tree with ``T ⊨ D``.
+
+    ``max_repeat`` bounds the repetition count sampled for every ``*``/``+``
+    (the branching knob); ``value_pool`` is the number of distinct attribute
+    constants (smaller pools force more value collisions).  ``max_nodes``
+    aborts combinatorially explosive samples early with
+    :class:`GenerationError` (nested stars can expand to ``max_repeat^depth``
+    nodes) instead of materialising them; it does not affect the sampling
+    stream, so two same-seed calls agree wherever both stay under budget.
+    """
+    rng = random.Random(("tree", seed, max_depth, max_repeat,
+                         value_pool).__repr__())
+    tree = XMLTree(dtd.root, ordered=True)
+    _fill_attributes(dtd, tree, tree.root, rng, value_pool)
+    budget = [1]  # the root is already materialised
+    _expand(dtd, tree, tree.root, rng, depth=0, max_depth=max_depth,
+            max_repeat=max_repeat, value_pool=value_pool,
+            max_nodes=max_nodes, budget=budget)
+    spec = {"max_depth": max_depth, "max_repeat": max_repeat,
+            "value_pool": value_pool, "fingerprint": tree.fingerprint()}
+    return GeneratedTree(seed, tree, spec)
+
+
+def generate_trees(dtd: DTD, count: int, seed: int, **knobs) -> List[GeneratedTree]:
+    """``count`` independent trees with seeds derived from ``seed``."""
+    rng = random.Random(("trees", seed, count).__repr__())
+    return [generate_tree(dtd, rng.randrange(2 ** 31), **knobs)
+            for _ in range(count)]
+
+
+# --------------------------------------------------------------------- #
+# Internals
+# --------------------------------------------------------------------- #
+
+def _expand(dtd: DTD, tree: XMLTree, node: int, rng: random.Random,
+            depth: int, max_depth: int, max_repeat: int, value_pool: int,
+            max_nodes: Optional[int], budget: List[int]) -> None:
+    if depth > max_depth + _DEPTH_SLACK:
+        raise GenerationError(
+            f"tree generation exceeded depth {max_depth + _DEPTH_SLACK}; "
+            "the DTD appears to force unbounded trees")
+    label = tree.label(node)
+    minimal = depth >= max_depth
+    word = _sample_word(dtd.content_model(label), rng,
+                        0 if minimal else max_repeat)
+    for symbol in word:
+        budget[0] += 1
+        if max_nodes is not None and budget[0] > max_nodes:
+            raise GenerationError(
+                f"tree generation exceeded max_nodes={max_nodes}; "
+                "this (seed, DTD) pair expands combinatorially")
+        child = tree.add_child(node, symbol)
+        _fill_attributes(dtd, tree, child, rng, value_pool)
+        _expand(dtd, tree, child, rng, depth + 1, max_depth, max_repeat,
+                value_pool, max_nodes, budget)
+
+
+def _fill_attributes(dtd: DTD, tree: XMLTree, node: int, rng: random.Random,
+                     value_pool: int) -> None:
+    for name in sorted(dtd.attributes_of(tree.label(node))):
+        tree.set_attribute(node, name, f"v{rng.randrange(value_pool)}")
+
+
+def _sample_word(model: Regex, rng: random.Random, max_repeat: int) -> List[str]:
+    """A uniformly-seeded member of ``L(model)`` (repetitions capped)."""
+    if isinstance(model, Symbol):
+        return [model.name]
+    if isinstance(model, Epsilon):
+        return []
+    if isinstance(model, Empty):
+        raise GenerationError("content model has an empty language (∅)")
+    if isinstance(model, Concat):
+        return (_sample_word(model.left, rng, max_repeat)
+                + _sample_word(model.right, rng, max_repeat))
+    if isinstance(model, Union):
+        if max_repeat == 0:
+            # Minimal mode: take the branch with the shorter minimal word.
+            left, right = _min_length(model.left), _min_length(model.right)
+            branch = model.left if left <= right else model.right
+            return _sample_word(branch, rng, max_repeat)
+        return _sample_word(rng.choice((model.left, model.right)), rng,
+                            max_repeat)
+    if isinstance(model, Star):
+        repeats = rng.randint(0, max_repeat)
+        word: List[str] = []
+        for _ in range(repeats):
+            word.extend(_sample_word(model.inner, rng, max_repeat))
+        return word
+    raise TypeError(f"unknown regex node: {model!r}")
+
+
+def _min_length(model: Regex) -> int:
+    """Length of the shortest word of ``L(model)`` (∞ for ∅)."""
+    if isinstance(model, Symbol):
+        return 1
+    if isinstance(model, (Epsilon, Star)):
+        return 0
+    if isinstance(model, Empty):
+        return 10 ** 9
+    if isinstance(model, Concat):
+        return _min_length(model.left) + _min_length(model.right)
+    if isinstance(model, Union):
+        return min(_min_length(model.left), _min_length(model.right))
+    raise TypeError(f"unknown regex node: {model!r}")

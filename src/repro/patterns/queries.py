@@ -21,6 +21,7 @@ Fragments:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -76,6 +77,15 @@ class Query:
 
     def uses_union(self) -> bool:
         return isinstance(self, UnionQuery) and len(self.members) > 1
+
+    def fingerprint(self) -> str:
+        """A content fingerprint of the query: the SHA-256 digest of its
+        class name and canonical string rendering (which is deterministic for
+        every query shape).  Queries with the same fingerprint are
+        syntactically identical, so the digest is a sound — conservative —
+        cache key for query results."""
+        key = f"{type(self).__name__}:{self}"
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

@@ -1,5 +1,5 @@
 """Scalable workload generators for the benchmark harness."""
 
-from . import library, nested_relational
+from . import generated, library, nested_relational
 
-__all__ = ["library", "nested_relational"]
+__all__ = ["generated", "library", "nested_relational"]

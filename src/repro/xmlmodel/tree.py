@@ -19,6 +19,7 @@ and explicit.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -319,6 +320,16 @@ class XMLTree:
         if not respect_order:
             child_keys.sort()
         return (node.label, attrs, tuple(child_keys))
+
+    def fingerprint(self) -> str:
+        """A content fingerprint of the tree: the SHA-256 digest of its
+        :meth:`structural_key` (labels, attribute values and — for ordered
+        trees — sibling order).  Two trees have the same fingerprint iff they
+        are structurally equal, so the digest is a sound cache key for
+        per-tree results (the engine's result cache keys on it).  Nulls are
+        fingerprinted by identity (``⊥n``)."""
+        key = repr((self.ordered, self.structural_key()))
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()
 
     def equals(self, other: "XMLTree", respect_order: Optional[bool] = None) -> bool:
         """Structural equality of two trees (see :meth:`structural_key`)."""

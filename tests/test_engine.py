@@ -167,7 +167,9 @@ class TestEngineParityInconsistent:
 class TestCacheReuse:
     def test_second_call_recompiles_nothing(self, library_setting,
                                             figure_1_source):
-        engine = ExchangeEngine(library_setting)
+        # result_cache=False so the second call re-runs the full pipeline
+        # and proves it still recompiles no content model.
+        engine = ExchangeEngine(library_setting, result_cache=False)
         query = library.query_writer_of("Computational Complexity")
 
         first = engine.certain_answers(figure_1_source, query)
@@ -178,6 +180,38 @@ class TestCacheReuse:
         assert after_second["rule_cache_misses"] == \
             after_first["rule_cache_misses"] == 0
         assert after_second["rule_cache_hits"] > after_first["rule_cache_hits"]
+        assert after_second["result_cache_hits"] == 0  # cache disabled
+
+    def test_explicit_null_factory_bypasses_the_result_cache(
+            self, library_setting, figure_1_source):
+        from repro import NullFactory
+        engine = ExchangeEngine(library_setting)
+        query = library.query_writer_of("Computational Complexity")
+        engine.certain_answers(figure_1_source, query)  # populate the cache
+        factory = NullFactory(start=500)
+        result = engine.certain_answers(figure_1_source, query,
+                                        nulls=factory)
+        # The caller's factory really was consumed — a cache hit would have
+        # left it untouched and returned nulls from another namespace.
+        assert factory.fresh().ident > 500
+        assert result.cache["result_cache_hits"] == 0
+        assert {n.ident for n in result.raw.canonical.nulls()} == \
+            set(range(500, 500 + len(result.raw.canonical.nulls())))
+
+    def test_second_call_hits_the_result_cache(self, library_setting,
+                                               figure_1_source):
+        engine = ExchangeEngine(library_setting)
+        query = library.query_writer_of("Computational Complexity")
+
+        first = engine.certain_answers(figure_1_source, query)
+        second = engine.certain_answers(figure_1_source, query)
+
+        assert first.cache["result_cache_misses"] == 1
+        assert second.cache["result_cache_hits"] == 1
+        # A cache hit skips the chase entirely: rule-cache counters freeze.
+        assert second.cache["rule_cache_hits"] == first.cache["rule_cache_hits"]
+        assert (second.ok, second.payload, second.strategy, second.detail) == \
+            (first.ok, first.payload, first.strategy, first.detail)
 
     def test_consistency_machinery_is_reused(self, inconsistent_setting):
         engine = ExchangeEngine(inconsistent_setting)
