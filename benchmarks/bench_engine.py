@@ -33,6 +33,7 @@ pool cannot beat a thread pool, and the bench says so instead of failing.
 """
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -98,6 +99,17 @@ def test_batch_throughput(benchmark):
 # --------------------------------------------------------------------- #
 # Standalone runner (no pytest-benchmark dependency)
 # --------------------------------------------------------------------- #
+
+def _write_json(path, report) -> None:
+    """The ``--json PATH`` artifact: one flat machine-readable result file
+    (the ``BENCH_*.json`` perf-trajectory format)."""
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"json report         : {path}")
+
 
 def _time(operation, repeat: int) -> float:
     best = float("inf")
@@ -180,6 +192,21 @@ def run_generated(args) -> int:
         print(f"WARNING: process batch ({n / chosen_time:.1f} trees/s) did "
               f"not beat the thread batch ({n / thread_time:.1f} trees/s) "
               f"on this run{note}", file=sys.stderr)
+    _write_json(args.json, {
+        "bench": "engine-generated",
+        "seed": args.seed,
+        "trees": n,
+        "parallel": args.parallel,
+        "executor": chosen,
+        "setting_fingerprint": workload.setting.fingerprint()[:16],
+        "serial_tps": n / serial_time,
+        "thread_tps": n / thread_time,
+        f"{chosen}_tps": n / chosen_time,
+        "repeat_tps": n / max(repeat_time, 1e-9),
+        "result_cache_hits": cache_hits,
+        "rule_cache_misses": engine.stats["rule_cache_misses"],
+        "failure_count": failures,
+    })
     return 1 if failures else 0
 
 
@@ -198,6 +225,8 @@ def main(argv=None) -> int:
     parser.add_argument("--executor", default="process",
                         choices=("thread", "process"),
                         help="executor for the headline --generated pass")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable result file")
     args = parser.parse_args(argv)
     if args.generated is not None:
         return run_generated(args)
@@ -239,7 +268,22 @@ def main(argv=None) -> int:
         # deterministic cache invariant below gates the exit code.
         print(f"WARNING: warm path ({warm * 1e3:.2f} ms) did not beat the "
               f"cold path ({cold * 1e3:.2f} ms) on this run", file=sys.stderr)
-    if stats["rule_cache_misses"] != 0:
+    recompiled = stats["rule_cache_misses"] != 0
+    _write_json(args.json, {
+        "bench": "engine-library",
+        "smoke": bool(args.smoke),
+        "repeat": repeat,
+        "trees": n_trees,
+        "cold_ms": cold * 1e3,
+        "warm_ms": warm * 1e3,
+        "speedup": cold / warm,
+        "batch_sequential_tps": n_trees / seq,
+        "batch_parallel_tps": n_trees / par,
+        "rule_cache_hits": stats["rule_cache_hits"],
+        "rule_cache_misses": stats["rule_cache_misses"],
+        "failure_count": 1 if recompiled else 0,
+    })
+    if recompiled:
         print("FAIL: warm engine recompiled a content model after compile",
               file=sys.stderr)
         return 1

@@ -1,0 +1,261 @@
+"""E16 — the serving layer: mixed-setting traffic through one async service.
+
+Drives generated traffic for **several distinct settings** through a single
+:class:`repro.service.AsyncExchangeService` and reports what a serving
+deployment cares about: request throughput, await-side latency percentiles,
+result-cache and compiled-shard hit rates — plus deterministic gates:
+
+* **multi-setting**  — the workload must span >= 2 distinct fingerprints;
+* **parity**         — every service answer must equal a serial, per-setting
+  :class:`repro.ExchangeEngine` run of the same request (the serving layer
+  may never change payloads);
+* **isolation/eviction** — a small per-setting ``result_cache_maxsize``
+  must produce evictions on a repeat pass while leaving payloads unchanged;
+* **routing**        — no request may be served by a shard other than its
+  fingerprint's.
+
+Usage::
+
+    python benchmarks/bench_service.py --generated 8 --seed 7 \\
+        [--settings 3] [--executor thread] [--parallel 4] \\
+        [--maxsize 2] [--json PATH]
+
+``--generated N`` sizes the per-setting request stream (N certain-answers
+requests plus one consistency request per setting, interleaved across
+settings into one mixed batch).  ``--json PATH`` writes the full report as
+machine-readable JSON — the ``BENCH_*.json`` perf-trajectory artifact.
+"""
+
+import argparse
+import asyncio
+import json
+import math
+import sys
+import time
+
+from repro import ExchangeEngine
+from repro.service import (AsyncExchangeService, certain_answers_request,
+                           consistency_request)
+from repro.workloads.generated import generated_scenarios
+
+
+def percentile(samples, q):
+    """The q-th percentile (0..100) of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def build_traffic(scenarios, per_setting):
+    """One consistency + ``per_setting`` certain-answers requests per
+    scenario, interleaved round-robin into a mixed-setting stream."""
+    per_scenario = []
+    for scenario in scenarios:
+        fingerprint = scenario.setting.fingerprint()
+        stream = [consistency_request(fingerprint)]
+        trees, queries = scenario.source_trees, scenario.queries
+        for index in range(per_setting):
+            stream.append(certain_answers_request(
+                fingerprint, trees[index % len(trees)],
+                queries[index % len(queries)]))
+        per_scenario.append(stream)
+    mixed = []
+    for position in range(max(len(stream) for stream in per_scenario)):
+        for stream in per_scenario:
+            if position < len(stream):
+                mixed.append(stream[position])
+    return mixed
+
+
+def serial_reference(scenarios, requests):
+    """The parity baseline: each request served by a fresh, serial,
+    per-setting engine — no service, no router, no shared state."""
+    engines = {}
+    for scenario in scenarios:
+        engines[scenario.setting.fingerprint()] = \
+            ExchangeEngine(scenario.setting)
+    reference = []
+    for request in requests:
+        engine = engines[request.fingerprint]
+        if request.op == "consistency":
+            result = engine.check_consistency(request.strategy)
+        else:
+            result = engine.certain_answers(request.tree, request.query,
+                                            request.variable_order)
+        reference.append((result.ok, result.payload))
+    return reference
+
+
+async def run_service(args, requests):
+    """The measured passes on one service: batch, warm gather, stats."""
+    service = AsyncExchangeService(executor=args.executor,
+                                   parallel=args.parallel)
+    async with service:
+        for scenario in args.scenarios:
+            service.register(scenario.setting)
+
+        begun = time.perf_counter()
+        slots = await service.batch(requests)
+        batch_elapsed = time.perf_counter() - begun
+
+        # Warm per-request latencies: each request awaited individually
+        # (concurrently), timed from the await side.
+        async def timed(request):
+            started = time.perf_counter()
+            await service.submit(request)
+            return time.perf_counter() - started
+
+        begun = time.perf_counter()
+        latencies = await asyncio.gather(*(timed(r) for r in requests))
+        gather_elapsed = time.perf_counter() - begun
+        stats = service.stats()
+    return slots, batch_elapsed, latencies, gather_elapsed, stats
+
+
+async def run_eviction_pass(args, requests):
+    """Repeat the stream under a tiny per-setting cache: payloads must hold
+    and the bounded caches must actually evict."""
+    service = AsyncExchangeService(executor=args.executor,
+                                   parallel=args.parallel,
+                                   result_cache_maxsize=args.maxsize)
+    async with service:
+        for scenario in args.scenarios:
+            service.register(scenario.setting)
+        first = await service.batch(requests)
+        second = await service.batch(requests)
+        stats = service.stats()
+    evictions = sum(shard["result_cache_evictions"]
+                    for shard in stats["shards"].values())
+    views = [[(slot.ok, slot.result.payload if slot.result else None)
+              for slot in pass_] for pass_ in (first, second)]
+    return views, evictions, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--generated", type=int, default=8, metavar="N",
+                        help="certain-answers requests per setting")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--settings", type=int, default=3,
+                        help="number of distinct generated settings")
+    parser.add_argument("--executor", default="thread",
+                        choices=("serial", "thread", "process"))
+    parser.add_argument("--parallel", type=int, default=4)
+    parser.add_argument("--maxsize", type=int, default=2,
+                        help="per-setting result-cache bound for the "
+                             "eviction pass")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable report here")
+    args = parser.parse_args(argv)
+    if args.settings < 2:
+        parser.error("--settings must be >= 2 (the point is mixed traffic)")
+
+    begun = time.perf_counter()
+    args.scenarios = generated_scenarios(args.settings, args.seed)
+    fingerprints = [s.setting.fingerprint() for s in args.scenarios]
+    requests = build_traffic(args.scenarios, args.generated)
+    print(f"traffic: {len(requests)} requests over "
+          f"{len(set(fingerprints))} distinct settings "
+          f"(seed {args.seed}, generated in "
+          f"{time.perf_counter() - begun:.2f} s)")
+
+    failures = []
+    if len(set(fingerprints)) < 2:
+        failures.append("fewer than 2 distinct settings in the workload")
+
+    slots, batch_elapsed, latencies, gather_elapsed, stats = \
+        asyncio.run(run_service(args, requests))
+
+    n = len(requests)
+    throughput = n / max(batch_elapsed, 1e-9)
+    print(f"mixed batch ({args.executor} x{args.parallel}) : "
+          f"{throughput:8.1f} req/s ({batch_elapsed * 1e3:.1f} ms total)")
+    lat_ms = {f"p{q}": percentile(latencies, q) * 1e3 for q in (50, 90, 99)}
+    print(f"warm await latency  : p50 {lat_ms['p50']:6.2f} ms   "
+          f"p90 {lat_ms['p90']:6.2f} ms   p99 {lat_ms['p99']:6.2f} ms "
+          f"({n / max(gather_elapsed, 1e-9):.1f} req/s gathered)")
+
+    registry_stats = stats["registry"]
+    shard_hits = registry_stats["compiled_hits"]
+    shard_misses = registry_stats["compiled_misses"]
+    shard_rate = shard_hits / max(shard_hits + shard_misses, 1)
+    cache_hits = sum(s["result_cache_hits"] for s in stats["shards"].values())
+    cache_misses = sum(s["result_cache_misses"]
+                       for s in stats["shards"].values())
+    cache_rate = cache_hits / max(cache_hits + cache_misses, 1)
+    print(f"shard routing       : {shard_hits} hits / {shard_misses} "
+          f"compiles ({shard_rate:.0%} hit rate, "
+          f"{registry_stats['compiled_entries']} shards)")
+    print(f"result cache        : {cache_hits} hits / {cache_misses} misses "
+          f"({cache_rate:.0%} hit rate)")
+
+    # Gate: per-shard results identical to serial per-setting engines.
+    failed = [slot for slot in slots if slot.failed]
+    if failed:
+        failures.append(f"{len(failed)} request(s) failed in the batch: "
+                        f"{failed[0].error!r}")
+    else:
+        reference = serial_reference(args.scenarios, requests)
+        service_view = [(slot.ok, slot.result.payload) for slot in slots]
+        if service_view != reference:
+            mismatches = sum(1 for ours, theirs
+                             in zip(service_view, reference)
+                             if ours != theirs)
+            failures.append(f"parity: {mismatches} request(s) differ from "
+                            f"serial per-setting engines")
+        else:
+            print(f"parity              : all {n} results equal serial "
+                  f"per-setting engine runs")
+        if any(slot.fingerprint != request.fingerprint
+               for slot, request in zip(slots, requests)):
+            failures.append("routing: a request was served by a foreign shard")
+
+    # Gate: bounded caches evict without changing payloads.
+    views, evictions, eviction_stats = \
+        asyncio.run(run_eviction_pass(args, requests))
+    print(f"eviction pass       : {evictions} evictions under "
+          f"maxsize={args.maxsize} "
+          f"(entries <= {args.maxsize} per shard)")
+    if evictions <= 0:
+        failures.append(f"eviction: maxsize={args.maxsize} produced no "
+                        f"evictions on a repeat pass")
+    if views[0] != views[1]:
+        failures.append("eviction: repeat pass changed payloads")
+    if not failed and views[0] != [
+            (slot.ok, slot.result.payload) for slot in slots]:
+        failures.append("eviction: bounded cache changed payloads vs "
+                        "unbounded service")
+
+    report = {
+        "bench": "service",
+        "seed": args.seed,
+        "settings": len(set(fingerprints)),
+        "fingerprints": sorted(fp[:16] for fp in set(fingerprints)),
+        "requests": n,
+        "executor": args.executor,
+        "parallel": args.parallel,
+        "throughput_rps": throughput,
+        "batch_elapsed_s": batch_elapsed,
+        "latency_ms": lat_ms,
+        "shard_hit_rate": shard_rate,
+        "result_cache_hit_rate": cache_rate,
+        "result_cache_hits": cache_hits,
+        "result_cache_misses": cache_misses,
+        "eviction_maxsize": args.maxsize,
+        "evictions": evictions,
+        "failures": failures,
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"json report         : {args.json}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

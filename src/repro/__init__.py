@@ -37,11 +37,23 @@ The package is organised in layers:
   canonical pre-solutions, the chase and certain answers (Sections 5–6);
 * :mod:`repro.engine`     — the compiled, cached, batch-first facade over
   :mod:`repro.exchange`;
+* :mod:`repro.service`    — the serving layer: async multi-setting facade,
+  fingerprint-sharded routing, bounded caches, JSON-lines server/client;
 * :mod:`repro.reductions` — the paper's hardness gadgets (3-SAT reductions);
 * :mod:`repro.workloads`  — scalable workload generators for the benchmarks.
+
+For a long-lived process serving many settings, hold one
+:class:`repro.service.AsyncExchangeService` instead of bare engines::
+
+    from repro.service import AsyncExchangeService
+
+    async with AsyncExchangeService(max_compiled=64,
+                                    result_cache_maxsize=1024) as service:
+        fp = service.register(setting)
+        result = await service.certain_answers(fp, tree, query)
 """
 
-from . import generators
+from . import generators, service
 from .engine import (CacheStats, CompiledSetting, EngineResult, EngineStats,
                      ExchangeEngine, compile_setting)
 from .exchange import (STD, CertainAnswers, ChaseError, ChaseResult,
@@ -56,9 +68,10 @@ from .patterns import (Query, Variable, conjunction, descendant, exists, node,
                        parse_pattern, pattern_query, union_query, wildcard)
 from .regexlang import (is_univocal, parse_regex, c_value,
                         in_permutation_language)
+from .service import AsyncExchangeService, SettingRegistry
 from .xmlmodel import DTD, Null, NullFactory, XMLTree, parse_dtd
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # XML model
@@ -73,6 +86,8 @@ __all__ = [
     "compile_setting", "CacheStats",
     # generators
     "generators",
+    # serving layer
+    "service", "AsyncExchangeService", "SettingRegistry",
     # errors
     "ExchangeError", "ChaseError", "NoSolutionError",
     # exchange

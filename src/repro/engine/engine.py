@@ -24,12 +24,20 @@ and through :meth:`ExchangeEngine.stats_summary`.  Only *results* are cached
 — including "no solution" outcomes — never exceptions: a call that raises
 (:class:`~repro.exchange.errors.ChaseError`, a precondition ``ValueError``)
 is recomputed, and re-raises, every time.
+
+The cache is unbounded by default — right for a batch job whose working set
+is its own input, wrong for a long-lived server.  ``result_cache_maxsize=N``
+bounds it to the ``N`` most recently used entries (least-recently-used
+eviction, counted as ``result_cache_evictions``); the serving layer
+(:mod:`repro.service`) sets this per shard, so each setting's tenants share a
+budget but can never evict another setting's entries.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -118,20 +126,29 @@ class ExchangeEngine:
     """
 
     def __init__(self, compiled: Union[CompiledSetting, DataExchangeSetting],
-                 result_cache: bool = True) -> None:
+                 result_cache: bool = True,
+                 result_cache_maxsize: Optional[int] = None) -> None:
         if isinstance(compiled, DataExchangeSetting):
             compiled = compile_setting(compiled)
         if not isinstance(compiled, CompiledSetting):
             raise TypeError(
                 f"expected a DataExchangeSetting or CompiledSetting, "
                 f"got {type(compiled).__name__}")
+        if result_cache_maxsize is not None and result_cache_maxsize < 1:
+            raise ValueError(
+                f"result_cache_maxsize must be a positive integer or None "
+                f"(unbounded), got {result_cache_maxsize!r}")
         self.compiled = compiled
         self.requests = 0
         #: ``result_cache=False`` disables the engine-level result cache
         #: (every request recomputes; counters stay at zero).
         self.result_cache_enabled = result_cache
-        self._results: Dict[Tuple[str, str, Optional[Tuple[str, ...]]],
-                            CertainAnswers] = {}
+        #: ``None`` keeps the cache unbounded (the batch-job default, where
+        #: the working set is the job's own input); a long-lived server
+        #: should bound it — least-recently-used entries are then evicted
+        #: and counted as ``result_cache_evictions``.
+        self.result_cache_maxsize = result_cache_maxsize
+        self._results: "OrderedDict[Tuple[str, str, Optional[Tuple[str, ...]]], CertainAnswers]" = OrderedDict()
         self._engine_stats = CacheStats()
         # Guards the result cache, its counters and the request counter
         # against thread-pool batches; computation happens outside the lock
@@ -151,6 +168,7 @@ class ExchangeEngine:
         merged.update(self._engine_stats.snapshot())
         merged.setdefault("result_cache_hits", 0)
         merged.setdefault("result_cache_misses", 0)
+        merged.setdefault("result_cache_evictions", 0)
         return merged
 
     def stats_summary(self) -> EngineStats:
@@ -161,6 +179,8 @@ class ExchangeEngine:
             result_cache_hits=counters["result_cache_hits"],
             result_cache_misses=counters["result_cache_misses"],
             result_cache_entries=len(self._results),
+            result_cache_evictions=counters["result_cache_evictions"],
+            result_cache_maxsize=self.result_cache_maxsize,
             counters=counters)
 
     def clear_result_cache(self) -> None:
@@ -236,20 +256,14 @@ class ExchangeEngine:
         key = (None if nulls is not None
                else self._result_key(source_tree, query, variable_order))
         if key is not None:
-            with self._lock:
-                cached = self._results.get(key)
-                if cached is None:
-                    self._engine_stats.miss("result_cache")
-                else:
-                    self._engine_stats.hit("result_cache")
+            cached = self._cache_lookup(key)
             if cached is not None:
                 return self._certain_result(cached, started)
         outcome: CertainAnswers = certain_answers(
             self.setting, source_tree, query, variable_order, nulls,
             compiled=self.compiled)
         if key is not None:
-            with self._lock:
-                self._results[key] = outcome
+            self._cache_store(key, outcome)
         return self._certain_result(outcome, started)
 
     def _result_key(self, source_tree: XMLTree, query: Query,
@@ -259,6 +273,29 @@ class ExchangeEngine:
             return None
         order = tuple(variable_order) if variable_order is not None else None
         return (source_tree.fingerprint(), query.fingerprint(), order)
+
+    def _cache_lookup(self, key: Tuple) -> Optional[CertainAnswers]:
+        """Counted result-cache lookup; a hit refreshes the entry's LRU
+        position."""
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is None:
+                self._engine_stats.miss("result_cache")
+            else:
+                self._results.move_to_end(key)
+                self._engine_stats.hit("result_cache")
+            return cached
+
+    def _cache_store(self, key: Tuple, outcome: CertainAnswers) -> None:
+        """Store ``outcome`` under ``key``, evicting least-recently-used
+        entries beyond ``result_cache_maxsize`` (counted)."""
+        with self._lock:
+            self._results[key] = outcome
+            self._results.move_to_end(key)
+            if self.result_cache_maxsize is not None:
+                while len(self._results) > self.result_cache_maxsize:
+                    self._results.popitem(last=False)
+                    self._engine_stats.evict("result_cache")
 
     def _certain_result(self, outcome: CertainAnswers,
                         started: float) -> EngineResult:
@@ -380,6 +417,7 @@ class ExchangeEngine:
                     with self._lock:
                         cached = self._results.get(key)
                         if cached is not None:
+                            self._results.move_to_end(key)
                             self._engine_stats.hit("result_cache")
                         elif key in task_of_key:
                             self._engine_stats.hit("result_cache")
@@ -408,8 +446,7 @@ class ExchangeEngine:
             for position, result in enumerate(worker_results):
                 key = task_keys[position]
                 if key is not None:
-                    with self._lock:
-                        self._results[key] = result.raw
+                    self._cache_store(key, result.raw)
             for index, position in served_by:
                 result = worker_results[position]
                 with self._lock:

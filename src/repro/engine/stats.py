@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Optional
 
 __all__ = ["CacheStats", "EngineStats"]
 
@@ -24,12 +24,17 @@ class EngineStats:
     by ``(tree_fingerprint, query_fingerprint)``; ``counters`` is the full
     merged snapshot (compiled-setting caches plus engine caches) that every
     :class:`~repro.engine.EngineResult` also carries in its ``cache`` field.
+    ``result_cache_maxsize`` is ``None`` for an unbounded cache (the batch-job
+    default); a bounded cache reports LRU evictions in
+    ``result_cache_evictions``.
     """
 
     requests: int
     result_cache_hits: int
     result_cache_misses: int
     result_cache_entries: int
+    result_cache_evictions: int = 0
+    result_cache_maxsize: Optional[int] = None
     counters: Dict[str, int] = field(default_factory=dict)
 
 
@@ -39,6 +44,7 @@ class CacheStats:
     def __init__(self) -> None:
         self._hits: Counter = Counter()
         self._misses: Counter = Counter()
+        self._evictions: Counter = Counter()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -49,6 +55,10 @@ class CacheStats:
 
     def miss(self, name: str, count: int = 1) -> None:
         self._misses[name] += count
+
+    def evict(self, name: str, count: int = 1) -> None:
+        """Record ``count`` capacity evictions from the cache ``name``."""
+        self._evictions[name] += count
 
     def set_counts(self, name: str, hits: int, misses: int) -> None:
         """Overwrite both counters of ``name`` (used for caches that keep
@@ -66,6 +76,9 @@ class CacheStats:
     def misses(self, name: str) -> int:
         return self._misses[name]
 
+    def evictions(self, name: str) -> int:
+        return self._evictions[name]
+
     @property
     def total_hits(self) -> int:
         return sum(self._hits.values())
@@ -75,11 +88,14 @@ class CacheStats:
         return sum(self._misses.values())
 
     def snapshot(self) -> Dict[str, int]:
-        """A flat ``{"<name>_hits": n, "<name>_misses": m}`` mapping."""
+        """A flat ``{"<name>_hits": n, "<name>_misses": m, "<name>_evictions":
+        e}`` mapping (evictions reported only for caches that recorded any)."""
         flat: Dict[str, int] = {}
         for name in sorted(set(self._hits) | set(self._misses)):
             flat[f"{name}_hits"] = self._hits[name]
             flat[f"{name}_misses"] = self._misses[name]
+        for name in sorted(self._evictions):
+            flat[f"{name}_evictions"] = self._evictions[name]
         return flat
 
     @staticmethod

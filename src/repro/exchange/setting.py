@@ -50,6 +50,7 @@ class DataExchangeSetting:
         self.source_dtd = source_dtd
         self.target_dtd = target_dtd
         self.stds: List[STD] = list(stds)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Structural classification
@@ -119,10 +120,19 @@ class DataExchangeSetting:
         """A content fingerprint of the whole setting: the SHA-256 digest of
         both DTDs (textual rendering) and the STD list in order.  Settings
         with equal fingerprints are syntactically identical, which makes the
-        digest usable as a sharding / result-cache namespace key."""
-        key = "\n".join([self.source_dtd.to_text(), self.target_dtd.to_text(),
-                         *(str(dep) for dep in self.stds)])
-        return hashlib.sha256(key.encode("utf-8")).hexdigest()
+        digest usable as a sharding / result-cache namespace key — it is what
+        :mod:`repro.service` routes every request by.
+
+        The digest is computed once and memoised: a setting is treated as
+        immutable after construction (nothing in the pipeline mutates one,
+        and the serving layer relies on the key being stable)."""
+        if self._fingerprint is None:
+            key = "\n".join([self.source_dtd.to_text(),
+                             self.target_dtd.to_text(),
+                             *(str(dep) for dep in self.stds)])
+            self._fingerprint = hashlib.sha256(
+                key.encode("utf-8")).hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:
         return (f"<DataExchangeSetting source={self.source_dtd.root!r} "

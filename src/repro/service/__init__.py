@@ -1,0 +1,48 @@
+"""The serving layer: async, multi-setting exchange over sharded engines.
+
+Where :mod:`repro.engine` serves one compiled setting for a batch-job
+lifetime, this package serves **many settings at once** for a server
+lifetime:
+
+* :class:`SettingRegistry` — admits settings keyed by
+  ``DataExchangeSetting.fingerprint()``, compiles them lazily and keeps at
+  most ``max_compiled`` compiled (LRU), with per-setting bounded result
+  caches so tenants cannot evict each other's entries;
+* :class:`Router` — partitions mixed-setting batches into per-shard
+  sub-batches and re-assembles results in submission order;
+* :class:`AsyncExchangeService` — the awaitable facade
+  (``await consistency/solve/certain_answers/batch``) running work on a
+  configurable serial/thread/process executor without blocking the event
+  loop;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a stdlib-only
+  JSON-lines TCP server (``python -m repro.service.server``) and its client
+  helper, the demonstration workload of the layer.
+
+Quickstart::
+
+    from repro.service import AsyncExchangeService, certain_answers_request
+
+    async with AsyncExchangeService(max_compiled=64,
+                                    result_cache_maxsize=1024) as service:
+        fp = service.register(setting)              # routing key
+        ok = (await service.check_consistency(fp)).payload
+        answers = (await service.certain_answers(fp, tree, query)).payload
+        slots = await service.batch([certain_answers_request(fp, t, query)
+                                     for t in trees])
+"""
+
+from .registry import SettingRegistry, UnknownSettingError
+from .requests import (OPERATIONS, ExchangeRequest, ServiceResult,
+                       certain_answers_request, classify_request,
+                       consistency_request, solve_request)
+from .router import Router
+from .service import SERVICE_EXECUTORS, AsyncExchangeService
+from .shard import Shard
+
+__all__ = [
+    "AsyncExchangeService", "SERVICE_EXECUTORS",
+    "SettingRegistry", "UnknownSettingError", "Router", "Shard",
+    "ExchangeRequest", "ServiceResult", "OPERATIONS",
+    "consistency_request", "classify_request", "solve_request",
+    "certain_answers_request",
+]

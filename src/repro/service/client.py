@@ -1,0 +1,243 @@
+"""Synchronous client helper for the JSON-lines exchange server.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.protocol` wire format
+over one TCP connection and gives callers back native objects — settings go
+in as :class:`~repro.DataExchangeSetting`, solutions come back as
+:class:`~repro.XMLTree`, answers as sets of tuples — and server-side
+failures re-raise as their original exception classes.
+
+Also runnable as the end-to-end smoke check CI uses::
+
+    python -m repro.service.client --smoke
+
+which boots a server subprocess on a free port, round-trips a register +
+consistency + certain-answers + solve conversation, asks the server to shut
+down and asserts the process exits cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import socket
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exchange.errors import ChaseError, ExchangeError, NoSolutionError
+from ..exchange.setting import DataExchangeSetting
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import Value
+from .protocol import (decode_line, encode_line, setting_to_wire,
+                       tree_from_wire, tree_to_wire, value_from_wire)
+from .registry import UnknownSettingError
+
+__all__ = ["ServiceClient", "ServerError", "main"]
+
+def _rebuild_unknown_setting(message: str) -> UnknownSettingError:
+    """Reconstruct with the fingerprint (prefix) the server's message names,
+    not the whole sentence — ``.fingerprint`` must stay a routing key."""
+    match = re.search(r"fingerprint ([0-9a-f]{8,})", message)
+    return UnknownSettingError(match.group(1) if match else message)
+
+
+#: Error names the server may send, mapped back to the exception the direct
+#: engine call would have raised.
+_ERROR_TYPES = {
+    "ChaseError": ChaseError,
+    "NoSolutionError": NoSolutionError,
+    "ExchangeError": ExchangeError,
+    "UnknownSettingError": _rebuild_unknown_setting,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+}
+
+
+class ServerError(RuntimeError):
+    """A server-side failure with no local exception class to map onto."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+
+
+class ServiceClient:
+    """One JSON-lines connection to an exchange server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421,
+                 timeout: Optional[float] = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one message, await its reply, raise server errors."""
+        self._next_id += 1
+        message = dict(message, id=self._next_id)
+        self._sock.sendall(encode_line(message))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = decode_line(line)
+        if reply.get("id") != self._next_id:
+            raise ConnectionError(
+                f"out-of-order reply: sent id {self._next_id}, "
+                f"got {reply.get('id')!r}")
+        if not reply.get("ok"):
+            name = str(reply.get("error", "ServerError"))
+            text = str(reply.get("message", ""))
+            raise _ERROR_TYPES.get(name, lambda m: ServerError(name, m))(text)
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Operations
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def register(self, setting: DataExchangeSetting) -> str:
+        """Register a setting; returns its fingerprint (the routing key)."""
+        reply = self.request({"op": "register",
+                              "setting": setting_to_wire(setting)})
+        return reply["fingerprint"]
+
+    def check_consistency(self, fingerprint: str,
+                          strategy: str = "auto") -> bool:
+        reply = self.request({"op": "consistency", "fingerprint": fingerprint,
+                              "strategy": strategy})
+        return bool(reply["consistent"])
+
+    def classify(self, fingerprint: str) -> bool:
+        """Is the setting in the tractable class (Theorem 6.2)?"""
+        return bool(self.request({"op": "classify",
+                                  "fingerprint": fingerprint})["tractable"])
+
+    def solve(self, fingerprint: str, tree: XMLTree) -> Optional[XMLTree]:
+        """The canonical solution, or ``None`` when no solution exists."""
+        reply = self.request({"op": "solve", "fingerprint": fingerprint,
+                              "tree": tree_to_wire(tree)})
+        if not reply["result_ok"] or reply["solution"] is None:
+            return None
+        return tree_from_wire(reply["solution"], ordered=False)
+
+    def certain_answers(self, fingerprint: str, tree: XMLTree,
+                        query_pattern: str,
+                        variable_order: Optional[Sequence[str]] = None
+                        ) -> Optional[Set[Tuple[Value, ...]]]:
+        """``certain(Q, T)`` for a pattern-text query; ``None`` = no solution."""
+        message: Dict[str, Any] = {
+            "op": "certain_answers", "fingerprint": fingerprint,
+            "tree": tree_to_wire(tree), "query": query_pattern}
+        if variable_order is not None:
+            message["variable_order"] = list(variable_order)
+        reply = self.request(message)
+        if reply["answers"] is None:
+            return None
+        return {tuple(value_from_wire(value) for value in answer)
+                for answer in reply["answers"]}
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> bool:
+        """Ask the server to exit; returns its acknowledgement."""
+        return bool(self.request({"op": "shutdown"}).get("bye"))
+
+
+# --------------------------------------------------------------------- #
+# Smoke mode (used by CI)
+# --------------------------------------------------------------------- #
+
+def run_smoke(executor: str = "thread", verbose: bool = True) -> int:
+    """Boot a server subprocess, round-trip the core conversation, assert a
+    clean shutdown.  Returns a process-style exit code."""
+    from ..workloads import library
+
+    def say(text: str) -> None:
+        if verbose:
+            print(text, flush=True)
+
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.server", "--port", "0",
+         "--executor", executor, "--result-cache-maxsize", "64"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = process.stdout.readline().strip()
+        if not banner.startswith("listening on "):
+            raise AssertionError(f"unexpected server banner: {banner!r}")
+        host, port = banner.split()[-1].rsplit(":", 1)
+        say(f"server up on {host}:{port}")
+
+        setting = library.library_setting()
+        tree = library.generate_source(4, authors_per_book=2, seed=1)
+        with ServiceClient(host, int(port)) as client:
+            assert client.ping()
+            fingerprint = client.register(setting)
+            assert fingerprint == setting.fingerprint(), \
+                "client- and server-side fingerprints disagree"
+            say(f"registered setting {fingerprint[:16]}…")
+            assert client.check_consistency(fingerprint) is True
+            say("consistency round-trip ok")
+            answers = client.certain_answers(
+                fingerprint, tree, "bib[writer(@name=w)[work(@title='Book-0')]]")
+            assert answers == {("Author-1",), ("Author-2",)}, answers
+            say(f"certain-answers round-trip ok ({len(answers)} tuples)")
+            solution = client.solve(fingerprint, tree)
+            assert solution is not None and len(solution) > 1
+            say(f"solve round-trip ok ({len(solution)} solution nodes)")
+            stats = client.stats()
+            assert stats["registry"]["settings_registered"] == 1
+            assert client.shutdown()
+        if process.wait(timeout=30) != 0:
+            raise AssertionError(f"server exited with {process.returncode}")
+        tail = process.stdout.read()
+        assert "server shut down cleanly" in tail, tail
+        say("clean shutdown confirmed")
+        say("SMOKE PASS")
+        return 0
+    except BaseException as error:
+        process.kill()
+        process.wait()
+        print(f"SMOKE FAIL: {error}", file=sys.stderr, flush=True)
+        return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.client", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="boot a server subprocess and round-trip the "
+                             "core conversation (CI smoke check)")
+    parser.add_argument("--executor", default="thread",
+                        help="server executor for --smoke")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args.executor)
+    parser.error("nothing to do: pass --smoke (or use ServiceClient "
+                 "programmatically)")
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Wire codec of the JSON-lines service protocol.
+
+Everything the server and client exchange is one JSON object per
+``\\n``-terminated line (UTF-8).  This module holds the pure codec — no
+sockets — so the server, the client helper and the tests share one
+definition of the wire format:
+
+* **settings** travel structurally — root, ``{element: content-model}``
+  rules and ``{element: [attribute, ...]}`` maps per DTD, plus the STDs as
+  ``target :- source`` pattern-text pairs — and rebuild to a setting with
+  the **same fingerprint**, so client-side and server-side routing keys
+  agree;
+* **trees** travel as nested ``[label, {attr: value}, [child, ...]]``
+  triples; constants are plain strings and nulls (which occur in solution
+  trees the server returns) are tagged ``{"null": n}``;
+* **queries** travel as tree-pattern text (:func:`repro.parse_pattern`
+  syntax); the server wraps them with :func:`repro.pattern_query`;
+* **answer sets** travel as a sorted list of value lists (``null`` for a
+  no-solution outcome, mirroring ``CertainAnswers.answers``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..exchange.setting import DataExchangeSetting
+from ..exchange.std import std
+from ..patterns.parse import parse_pattern
+from ..patterns.queries import Query, pattern_query
+from ..xmlmodel.dtd import DTD
+from ..xmlmodel.tree import XMLTree
+from ..xmlmodel.values import Null, Value, is_null
+
+__all__ = ["encode_line", "decode_line", "value_to_wire", "value_from_wire",
+           "tree_to_wire", "tree_from_wire", "dtd_to_wire", "dtd_from_wire",
+           "setting_to_wire", "setting_from_wire", "query_from_wire",
+           "answers_to_wire"]
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a ``\\n``-terminated UTF-8 JSON line."""
+    return (json.dumps(message, ensure_ascii=False, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+# --------------------------------------------------------------------- #
+# Values and trees
+# --------------------------------------------------------------------- #
+
+def value_to_wire(value: Value) -> Any:
+    """A constant as itself, a null as ``{"null": ident}``."""
+    if is_null(value):
+        return {"null": value.ident}
+    return value
+
+
+def value_from_wire(wire: Any) -> Value:
+    if isinstance(wire, dict):
+        return Null(int(wire["null"]))
+    return wire
+
+
+def tree_to_wire(tree: XMLTree, ident: Optional[int] = None) -> List[Any]:
+    """The (sub)tree as a nested ``[label, attrs, children]`` triple."""
+    if ident is None:
+        ident = tree.root
+    node = tree.node(ident)
+    attrs = {name: value_to_wire(value)
+             for name, value in sorted(node.attributes.items())}
+    children = [tree_to_wire(tree, child) for child in node.children]
+    return [node.label, attrs, children]
+
+
+def tree_from_wire(wire: List[Any], ordered: bool = True) -> XMLTree:
+    label, attrs, children = wire
+    tree = XMLTree(str(label), ordered=ordered)
+    for name, value in attrs.items():
+        tree.set_attribute(tree.root, name, value_from_wire(value))
+    for child in children:
+        _graft_from_wire(tree, tree.root, child)
+    return tree
+
+
+def _graft_from_wire(tree: XMLTree, parent: int, wire: List[Any]) -> None:
+    label, attrs, children = wire
+    node = tree.add_child(parent, str(label),
+                          {name: value_from_wire(value)
+                           for name, value in attrs.items()})
+    for child in children:
+        _graft_from_wire(tree, node, child)
+
+
+# --------------------------------------------------------------------- #
+# DTDs and settings
+# --------------------------------------------------------------------- #
+
+def dtd_to_wire(dtd: DTD) -> Dict[str, Any]:
+    """Structural rendering that :class:`DTD` rebuilds verbatim."""
+    elements = sorted(dtd.rules)
+    return {
+        "root": dtd.root,
+        "rules": {element: str(dtd.content_model(element))
+                  for element in elements},
+        "attributes": {element: sorted(dtd.attributes_of(element))
+                       for element in elements},
+    }
+
+
+def dtd_from_wire(wire: Dict[str, Any]) -> DTD:
+    return DTD(wire["root"], wire.get("rules", {}),
+               wire.get("attributes", {}))
+
+
+def setting_to_wire(setting: DataExchangeSetting) -> Dict[str, Any]:
+    """A setting as two structural DTDs plus pattern-text STDs.
+
+    Rebuilding via :func:`setting_from_wire` yields a setting with the same
+    ``fingerprint()``, so routing keys computed on either side agree.
+    """
+    return {
+        "source_dtd": dtd_to_wire(setting.source_dtd),
+        "target_dtd": dtd_to_wire(setting.target_dtd),
+        "stds": [{"target": str(dependency.target),
+                  "source": str(dependency.source)}
+                 for dependency in setting.stds],
+    }
+
+
+def setting_from_wire(wire: Dict[str, Any]) -> DataExchangeSetting:
+    dependencies = [std(item["target"], item["source"])
+                    for item in wire.get("stds", [])]
+    return DataExchangeSetting(dtd_from_wire(wire["source_dtd"]),
+                               dtd_from_wire(wire["target_dtd"]),
+                               dependencies)
+
+
+# --------------------------------------------------------------------- #
+# Queries and answers
+# --------------------------------------------------------------------- #
+
+def query_from_wire(wire: Any) -> Query:
+    """A query from its wire form: tree-pattern text (or ``{"pattern": …}``)."""
+    if isinstance(wire, dict):
+        wire = wire.get("pattern")
+    if not isinstance(wire, str):
+        raise ValueError("queries travel as tree-pattern text")
+    return pattern_query(parse_pattern(wire))
+
+
+def answers_to_wire(answers: Optional[Set[Tuple[Value, ...]]]
+                    ) -> Optional[List[List[Any]]]:
+    """A certain-answer set as a sorted list of value lists.
+
+    Certain answers are all-constant tuples (strings), so the rendering is
+    loss-free; ``None`` (no solution) stays ``None``.
+    """
+    if answers is None:
+        return None
+    return sorted([value_to_wire(value) for value in answer]
+                  for answer in answers)

@@ -1,0 +1,188 @@
+"""The multi-setting registry: fingerprints in, shards out.
+
+A :class:`SettingRegistry` is the serving layer's source of truth for which
+settings exist and which of them are currently compiled.  Settings are
+admitted with :meth:`register` and keyed by
+``DataExchangeSetting.fingerprint()`` — a content digest, so re-registering
+a syntactically identical setting is a no-op returning the same key, and
+clients can compute the routing key without the registry.
+
+Compilation is **lazy and bounded**: a setting is compiled into a
+:class:`~repro.service.shard.Shard` the first time a request routes to it,
+and at most ``max_compiled`` shards are kept, least-recently-used first out
+(``compiled_evictions`` in :meth:`stats`).  An evicted setting stays
+registered — the next request simply pays compilation again (a
+``compiled_misses`` increment), which is what makes an LRU of compiled
+settings safe: eviction is a performance event, never a correctness event.
+
+Isolation: every shard owns a private engine whose result cache is bounded
+by this registry's ``result_cache_maxsize`` — per setting, not globally —
+so one tenant's traffic can never evict another tenant's cached results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Union
+
+from ..engine import CacheStats, ExchangeEngine, compile_setting
+from ..engine.compiled import CompiledSetting
+from ..exchange.setting import DataExchangeSetting
+from .shard import Shard
+
+__all__ = ["SettingRegistry", "UnknownSettingError"]
+
+
+class UnknownSettingError(KeyError):
+    """A request named a fingerprint no registered setting has."""
+
+    def __init__(self, fingerprint: str) -> None:
+        super().__init__(fingerprint)
+        self.fingerprint = fingerprint
+
+    def __str__(self) -> str:
+        if " " in self.fingerprint:  # already a rendered message
+            return self.fingerprint
+        return (f"no setting registered under fingerprint "
+                f"{self.fingerprint[:16]}… (register it first)")
+
+
+class SettingRegistry:
+    """Admits settings, compiles them lazily, bounds the compiled set."""
+
+    def __init__(self, max_compiled: Optional[int] = None,
+                 result_cache: bool = True,
+                 result_cache_maxsize: Optional[int] = None) -> None:
+        if max_compiled is not None and max_compiled < 1:
+            raise ValueError(f"max_compiled must be a positive integer or "
+                             f"None (unbounded), got {max_compiled!r}")
+        self.max_compiled = max_compiled
+        self.result_cache = result_cache
+        self.result_cache_maxsize = result_cache_maxsize
+        self._settings: Dict[str, DataExchangeSetting] = {}
+        self._shards: "OrderedDict[str, Shard]" = OrderedDict()
+        self._stats = CacheStats()
+        # An RLock: shard() compiles while holding it, which serialises
+        # compilation (no duplicated compile work under concurrency) at the
+        # cost of briefly blocking other registry calls — registry calls are
+        # otherwise dictionary lookups.
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def register(self, setting: Union[DataExchangeSetting, CompiledSetting]
+                 ) -> str:
+        """Admit a setting and return its fingerprint (the routing key).
+
+        Passing an already-compiled :class:`CompiledSetting` also pre-seeds
+        the shard, skipping the lazy compile on first request.
+        Re-registering an identical setting is a no-op.
+        """
+        compiled: Optional[CompiledSetting] = None
+        if isinstance(setting, CompiledSetting):
+            compiled, setting = setting, setting.setting
+        if not isinstance(setting, DataExchangeSetting):
+            raise TypeError(f"expected a DataExchangeSetting or "
+                            f"CompiledSetting, got {type(setting).__name__}")
+        fingerprint = setting.fingerprint()
+        with self._lock:
+            self._settings.setdefault(fingerprint, setting)
+            if compiled is not None and fingerprint not in self._shards:
+                self._admit_shard(fingerprint, compiled)
+        return fingerprint
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def shard(self, fingerprint: str) -> Shard:
+        """The shard serving ``fingerprint``, compiling it if needed."""
+        with self._lock:
+            shard = self._shards.get(fingerprint)
+            if shard is not None:
+                self._shards.move_to_end(fingerprint)
+                self._stats.hit("compiled")
+                return shard
+            setting = self._settings.get(fingerprint)
+            if setting is None:
+                raise UnknownSettingError(fingerprint)
+            self._stats.miss("compiled")
+            return self._admit_shard(fingerprint, compile_setting(setting))
+
+    def _admit_shard(self, fingerprint: str,
+                     compiled: CompiledSetting) -> Shard:
+        engine = ExchangeEngine(
+            compiled, result_cache=self.result_cache,
+            result_cache_maxsize=self.result_cache_maxsize)
+        shard = Shard(fingerprint, engine)
+        self._shards[fingerprint] = shard
+        self._shards.move_to_end(fingerprint)
+        if self.max_compiled is not None:
+            while len(self._shards) > self.max_compiled:
+                _, evicted = self._shards.popitem(last=False)
+                evicted.close(wait=False)
+                self._stats.evict("compiled")
+        return shard
+
+    def engine(self, fingerprint: str) -> ExchangeEngine:
+        """Shortcut for ``registry.shard(fingerprint).engine``."""
+        return self.shard(fingerprint).engine
+
+    def setting(self, fingerprint: str) -> DataExchangeSetting:
+        with self._lock:
+            setting = self._settings.get(fingerprint)
+        if setting is None:
+            raise UnknownSettingError(fingerprint)
+        return setting
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def fingerprints(self) -> List[str]:
+        """Every registered fingerprint, in registration order."""
+        with self._lock:
+            return list(self._settings)
+
+    def compiled_fingerprints(self) -> List[str]:
+        """Currently-compiled fingerprints, least recently used first."""
+        with self._lock:
+            return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._settings)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._settings
+
+    def stats(self) -> Dict[str, int]:
+        """Registry-level counters: registrations and the compiled LRU."""
+        with self._lock:
+            flat = self._stats.snapshot()
+            flat.setdefault("compiled_hits", 0)
+            flat.setdefault("compiled_misses", 0)
+            flat.setdefault("compiled_evictions", 0)
+            flat["settings_registered"] = len(self._settings)
+            flat["compiled_entries"] = len(self._shards)
+            return flat
+
+    def shard_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-shard accounting for every currently-compiled shard."""
+        with self._lock:
+            shards = list(self._shards.items())
+        return {fingerprint: shard.stats() for fingerprint, shard in shards}
+
+    def close(self) -> None:
+        """Shut down every shard's worker pool (settings stay registered)."""
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.close()
+
+    def __repr__(self) -> str:
+        return (f"<SettingRegistry settings={len(self._settings)} "
+                f"compiled={len(self._shards)}"
+                f"{'' if self.max_compiled is None else f'/{self.max_compiled}'}>")

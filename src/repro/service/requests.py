@@ -1,0 +1,113 @@
+"""Request and per-request result types of the serving layer.
+
+An :class:`ExchangeRequest` names an operation, the fingerprint of the
+setting it runs against (``DataExchangeSetting.fingerprint()`` — the sharding
+key of the whole layer) and the per-request payload (source tree, query).
+Requests are plain frozen data: they can be built on a client, routed by
+fingerprint without touching the setting, and executed on whichever shard
+owns that fingerprint.
+
+A :class:`ServiceResult` is one slot of a batch response: the request's
+position, the :class:`~repro.engine.EngineResult` when the shard produced
+one, or the exception it raised.  Batches isolate failures per request — an
+error inside one shard marks only the requests it actually failed, never its
+batch neighbours (see :meth:`repro.service.AsyncExchangeService.batch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..engine import EngineResult
+from ..patterns.queries import Query
+from ..xmlmodel.tree import XMLTree
+
+__all__ = ["OPERATIONS", "ExchangeRequest", "ServiceResult",
+           "consistency_request", "classify_request", "solve_request",
+           "certain_answers_request"]
+
+#: Operations a request may name.  ``consistency`` and ``classify`` are
+#: setting-level; ``solve`` and ``certain_answers`` are per-tree.
+OPERATIONS = ("consistency", "classify", "solve", "certain_answers")
+
+
+@dataclass(frozen=True, eq=False)
+class ExchangeRequest:
+    """One routable unit of work against a registered setting."""
+
+    op: str
+    fingerprint: str
+    tree: Optional[XMLTree] = None
+    query: Optional[Query] = None
+    variable_order: Optional[Tuple[str, ...]] = None
+    strategy: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATIONS:
+            raise ValueError(f"unknown operation {self.op!r}; "
+                             f"expected one of {', '.join(OPERATIONS)}")
+        if self.op in ("solve", "certain_answers") and self.tree is None:
+            raise ValueError(f"{self.op!r} requests need a source tree")
+        if self.op == "certain_answers" and self.query is None:
+            raise ValueError("'certain_answers' requests need a query")
+
+    def __repr__(self) -> str:
+        return (f"<ExchangeRequest {self.op} "
+                f"setting={self.fingerprint[:12]}…>")
+
+
+def consistency_request(fingerprint: str,
+                        strategy: str = "auto") -> ExchangeRequest:
+    """A consistency check against the setting ``fingerprint``."""
+    return ExchangeRequest("consistency", fingerprint, strategy=strategy)
+
+
+def classify_request(fingerprint: str) -> ExchangeRequest:
+    """A dichotomy-classification request."""
+    return ExchangeRequest("classify", fingerprint)
+
+
+def solve_request(fingerprint: str, tree: XMLTree) -> ExchangeRequest:
+    """A canonical-solution request for one source tree."""
+    return ExchangeRequest("solve", fingerprint, tree=tree)
+
+
+def certain_answers_request(fingerprint: str, tree: XMLTree, query: Query,
+                            variable_order: Optional[Sequence[str]] = None
+                            ) -> ExchangeRequest:
+    """A certain-answers request for one ``(tree, query)`` pair."""
+    order = tuple(variable_order) if variable_order is not None else None
+    return ExchangeRequest("certain_answers", fingerprint, tree=tree,
+                           query=query, variable_order=order)
+
+
+@dataclass
+class ServiceResult:
+    """One slot of a batch response (requests keep their submission order).
+
+    Exactly one of ``result`` / ``error`` is set.  ``ok`` mirrors
+    ``EngineResult.ok`` when the shard produced a result and is ``False``
+    when it raised.
+    """
+
+    index: int
+    fingerprint: str
+    result: Optional[EngineResult] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None and self.result.ok
+
+    @property
+    def failed(self) -> bool:
+        """Did the shard raise (as opposed to returning a defined outcome)?"""
+        return self.error is not None
+
+    def unwrap(self) -> EngineResult:
+        """The engine result, re-raising the shard's exception unchanged."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result

@@ -1,0 +1,131 @@
+"""Fingerprint routing: mixed-setting batches → per-shard sub-batches.
+
+The :class:`Router` is the synchronous routing core the async facade builds
+on.  It maps single requests to their shard and splits a mixed-setting batch
+into per-shard sub-batches that preserve each request's original position,
+so sub-batch outcomes can be re-assembled into submission order no matter
+how the sub-batches were scheduled.
+
+Within one sub-batch requests run sequentially on the shard — that is what
+keeps a shard's result cache coherent and duplicate work collapsed — while
+distinct sub-batches are independent and may run concurrently (the async
+service fans them out over its executor).  Failures are isolated per
+request: an exception marks only the :class:`ServiceResult` slot of the
+request that raised it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import Executor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import EngineResult
+from .registry import SettingRegistry
+from .requests import ExchangeRequest, ServiceResult
+from .shard import Shard
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Routes requests to shards by setting fingerprint."""
+
+    def __init__(self, registry: SettingRegistry) -> None:
+        self.registry = registry
+
+    # ------------------------------------------------------------------ #
+    # Single requests
+    # ------------------------------------------------------------------ #
+
+    def shard_for(self, request: ExchangeRequest) -> Shard:
+        """The shard owning the request's fingerprint (compiling lazily)."""
+        return self.registry.shard(request.fingerprint)
+
+    def execute(self, request: ExchangeRequest,
+                process_parallel: Optional[int] = None) -> EngineResult:
+        """Serve one request synchronously; exceptions propagate unchanged."""
+        return self.shard_for(request).execute(request, process_parallel)
+
+    # ------------------------------------------------------------------ #
+    # Batches
+    # ------------------------------------------------------------------ #
+
+    def partition(self, requests: Sequence[ExchangeRequest]
+                  ) -> "OrderedDict[str, List[Tuple[int, ExchangeRequest]]]"\
+                  :
+        """Group a mixed batch by fingerprint, keeping original positions.
+
+        The mapping iterates fingerprints in first-appearance order; each
+        value lists ``(index, request)`` pairs in submission order.
+        """
+        groups: "OrderedDict[str, List[Tuple[int, ExchangeRequest]]]" = \
+            OrderedDict()
+        for index, request in enumerate(requests):
+            groups.setdefault(request.fingerprint, []).append((index, request))
+        return groups
+
+    def execute_group(self, fingerprint: str,
+                      group: Sequence[Tuple[int, ExchangeRequest]],
+                      process_parallel: Optional[int] = None
+                      ) -> List[ServiceResult]:
+        """Run one per-shard sub-batch, capturing failures per request.
+
+        A routing failure (unknown fingerprint) fails every slot of the
+        group — there is no shard to try the others on; execution failures
+        fail only their own slot.
+        """
+        try:
+            shard = self.registry.shard(fingerprint)
+        except Exception as error:
+            return [ServiceResult(index, fingerprint, error=error)
+                    for index, _ in group]
+        results: List[ServiceResult] = []
+        for index, request in group:
+            try:
+                outcome = shard.execute(request, process_parallel)
+            except Exception as error:
+                results.append(ServiceResult(index, fingerprint, error=error))
+            else:
+                results.append(ServiceResult(index, fingerprint,
+                                             result=outcome))
+        return results
+
+    def execute_batch(self, requests: Sequence[ExchangeRequest],
+                      pool: Optional[Executor] = None,
+                      process_parallel: Optional[int] = None
+                      ) -> List[ServiceResult]:
+        """Serve a mixed-setting batch, re-assembled in submission order.
+
+        ``pool`` (any ``concurrent.futures`` executor) runs the per-shard
+        sub-batches concurrently; without it they run sequentially in
+        first-appearance order.  Either way each slot of the returned list
+        corresponds to the request at the same position, with failures
+        captured per slot.
+        """
+        groups = self.partition(requests)
+        if pool is not None and len(groups) > 1:
+            futures = [pool.submit(self.execute_group, fingerprint, group,
+                                   process_parallel)
+                       for fingerprint, group in groups.items()]
+            outcomes = [future.result() for future in futures]
+        else:
+            outcomes = [self.execute_group(fingerprint, group,
+                                           process_parallel)
+                        for fingerprint, group in groups.items()]
+        return self.reassemble(outcomes, len(requests))
+
+    @staticmethod
+    def reassemble(group_outcomes: Sequence[List[ServiceResult]],
+                   count: int) -> List[ServiceResult]:
+        """Merge per-shard sub-batch outcomes back into submission order.
+
+        The single home of the order-preservation invariant — both the sync
+        batch path here and the async service's ``batch`` use it.
+        """
+        slots: List[Optional[ServiceResult]] = [None] * count
+        for group_results in group_outcomes:
+            for item in group_results:
+                slots[item.index] = item
+        assert all(slot is not None for slot in slots)
+        return slots  # type: ignore[return-value]

@@ -1,0 +1,224 @@
+"""A stdlib-only JSON-lines TCP server over :class:`AsyncExchangeService`.
+
+The demonstration workload of the serving layer: one asyncio server process
+holding one :class:`~repro.service.AsyncExchangeService`, speaking
+newline-delimited JSON (see :mod:`repro.service.protocol`).  Run it with::
+
+    python -m repro.service.server [--host 127.0.0.1] [--port 8421]
+        [--executor thread] [--parallel 4]
+        [--max-compiled N] [--result-cache-maxsize N]
+
+``--port 0`` picks a free port; the server always announces
+``listening on HOST:PORT`` on stdout once it accepts connections, which is
+what the client helper's ``--smoke`` mode (and CI) wait for.
+
+Protocol (one JSON object per line, ``id`` echoed back when present):
+
+===================  ====================================================
+request ``op``       reply (all carry ``"ok"``; errors add ``error``/
+                     ``message`` and keep the connection open)
+===================  ====================================================
+``register``         ``{"fingerprint": …}`` — body: ``{"setting": …}``
+``consistency``      ``{"consistent": bool, "strategy": …, "elapsed": …}``
+``classify``         ``{"tractable": bool, "detail": …}``
+``solve``            ``{"result_ok": bool, "solution": tree|null, …}``
+``certain_answers``  ``{"result_ok": bool, "answers": […]|null,``
+                     ``"variables": […], …}``
+``stats``            ``{"stats": {…}}`` — registry + per-shard counters
+``ping``             ``{"pong": true}``
+``shutdown``         ``{"bye": true}``, then the server exits cleanly
+===================  ====================================================
+
+Engine failures (``ChaseError``, precondition ``ValueError``\\ s, unknown
+fingerprints) are *responses*, never connection drops: the error class name
+travels in ``error`` so clients can re-raise faithfully.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Any, Dict, List, Optional
+
+from .protocol import (answers_to_wire, decode_line, encode_line,
+                       query_from_wire, setting_from_wire, tree_from_wire,
+                       tree_to_wire)
+from .service import SERVICE_EXECUTORS, AsyncExchangeService
+
+__all__ = ["ExchangeServer", "main"]
+
+
+class ExchangeServer:
+    """The asyncio JSON-lines front end of one :class:`AsyncExchangeService`."""
+
+    def __init__(self, service: AsyncExchangeService,
+                 host: str = "127.0.0.1", port: int = 8421) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._writers: set = set()
+        self.connections = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._serve_connection,
+                                                  self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self, announce: bool = True) -> None:
+        """Serve until a ``shutdown`` request arrives, then close cleanly."""
+        if self._server is None:
+            await self.start()
+        if announce:
+            print(f"listening on {self.host}:{self.port}", flush=True)
+        await self._shutdown.wait()
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            # Close every live connection first: a handler parked in
+            # readline() sees EOF and exits, otherwise wait_closed() (which
+            # since 3.12.1 waits for all connection handlers, not just the
+            # listening socket) would hang on any idle client.
+            for writer in list(self._writers):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.aclose()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        self._writers.add(writer)
+        try:
+            while not self._shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                reply = await self._handle_line(line)
+                writer.write(encode_line(reply))
+                await writer.drain()
+                if reply.get("bye"):
+                    break
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        request_id: Any = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            reply = await self._dispatch(message)
+        except Exception as error:
+            reply = {"ok": False, "error": type(error).__name__,
+                     "message": str(error)}
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        self.requests += 1
+        if op == "ping":
+            return {"ok": True, "op": op, "pong": True}
+        if op == "stats":
+            return {"ok": True, "op": op, "stats": self.service.stats(),
+                    "server": {"connections": self.connections,
+                               "requests": self.requests}}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "op": op, "bye": True}
+        if op == "register":
+            fingerprint = self.service.register(
+                setting_from_wire(message["setting"]))
+            return {"ok": True, "op": op, "fingerprint": fingerprint}
+        if op == "consistency":
+            result = await self.service.check_consistency(
+                message["fingerprint"], message.get("strategy", "auto"))
+            return {"ok": True, "op": op, "consistent": bool(result.payload),
+                    "strategy": result.strategy, "elapsed": result.elapsed}
+        if op == "classify":
+            result = await self.service.classify(message["fingerprint"])
+            return {"ok": True, "op": op,
+                    "tractable": bool(result.payload.tractable),
+                    "detail": result.detail, "elapsed": result.elapsed}
+        if op == "solve":
+            result = await self.service.solve(
+                message["fingerprint"], tree_from_wire(message["tree"]))
+            solution = (tree_to_wire(result.payload)
+                        if result.ok and result.payload is not None else None)
+            return {"ok": True, "op": op, "result_ok": result.ok,
+                    "solution": solution, "detail": result.detail,
+                    "elapsed": result.elapsed}
+        if op == "certain_answers":
+            order = message.get("variable_order")
+            result = await self.service.certain_answers(
+                message["fingerprint"], tree_from_wire(message["tree"]),
+                query_from_wire(message["query"]), order)
+            raw = result.raw
+            return {"ok": True, "op": op, "result_ok": result.ok,
+                    "answers": answers_to_wire(result.payload),
+                    "variables": list(raw.variable_order),
+                    "detail": result.detail, "elapsed": result.elapsed}
+        raise ValueError(f"unknown operation {op!r}")
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.server", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8421,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--executor", default="thread",
+                        choices=SERVICE_EXECUTORS)
+    parser.add_argument("--parallel", type=int, default=4)
+    parser.add_argument("--max-compiled", type=int, default=None,
+                        help="LRU bound on concurrently compiled settings")
+    parser.add_argument("--result-cache-maxsize", type=int, default=None,
+                        help="per-setting LRU bound on cached results")
+    args = parser.parse_args(argv)
+
+    async def run() -> None:
+        service = AsyncExchangeService(
+            executor=args.executor, parallel=args.parallel,
+            max_compiled=args.max_compiled,
+            result_cache_maxsize=args.result_cache_maxsize)
+        server = ExchangeServer(service, args.host, args.port)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    print("server shut down cleanly", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

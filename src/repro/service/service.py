@@ -1,0 +1,217 @@
+"""The async, multi-setting serving facade.
+
+:class:`AsyncExchangeService` is what a long-lived server holds: one object
+serving **many settings at once**, with every call awaitable and the actual
+pipeline work running off the event loop on a configurable executor.
+
+* Settings are admitted through :meth:`register` (cheap, synchronous) and
+  compiled lazily by the underlying :class:`SettingRegistry`, bounded by its
+  compiled-settings LRU.
+* Single requests (:meth:`check_consistency`, :meth:`solve`,
+  :meth:`certain_answers`, :meth:`classify`, :meth:`submit`) resolve to an
+  :class:`~repro.engine.EngineResult` and **raise exactly what a direct
+  engine call would raise** — ``ChaseError`` and friends surface unchanged
+  through ``await``.
+* :meth:`batch` takes a mixed-setting request list, partitions it into
+  per-shard sub-batches (:class:`Router`), runs the sub-batches concurrently
+  on the executor and re-assembles :class:`ServiceResult` slots in
+  submission order, isolating failures per request.
+
+Executors
+---------
+
+``executor="thread"`` (default)
+    Requests run on a shared thread pool via ``run_in_executor`` — the loop
+    never blocks; pipeline work is GIL-bound but routing, caching and I/O
+    overlap fully.
+``executor="process"``
+    Requests are *coordinated* on the thread pool but per-tree work runs on
+    the owning shard's process pool (compiled setting shipped once per
+    worker), escaping the GIL on multi-core machines.
+``executor="serial"``
+    Everything runs inline on the loop thread — deterministic and
+    dependency-free, for tests and debugging; the loop *does* block while a
+    request computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import (Any, Callable, Dict, List, Optional, Sequence, TypeVar,
+                    Union)
+
+from ..engine import EngineResult
+from ..engine.compiled import CompiledSetting
+from ..exchange.setting import DataExchangeSetting
+from ..patterns.queries import Query
+from ..xmlmodel.tree import XMLTree
+from .registry import SettingRegistry
+from .requests import (ExchangeRequest, ServiceResult,
+                       certain_answers_request, classify_request,
+                       consistency_request, solve_request)
+from .router import Router
+
+__all__ = ["AsyncExchangeService", "SERVICE_EXECUTORS"]
+
+#: Executor names accepted by :class:`AsyncExchangeService`.
+SERVICE_EXECUTORS = ("serial", "thread", "process")
+
+_T = TypeVar("_T")
+
+
+class AsyncExchangeService:
+    """Await-able exchange serving across many settings (see module docs)."""
+
+    def __init__(self, registry: Optional[SettingRegistry] = None,
+                 executor: str = "thread", parallel: int = 4,
+                 max_compiled: Optional[int] = None,
+                 result_cache_maxsize: Optional[int] = None) -> None:
+        if executor not in SERVICE_EXECUTORS:
+            raise ValueError(
+                f"unknown service executor {executor!r}; "
+                f"expected one of {', '.join(SERVICE_EXECUTORS)}")
+        if parallel < 1:
+            raise ValueError(f"parallel must be >= 1, got {parallel!r}")
+        if registry is None:
+            registry = SettingRegistry(
+                max_compiled=max_compiled,
+                result_cache_maxsize=result_cache_maxsize)
+        elif max_compiled is not None or result_cache_maxsize is not None:
+            raise ValueError(
+                "pass cache bounds either on the registry or to the "
+                "service, not both: an explicit registry keeps its own "
+                "max_compiled / result_cache_maxsize")
+        self.registry = registry
+        self.router = Router(registry)
+        self.executor = executor
+        self.parallel = parallel
+        #: Per-tree work is sent to the owning shard's process pool only in
+        #: process mode; the thread pool then merely coordinates.
+        self._process_parallel = parallel if executor == "process" else None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        if executor != "serial":
+            self._pool = ThreadPoolExecutor(
+                max_workers=parallel,
+                thread_name_prefix="exchange-service")
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+
+    def register(self, setting: Union[DataExchangeSetting, CompiledSetting]
+                 ) -> str:
+        """Admit a setting; returns its fingerprint (the routing key).
+
+        Synchronous on purpose: admission only fingerprints and stores the
+        setting — compilation happens lazily on the serving path.
+        """
+        return self.registry.register(setting)
+
+    # ------------------------------------------------------------------ #
+    # Await-able single requests
+    # ------------------------------------------------------------------ #
+
+    async def submit(self, request: ExchangeRequest) -> EngineResult:
+        """Serve one request; shard exceptions surface unchanged."""
+        return await self._offload(
+            partial(self.router.execute, request,
+                    process_parallel=self._process_parallel))
+
+    async def check_consistency(self, fingerprint: str,
+                                strategy: str = "auto") -> EngineResult:
+        return await self.submit(consistency_request(fingerprint, strategy))
+
+    async def classify(self, fingerprint: str) -> EngineResult:
+        return await self.submit(classify_request(fingerprint))
+
+    async def solve(self, fingerprint: str, tree: XMLTree) -> EngineResult:
+        return await self.submit(solve_request(fingerprint, tree))
+
+    async def certain_answers(self, fingerprint: str, tree: XMLTree,
+                              query: Query,
+                              variable_order: Optional[Sequence[str]] = None
+                              ) -> EngineResult:
+        return await self.submit(
+            certain_answers_request(fingerprint, tree, query, variable_order))
+
+    # ------------------------------------------------------------------ #
+    # Batches
+    # ------------------------------------------------------------------ #
+
+    async def batch(self, requests: Sequence[ExchangeRequest],
+                    return_exceptions: bool = True) -> List[ServiceResult]:
+        """Serve a mixed-setting batch; results keep submission order.
+
+        The batch is partitioned into per-shard sub-batches which run
+        concurrently on the service executor.  Failures mark only their own
+        slot (``ServiceResult.error``); with ``return_exceptions=False`` the
+        first failed slot's exception is re-raised after the whole batch has
+        settled, so one bad request still cannot abort its neighbours
+        mid-flight.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        groups = self.router.partition(requests)
+        group_runs = [
+            self._offload(partial(self.router.execute_group, fingerprint,
+                                  group,
+                                  process_parallel=self._process_parallel))
+            for fingerprint, group in groups.items()]
+        outcomes = await asyncio.gather(*group_runs)
+        results = self.router.reassemble(outcomes, len(requests))
+        if not return_exceptions:
+            for item in results:
+                if item.error is not None:
+                    raise item.error
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, Any]:
+        """Registry counters plus per-shard accounting."""
+        return {
+            "executor": self.executor,
+            "parallel": self.parallel,
+            "registry": self.registry.stats(),
+            "shards": self.registry.shard_stats(),
+        }
+
+    async def aclose(self) -> None:
+        """Shut the service down: worker pools drained, settings kept."""
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.registry.close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncExchangeService":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.aclose()
+
+    def __repr__(self) -> str:
+        return (f"<AsyncExchangeService executor={self.executor} "
+                f"parallel={self.parallel} registry={self.registry!r}>")
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    async def _offload(self, fn: Callable[[], _T]) -> _T:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._pool is None:  # serial: inline on the loop thread
+            return fn()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, fn)

@@ -1,0 +1,216 @@
+"""One shard of the serving layer: a compiled setting behind an engine.
+
+A :class:`Shard` owns the :class:`~repro.engine.ExchangeEngine` for exactly
+one setting fingerprint, plus the shard-local accounting the service reports
+(requests served, errors raised).  All requests for a fingerprint land on
+its shard, so the engine's compiled-setting caches and its bounded result
+cache are **per setting by construction** — one tenant's traffic can warm,
+fill or evict only its own shard's entries.
+
+Per-tree work can optionally run on a shard-owned process pool: the
+(picklable) compiled setting ships to each worker once through the pool
+initializer, so workers start warm and tasks only carry the per-tree
+payload.  Setting-level operations (consistency, classification) are always
+answered by the parent's compiled setting — they are cached after the first
+call and not worth a round-trip.  The parent keeps sole ownership of the
+result cache: it is consulted before dispatching to a worker and updated
+with the worker's outcome, so cache counters and eviction behaviour are
+identical across inline and process execution.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from ..engine import EngineResult, ExchangeEngine
+from ..engine.compiled import CompiledSetting
+from ..exchange.certain_answers import certain_answers
+from ..exchange.chase import canonical_solution
+from .requests import ExchangeRequest
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """The serving unit for one setting fingerprint."""
+
+    def __init__(self, fingerprint: str, engine: ExchangeEngine) -> None:
+        self.fingerprint = fingerprint
+        self.engine = engine
+        self.requests = 0
+        self.errors = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_closed = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def execute(self, request: ExchangeRequest,
+                process_parallel: Optional[int] = None) -> EngineResult:
+        """Serve one request on this shard.
+
+        ``process_parallel=N`` moves per-tree work (``solve``,
+        ``certain_answers``) onto the shard's ``N``-worker process pool;
+        by default everything runs inline on the caller's thread.
+        Exceptions (``ChaseError``, precondition ``ValueError``\\ s, ...)
+        propagate unchanged either way.
+        """
+        if request.fingerprint != self.fingerprint:
+            raise ValueError(
+                f"request for setting {request.fingerprint[:12]}… routed to "
+                f"shard {self.fingerprint[:12]}…")
+        with self._lock:
+            self.requests += 1
+        try:
+            if request.op == "consistency":
+                return self.engine.check_consistency(request.strategy)
+            if request.op == "classify":
+                return self.engine.classify()
+            if request.op == "solve":
+                return self._solve(request, process_parallel)
+            if request.op == "certain_answers":
+                return self._certain_answers(request, process_parallel)
+            raise ValueError(f"unknown operation {request.op!r}")
+        except BaseException:
+            with self._lock:
+                self.errors += 1
+            raise
+
+    def _solve(self, request: ExchangeRequest,
+               process_parallel: Optional[int]) -> EngineResult:
+        if not process_parallel:
+            return self.engine.solve(request.tree)
+        started = time.perf_counter()
+        outcome = self._run_task(("solve", request.tree), process_parallel)
+        return self.engine._result(outcome.success, outcome.tree, "chase",
+                                   started, detail=outcome.failure or "",
+                                   raw=outcome)
+
+    def _certain_answers(self, request: ExchangeRequest,
+                         process_parallel: Optional[int]) -> EngineResult:
+        if not process_parallel:
+            return self.engine.certain_answers(request.tree, request.query,
+                                               request.variable_order)
+        started = time.perf_counter()
+        engine = self.engine
+        key = engine._result_key(request.tree, request.query,
+                                 request.variable_order)
+        if key is not None:
+            cached = engine._cache_lookup(key)
+            if cached is not None:
+                return engine._certain_result(cached, started)
+        outcome = self._run_task(
+            ("certain_answers",
+             (request.tree, request.query, request.variable_order)),
+            process_parallel)
+        if key is not None:
+            engine._cache_store(key, outcome)
+        return engine._certain_result(outcome, started)
+
+    # ------------------------------------------------------------------ #
+    # Worker pool / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _run_task(self, task: Tuple[str, Any], workers: int):
+        """Run one per-tree task on the shard's process pool, falling back
+        to inline execution when the pool is (or just became) closed.
+
+        Eviction must be a performance event, never a correctness event: a
+        request that raced a ``close()`` — or arrived on a stale shard
+        reference after eviction — computes in-process instead of failing,
+        and a closed shard never re-creates a pool the registry could no
+        longer reach.
+        """
+        with self._lock:
+            if self._pool is None and not self._pool_closed:
+                # Workers are spawned on demand (and idle ones reused), so
+                # a serially-driven shard only ever forks one process even
+                # with a larger ``workers`` bound; concurrent submissions
+                # from the service's coordinator threads grow it as needed.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_shard_worker_init,
+                    initargs=(self.engine.compiled,))
+            pool = self._pool
+        if pool is not None:
+            try:
+                return pool.submit(_shard_worker_run, task).result()
+            except RuntimeError as error:
+                if "shutdown" not in str(error):
+                    raise
+        return _run_exchange_task(self.engine.compiled, task)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the shard's worker pool down (idempotent, permanent).
+
+        The shard's engine stays usable — an evicted shard already handed
+        to in-flight requests keeps answering them inline; only its process
+        pool is gone, and it stays gone.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_closed = True
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def stats(self) -> Dict[str, Any]:
+        """Shard accounting merged with the engine's result-cache view."""
+        summary = self.engine.stats_summary()
+        with self._lock:
+            served, errors = self.requests, self.errors
+        return {
+            "requests": served,
+            "errors": errors,
+            "engine_requests": summary.requests,
+            "result_cache_hits": summary.result_cache_hits,
+            "result_cache_misses": summary.result_cache_misses,
+            "result_cache_evictions": summary.result_cache_evictions,
+            "result_cache_entries": summary.result_cache_entries,
+            "result_cache_maxsize": summary.result_cache_maxsize,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Shard {self.fingerprint[:12]}… requests={self.requests} "
+                f"errors={self.errors}>")
+
+
+# --------------------------------------------------------------------- #
+# Process-pool workers
+# --------------------------------------------------------------------- #
+#
+# Mirrors the engine's batch workers: the compiled setting arrives once per
+# worker via the initializer; tasks carry only the per-tree payload and
+# return the raw functional-API outcome (picklable), which the parent wraps
+# into an EngineResult and stores into its result cache.  Exceptions raised
+# here propagate through the future to the caller unchanged.
+
+_SHARD_COMPILED: Optional[CompiledSetting] = None
+
+
+def _shard_worker_init(compiled: CompiledSetting) -> None:
+    global _SHARD_COMPILED
+    _SHARD_COMPILED = compiled
+
+
+def _shard_worker_run(task: Tuple[str, Any]):
+    compiled = _SHARD_COMPILED
+    assert compiled is not None, "shard worker used before initialisation"
+    return _run_exchange_task(compiled, task)
+
+
+def _run_exchange_task(compiled: CompiledSetting, task: Tuple[str, Any]):
+    """The per-tree computation itself — shared by the pool workers and the
+    inline fallback, so both paths are identical by construction."""
+    operation, payload = task
+    if operation == "solve":
+        return canonical_solution(compiled.setting, payload)
+    if operation == "certain_answers":
+        tree, query, variable_order = payload
+        return certain_answers(compiled.setting, tree, query, variable_order,
+                               compiled=compiled)
+    raise ValueError(f"unknown shard worker operation {operation!r}")

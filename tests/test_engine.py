@@ -231,6 +231,78 @@ class TestCacheReuse:
         assert stats["rule_cache_misses"] == 0
 
 
+class TestResultCacheEviction:
+    """The bounded (LRU) result cache for long-lived engines."""
+
+    @staticmethod
+    def _sources(n):
+        return [library.generate_source(3, seed=seed) for seed in range(n)]
+
+    def test_default_stays_unbounded(self, library_setting):
+        engine = ExchangeEngine(library_setting)
+        assert engine.result_cache_maxsize is None
+        query = library.query_writer_of("Book-0")
+        for tree in self._sources(4):
+            engine.certain_answers(tree, query)
+        summary = engine.stats_summary()
+        assert summary.result_cache_entries == 4
+        assert summary.result_cache_evictions == 0
+        assert summary.result_cache_maxsize is None
+
+    def test_maxsize_evicts_least_recently_used(self, library_setting):
+        engine = ExchangeEngine(library_setting, result_cache_maxsize=2)
+        query = library.query_writer_of("Book-0")
+        a, b, c = self._sources(3)
+        engine.certain_answers(a, query)
+        engine.certain_answers(b, query)
+        engine.certain_answers(a, query)  # refresh a: b is now the LRU entry
+        engine.certain_answers(c, query)  # evicts b
+        summary = engine.stats_summary()
+        assert summary.result_cache_entries == 2
+        assert summary.result_cache_evictions == 1
+        assert summary.result_cache_maxsize == 2
+        # a survived the eviction (it was refreshed), b did not.
+        assert engine.certain_answers(a, query).cache["result_cache_hits"] == 2
+        before = engine.stats["result_cache_misses"]
+        engine.certain_answers(b, query)
+        assert engine.stats["result_cache_misses"] == before + 1
+
+    def test_eviction_counter_reaches_stats_and_results(self, library_setting):
+        engine = ExchangeEngine(library_setting, result_cache_maxsize=1)
+        query = library.query_writer_of("Book-0")
+        trees = self._sources(3)
+        last = None
+        for tree in trees:
+            last = engine.certain_answers(tree, query)
+        assert last is not None
+        assert last.cache["result_cache_evictions"] == 2
+        assert engine.stats["result_cache_evictions"] == 2
+        assert engine.stats_summary().result_cache_entries == 1
+
+    def test_results_identical_to_unbounded_engine(self, library_setting):
+        bounded = ExchangeEngine(library_setting, result_cache_maxsize=1)
+        unbounded = ExchangeEngine(library_setting)
+        query = library.query_writer_of("Book-0")
+        for tree in self._sources(3) + self._sources(3):
+            ours = bounded.certain_answers(tree, query)
+            theirs = unbounded.certain_answers(tree, query)
+            assert (ours.ok, ours.payload) == (theirs.ok, theirs.payload)
+
+    def test_invalid_maxsize_rejected(self, library_setting):
+        with pytest.raises(ValueError, match="result_cache_maxsize"):
+            ExchangeEngine(library_setting, result_cache_maxsize=0)
+
+    def test_batch_executors_respect_the_bound(self, library_setting):
+        engine = ExchangeEngine(library_setting, result_cache_maxsize=2)
+        query = library.query_writer_of("Book-0")
+        trees = self._sources(4)
+        engine.certain_answers_batch(trees, query, parallel=2,
+                                     executor="thread")
+        summary = engine.stats_summary()
+        assert summary.result_cache_entries <= 2
+        assert summary.result_cache_evictions >= 2
+
+
 class TestBatch:
     def test_batch_matches_single_calls(self, library_setting):
         engine = ExchangeEngine(library_setting)

@@ -1,0 +1,129 @@
+"""Fingerprints are stable across processes and sensitive to near-misses.
+
+The serving layer routes by ``DataExchangeSetting.fingerprint()`` and caches
+by ``XMLTree.fingerprint()`` — keys that clients may compute in *other*
+processes (the JSON-lines client does exactly that).  Two properties make
+them trustworthy sharding keys:
+
+* **cross-process stability** — a fresh interpreter, even with a different
+  ``PYTHONHASHSEED``, computes identical digests for identical values (the
+  digests must be content hashes, never ``hash()``-derived);
+* **near-miss distinctness** — settings/trees differing in one constant,
+  one rule or one sibling swap get different digests, so traffic for a
+  slightly different setting can never land on (or hit the cache of) the
+  wrong shard.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+from repro import DataExchangeSetting, DTD, XMLTree, std
+from repro.generators import generate_scenario
+from repro.workloads import library
+
+#: Run by the child interpreters: print the same fingerprints the parent
+#: computes, building every artifact from the same deterministic recipe.
+_CHILD_PROGRAM = textwrap.dedent("""
+    from repro.generators import generate_scenario
+    from repro.workloads import library
+
+    print(library.library_setting().fingerprint())
+    print(library.figure_1_source().fingerprint())
+    scenario = generate_scenario(11, profile="mixed")
+    print(scenario.setting.fingerprint())
+    for tree in scenario.source_trees:
+        print(tree.fingerprint())
+    for query in scenario.queries:
+        print(query.fingerprint())
+""")
+
+
+def _child_fingerprints(hash_seed: str):
+    completed = subprocess.run(
+        [sys.executable, "-c", _CHILD_PROGRAM],
+        capture_output=True, text=True, timeout=120,
+        env={**__import__("os").environ, "PYTHONHASHSEED": hash_seed})
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout.split()
+
+
+class TestCrossProcessStability:
+    def test_subprocesses_agree_with_parent_and_each_other(self):
+        scenario = generate_scenario(11, profile="mixed")
+        expected = ([library.library_setting().fingerprint(),
+                     library.figure_1_source().fingerprint(),
+                     scenario.setting.fingerprint()]
+                    + [tree.fingerprint() for tree in scenario.source_trees]
+                    + [query.fingerprint() for query in scenario.queries])
+        # Two children with *different* hash randomisation: digests must be
+        # pure content hashes, identical to the parent's.
+        first = _child_fingerprints("12345")
+        second = _child_fingerprints("54321")
+        assert first == expected
+        assert second == expected
+
+    def test_rebuilt_equal_values_share_fingerprints_in_process(self):
+        assert library.library_setting().fingerprint() == \
+            library.library_setting().fingerprint()
+        assert library.figure_1_source().fingerprint() == \
+            library.figure_1_source().fingerprint()
+
+
+class TestNearMissDistinctness:
+    def test_setting_near_misses(self):
+        def build(source_model="book*", title_attr="title",
+                  std_title="@title=x", extra_target_attr=False):
+            source = DTD("db", {"db": source_model, "book": ""},
+                         {"book": [title_attr]})
+            target_attrs = {"item": ["t", "u"] if extra_target_attr
+                            else ["t"]}
+            target = DTD("lib", {"lib": "item*", "item": ""}, target_attrs)
+            dependency = std("lib[item(@t=x)]", f"db[book({std_title})]")
+            return DataExchangeSetting(source, target, [dependency])
+
+        base = build()
+        assert base.fingerprint() == build().fingerprint()
+        near_misses = [
+            build(source_model="book+"),        # one quantifier changed
+            build(title_attr="titel"),          # one attribute renamed
+            build(std_title="@title=y"),        # one STD variable renamed
+            build(extra_target_attr=True),      # one attribute added
+        ]
+        digests = {setting.fingerprint() for setting in near_misses}
+        assert base.fingerprint() not in digests
+        assert len(digests) == len(near_misses)
+
+    def test_std_order_matters(self):
+        source = DTD("db", {"db": "a* b*", "a": "", "b": ""},
+                     {"a": ["x"], "b": ["y"]})
+        target = DTD("t", {"t": "c*", "c": ""}, {"c": ["z"]})
+        first = std("t[c(@z=v)]", "db[a(@x=v)]")
+        second = std("t[c(@z=v)]", "db[b(@y=v)]")
+        assert DataExchangeSetting(source, target, [first, second]).fingerprint() != \
+            DataExchangeSetting(source, target, [second, first]).fingerprint()
+
+    def test_tree_near_misses(self):
+        base = XMLTree.build(("db", [("book", {"title": "A"}),
+                                     ("book", {"title": "B"})]))
+        value_change = XMLTree.build(("db", [("book", {"title": "A"}),
+                                             ("book", {"title": "C"})]))
+        sibling_swap = XMLTree.build(("db", [("book", {"title": "B"}),
+                                             ("book", {"title": "A"})]))
+        label_change = XMLTree.build(("db", [("book", {"title": "A"}),
+                                             ("tome", {"title": "B"})]))
+        digests = {tree.fingerprint()
+                   for tree in (base, value_change, sibling_swap,
+                                label_change)}
+        assert len(digests) == 4  # ordered trees: sibling order counts
+
+    def test_unordered_reading_ignores_sibling_order_only(self):
+        base = XMLTree.build(("db", [("book", {"title": "A"}),
+                                     ("book", {"title": "B"})]),
+                             ordered=False)
+        swapped = XMLTree.build(("db", [("book", {"title": "B"}),
+                                        ("book", {"title": "A"})]),
+                                ordered=False)
+        assert base.fingerprint() == swapped.fingerprint()
+        # ... but ordered and unordered readings of the same document differ.
+        assert base.fingerprint() != base.as_ordered().fingerprint()

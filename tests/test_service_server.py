@@ -1,0 +1,234 @@
+"""The JSON-lines server: wire codec, live round-trips, clean shutdown.
+
+Boots ``python -m repro.service.server`` as a real subprocess on a free
+port and drives it through the client helper — the same conversation the CI
+smoke job runs — then asserts the process exits 0 after a ``shutdown``
+request.  Codec tests below need no server.
+"""
+
+import asyncio
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import ChaseError, DataExchangeSetting, DTD, Null, XMLTree, std
+from repro.service.client import ServiceClient
+from repro.service.protocol import (answers_to_wire, setting_from_wire,
+                                    setting_to_wire, tree_from_wire,
+                                    tree_to_wire, value_from_wire,
+                                    value_to_wire)
+from repro.workloads import library
+
+
+class TestProtocolCodec:
+    def test_tree_round_trip_with_nulls(self):
+        tree = XMLTree.build(("r", [("a", {"x": "1", "y": Null(3)}),
+                                    ("b", [("c", {"z": Null(3)})])]))
+        again = tree_from_wire(tree_to_wire(tree))
+        assert again.equals(tree)
+        assert again.fingerprint() == tree.fingerprint()
+
+    def test_value_round_trip(self):
+        assert value_from_wire(value_to_wire("v")) == "v"
+        assert value_from_wire(value_to_wire(Null(7))) == Null(7)
+
+    def test_setting_round_trip_preserves_fingerprint(self, library_setting,
+                                                      company_setting,
+                                                      figure_6_setting):
+        for setting in (library_setting, company_setting, figure_6_setting):
+            again = setting_from_wire(setting_to_wire(setting))
+            assert again.fingerprint() == setting.fingerprint()
+
+    def test_answers_to_wire(self):
+        assert answers_to_wire(None) is None
+        assert answers_to_wire({("b", "2"), ("a", "1")}) == \
+            [["a", "1"], ["b", "2"]]
+        assert answers_to_wire(set()) == []
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.server", "--port", "0",
+         "--result-cache-maxsize", "32"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    banner = process.stdout.readline().strip()
+    assert banner.startswith("listening on "), banner
+    host, port = banner.split()[-1].rsplit(":", 1)
+    yield host, int(port), process
+    if process.poll() is None:  # tests normally shut it down themselves
+        process.kill()
+    process.wait()
+
+
+class TestLiveServer:
+    def test_full_conversation_and_clean_shutdown(self, live_server):
+        host, port, process = live_server
+        setting = library.library_setting()
+        tree = library.generate_source(4, authors_per_book=2, seed=1)
+
+        with ServiceClient(host, port) as client:
+            assert client.ping()
+            fingerprint = client.register(setting)
+            assert fingerprint == setting.fingerprint()
+            assert client.check_consistency(fingerprint) is True
+            assert client.classify(fingerprint) is True
+            answers = client.certain_answers(
+                fingerprint, tree,
+                "bib[writer(@name=w)[work(@title='Book-0')]]")
+            assert answers == {("Author-1",), ("Author-2",)}
+
+            solution = client.solve(fingerprint, tree)
+            assert solution is not None
+            assert setting.is_unordered_solution(tree, solution)
+
+            # Server-side engine errors come back as typed responses on a
+            # live connection, not connection drops.
+            bad_source = DTD("db", {"db": "rec*", "rec": ""}, {"rec": ["v"]})
+            bad_target = DTD("r", {"r": "a a", "a": ""}, {"a": ["v"]})
+            bad = DataExchangeSetting(
+                bad_source, bad_target, [std("r[a(@v=x)]", "db[rec(@v=x)]")])
+            bad_fp = client.register(bad)
+            with pytest.raises(ChaseError, match="not univocal"):
+                client.solve(bad_fp, XMLTree.build(
+                    ("db", [("rec", {"v": "1"}), ("rec", {"v": "2"}),
+                            ("rec", {"v": "3"})])))
+            with pytest.raises(ValueError, match="unknown operation"):
+                client.request({"op": "frobnicate"})
+
+            # Repeat request: served by the shard's result cache.
+            before = client.stats()["shards"][fingerprint]
+            client.certain_answers(
+                fingerprint, tree,
+                "bib[writer(@name=w)[work(@title='Book-0')]]")
+            after = client.stats()["shards"][fingerprint]
+            assert after["result_cache_hits"] == \
+                before["result_cache_hits"] + 1
+
+            assert client.shutdown()
+
+        assert process.wait(timeout=30) == 0
+        assert "server shut down cleanly" in process.stdout.read()
+
+    def test_no_solution_round_trips_as_none(self):
+        # Fresh server: the module fixture's one may already be shut down.
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.service.server", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            banner = process.stdout.readline().strip()
+            host, port = banner.split()[-1].rsplit(":", 1)
+            source = DTD("db", {"db": "book*", "book": ""},
+                         {"book": ["title"]})
+            target = DTD("lib", {"lib": "item", "item": ""}, {"item": ["t"]})
+            clash = DataExchangeSetting(
+                source, target, [std("lib[item(@t=x)]", "db[book(@title=x)]")])
+            tree = XMLTree.build(("db", [("book", {"title": "A"}),
+                                         ("book", {"title": "B"})]))
+            with ServiceClient(host, int(port)) as client:
+                fingerprint = client.register(clash)
+                assert client.solve(fingerprint, tree) is None
+                assert client.certain_answers(fingerprint, tree,
+                                              "lib[item(@t=w)]") is None
+                assert client.shutdown()
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+
+class TestInProcessServer:
+    """The same conversation against an in-process ``ExchangeServer`` (the
+    server loop runs on a background thread; the sync client talks to it
+    over a real socket)."""
+
+    @pytest.fixture
+    def server_thread(self):
+        from repro.service import AsyncExchangeService
+        from repro.service.server import ExchangeServer
+
+        ready = threading.Event()
+        holder = {}
+
+        def run() -> None:
+            async def serve() -> None:
+                service = AsyncExchangeService(parallel=2,
+                                               result_cache_maxsize=16)
+                server = ExchangeServer(service, port=0)
+                await server.start()
+                holder["port"] = server.port
+                holder["server"] = server
+                ready.set()
+                await server.serve_until_shutdown(announce=False)
+
+            asyncio.run(serve())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30), "server did not come up"
+        yield holder["port"], holder["server"]
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server loop did not exit"
+
+    def test_conversation_and_malformed_lines(self, server_thread):
+        port, server = server_thread
+        setting = library.library_setting()
+        tree = library.generate_source(3, authors_per_book=2, seed=2)
+        with ServiceClient("127.0.0.1", port) as client:
+            fingerprint = client.register(setting)
+            assert client.check_consistency(fingerprint) is True
+            assert client.classify(fingerprint) is True
+            answers = client.certain_answers(
+                fingerprint, tree, "bib[writer(@name=w)]")
+            assert answers and all(len(row) == 1 for row in answers)
+            solution = client.solve(fingerprint, tree)
+            assert solution is not None and \
+                setting.is_unordered_solution(tree, solution)
+            stats = client.stats()
+            assert stats["registry"]["settings_registered"] == 1
+            with pytest.raises(ValueError, match="unknown operation"):
+                client.request({"op": "frobnicate"})
+
+            # A malformed line gets an error *response*, not a hangup ...
+            client._sock.sendall(b"this is not json\n")
+            reply = client._reader.readline()
+            assert b'"ok":false' in reply.replace(b" ", b"")
+            # ... and the connection keeps serving afterwards.
+            assert client.ping()
+
+            # An unknown fingerprint re-raises client-side with the
+            # fingerprint prefix as the key, not the server's prose.
+            from repro.service import UnknownSettingError
+            with pytest.raises(UnknownSettingError) as excinfo:
+                client.check_consistency("ab" * 32)
+            assert excinfo.value.fingerprint == ("ab" * 32)[:16]
+
+            assert client.shutdown()
+        assert server.requests >= 8
+
+    def test_shutdown_completes_with_idle_connections_open(self,
+                                                           server_thread):
+        """Regression: wait_closed() (3.12.1+) waits for connection
+        handlers, so shutdown must close idle connections itself — the
+        fixture teardown asserts the server loop actually exited."""
+        port, _ = server_thread
+        idle = socket.create_connection(("127.0.0.1", port))
+        try:
+            with ServiceClient("127.0.0.1", port) as client:
+                assert client.ping()
+                assert client.shutdown()
+        finally:
+            idle.close()
+
+
+def test_smoke_entry_point_passes():
+    """The exact command CI runs: client --smoke boots its own server."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.service.client", "--smoke"],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr + completed.stdout
+    assert "SMOKE PASS" in completed.stdout
