@@ -20,8 +20,6 @@ def test_lemma_2_2_trimming(benchmark, n_dead_types):
              "a": ""}
     for i in range(n_dead_types):
         rules[f"dead{i}"] = f"dead{i}"
-    dtd = DTD("r", rules)
-
     trimmed = benchmark(lambda: DTD("r", rules).trimmed())
     assert trimmed.element_types == {"r", "a"}
     assert trimmed.is_consistent()

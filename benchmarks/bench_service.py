@@ -14,16 +14,36 @@ result-cache and compiled-shard hit rates — plus deterministic gates:
 * **routing**        — no request may be served by a shard other than its
   fingerprint's.
 
+Two further traffic modes exercise the governed-serving guarantees:
+
+* ``--pipeline`` — drives a slow-first, fast-behind request stream over one
+  live JSON-lines connection twice: once **pipelined** (all requests on the
+  wire up front, replies collected in completion order) and once
+  **serialized** (send → wait → send, the arrival-order schedule an
+  un-pipelined server forces).  Latency is measured from workload start, so
+  the serialized pass charges every fast request for the slow one blocking
+  the line.  Gates: pipelined p99 strictly beats serialized p99, and every
+  payload matches a direct :class:`~repro.ExchangeEngine` run.
+* ``--quota`` — replays an over-quota same-setting batch under
+  ``QuotaPolicy(max_in_flight=N)`` several times.  Gates: the rejection
+  pattern is identical on every run (admission is deterministic, in
+  submission order), rejected slots carry ``QuotaExceededError`` and
+  nothing else, admitted neighbours match direct engine results, and all
+  in-flight slots drain back to zero.
+
 Usage::
 
     python benchmarks/bench_service.py --generated 8 --seed 7 \\
         [--settings 3] [--executor thread] [--parallel 4] \\
-        [--maxsize 2] [--json PATH]
+        [--maxsize 2] [--pipeline] [--quota] [--json PATH]
 
 ``--generated N`` sizes the per-setting request stream (N certain-answers
 requests plus one consistency request per setting, interleaved across
 settings into one mixed batch).  ``--json PATH`` writes the full report as
-machine-readable JSON — the ``BENCH_*.json`` perf-trajectory artifact.
+machine-readable JSON — the ``BENCH_*.json`` perf-trajectory artifact
+(``benchmarks/compare_bench.py`` diffs fresh runs against the committed
+baseline; ``--pipeline``/``--quota`` sections are informational, not
+baselined).
 """
 
 import argparse
@@ -34,8 +54,13 @@ import sys
 import time
 
 from repro import ExchangeEngine
-from repro.service import (AsyncExchangeService, certain_answers_request,
+from repro.service import (AsyncExchangeService, QuotaExceededError,
+                           QuotaPolicy, certain_answers_request,
                            consistency_request)
+from repro.service.client import ServiceClient
+from repro.service.protocol import tree_to_wire
+from repro.service.server import serve_in_background
+from repro.workloads import library
 from repro.workloads.generated import generated_scenarios
 
 
@@ -132,6 +157,188 @@ async def run_eviction_pass(args, requests):
     return views, evictions, stats
 
 
+def build_pipeline_stream(fingerprint, slow_tree, fast_count):
+    """One slow solve *first*, ``fast_count`` cheap consistency requests
+    behind it — the pathological stream for an arrival-order server."""
+    stream = [{"op": "solve", "fingerprint": fingerprint,
+               "tree": tree_to_wire(slow_tree)}]
+    stream += [{"op": "consistency", "fingerprint": fingerprint}
+               for _ in range(fast_count)]
+    return stream
+
+
+def run_pipeline_mode(args):
+    """The --pipeline gate: completion-order replies must beat the
+    arrival-order schedule on slow-first interleaved traffic."""
+    setting = library.library_setting()
+    fingerprint = setting.fingerprint()
+    slow_tree = library.generate_source(args.slow_books, authors_per_book=3,
+                                        seed=args.seed)
+    stream = build_pipeline_stream(fingerprint, slow_tree, args.fast)
+    direct = ExchangeEngine(setting)
+    expected_consistent = direct.check_consistency().payload
+    expected_solution = direct.solve(slow_tree).payload
+
+    def run_pass(pipelined):
+        """Boot a fresh, identically-warmed server; replay the stream."""
+        port, _, join = serve_in_background(executor=args.executor,
+                                            parallel=args.parallel)
+        with ServiceClient("127.0.0.1", port, timeout=300.0) as client:
+            assert client.register(setting, prewarm=True) == fingerprint
+            client.check_consistency(fingerprint)   # warm the fast path
+            begun = time.perf_counter()
+            if pipelined:
+                ids = [client.submit(message) for message in stream]
+                order, latencies, replies = [], {}, {}
+                while client.pending():
+                    request_id, reply = client.collect_any()
+                    latencies[request_id] = time.perf_counter() - begun
+                    order.append(request_id)
+                    replies[request_id] = reply
+                latencies = [latencies[i] for i in ids]
+                replies = [replies[i] for i in ids]
+                completion = [ids.index(i) for i in order]
+            else:
+                latencies, replies = [], []
+                for message in stream:
+                    reply = client.collect(client.submit(message),
+                                           raise_errors=False)
+                    latencies.append(time.perf_counter() - begun)
+                    replies.append(reply)
+                completion = list(range(len(stream)))
+            elapsed = time.perf_counter() - begun
+            client.shutdown()
+        join()
+        return latencies, replies, completion, elapsed
+
+    failures = []
+    serialized_lat, serialized_replies, _, serialized_elapsed = \
+        run_pass(pipelined=False)
+    pipelined_lat, pipelined_replies, completion, pipelined_elapsed = \
+        run_pass(pipelined=True)
+
+    for label, replies in (("serialized", serialized_replies),
+                           ("pipelined", pipelined_replies)):
+        bad = [reply for reply in replies if not reply.get("ok")]
+        if bad:
+            failures.append(f"pipeline/{label}: {len(bad)} request(s) "
+                            f"failed: {bad[0]}")
+            continue
+        if any(reply["consistent"] is not expected_consistent
+               for reply in replies[1:]):
+            failures.append(f"pipeline/{label}: consistency parity broken")
+        solution = replies[0].get("solution")
+        if solution is None or not expected_solution.equals(
+                _tree_from_wire(solution), respect_order=False):
+            failures.append(f"pipeline/{label}: solve parity broken")
+
+    p99 = {"pipelined": percentile(pipelined_lat, 99) * 1e3,
+           "serialized": percentile(serialized_lat, 99) * 1e3}
+    p50 = {"pipelined": percentile(pipelined_lat, 50) * 1e3,
+           "serialized": percentile(serialized_lat, 50) * 1e3}
+    overtakes = sum(1 for position, submitted
+                    in enumerate(completion) if submitted > position)
+    print(f"pipeline mode       : 1 slow solve ({args.slow_books} books) + "
+          f"{args.fast} fast requests on one connection")
+    print(f"  serialized        : p50 {p50['serialized']:8.2f} ms   "
+          f"p99 {p99['serialized']:8.2f} ms   "
+          f"({serialized_elapsed * 1e3:.1f} ms total)")
+    print(f"  pipelined         : p50 {p50['pipelined']:8.2f} ms   "
+          f"p99 {p99['pipelined']:8.2f} ms   "
+          f"({pipelined_elapsed * 1e3:.1f} ms total, "
+          f"{overtakes} replies overtook)")
+    if not p99["pipelined"] < p99["serialized"]:
+        failures.append(
+            f"pipeline: pipelined p99 {p99['pipelined']:.2f} ms is not "
+            f"strictly better than serialized p99 "
+            f"{p99['serialized']:.2f} ms")
+    if completion and completion[0] == 0:
+        failures.append("pipeline: the slow request still completed first — "
+                        "replies were not written in completion order")
+    return {"slow_books": args.slow_books, "fast_requests": args.fast,
+            "p50_ms": p50, "p99_ms": p99,
+            "serialized_elapsed_s": serialized_elapsed,
+            "pipelined_elapsed_s": pipelined_elapsed,
+            "overtaking_replies": overtakes}, failures
+
+
+def _tree_from_wire(wire):
+    from repro.service.protocol import tree_from_wire
+    return tree_from_wire(wire, ordered=False)
+
+
+def run_quota_mode(args):
+    """The --quota gate: deterministic, typed, neighbour-safe rejections."""
+    scenario = generated_scenarios(1, args.seed)[0]
+    setting = scenario.setting
+    fingerprint = setting.fingerprint()
+    tree, query = scenario.source_trees[0], scenario.queries[0]
+    direct = ExchangeEngine(setting)
+    expected = direct.certain_answers(tree, query).payload
+    total = args.quota_batch
+    limit = args.max_in_flight
+
+    async def replay():
+        service = AsyncExchangeService(
+            executor=args.executor, parallel=args.parallel,
+            quota=QuotaPolicy(max_in_flight=limit))
+        async with service:
+            service.register(setting)
+            requests = [certain_answers_request(fingerprint, tree, query)
+                        for _ in range(total)]
+            patterns = []
+            for _ in range(args.quota_repeats):
+                slots = await service.batch(requests)
+                patterns.append([slot.rejected for slot in slots])
+                for slot in slots:
+                    if slot.rejected:
+                        if not isinstance(slot.error, QuotaExceededError):
+                            return patterns, "rejection is not typed", None
+                    elif not slot.ok or slot.result.payload != expected:
+                        return patterns, "admitted neighbour corrupted", None
+            # Await-side: over-quota single submits reject as exceptions.
+            outcomes = await asyncio.gather(
+                *(service.certain_answers(fingerprint, tree, query)
+                  for _ in range(limit + 1)),
+                return_exceptions=True)
+            stats = service.stats()
+        return patterns, None, (outcomes, stats)
+
+    patterns, error, extra = asyncio.run(replay())
+    failures = []
+    if error:
+        failures.append(f"quota: {error}")
+    expected_pattern = [False] * limit + [True] * (total - limit)
+    if any(pattern != expected_pattern for pattern in patterns):
+        failures.append(f"quota: rejection pattern is not deterministic "
+                        f"in submission order: {patterns}")
+    rejected = sum(sum(pattern) for pattern in patterns)
+    print(f"quota mode          : max_in_flight={limit}, "
+          f"{total}-request batch x{args.quota_repeats}: "
+          f"{rejected} deterministic rejections "
+          f"(first {limit} slots admitted every run)")
+    if extra is not None:
+        outcomes, stats = extra
+        raised = [o for o in outcomes
+                  if isinstance(o, QuotaExceededError)]
+        served = [o for o in outcomes if not isinstance(o, BaseException)]
+        print(f"  await-side        : {len(served)} served / "
+              f"{len(raised)} rejected of {limit + 1} concurrent submits")
+        if not raised:
+            failures.append("quota: concurrent submits were never rejected "
+                            "await-side")
+        if any(not result.ok or result.payload != expected
+               for result in served):
+            failures.append("quota: a served concurrent submit lost parity")
+        if stats["registry"]["in_flight"] != 0:
+            failures.append("quota: in-flight slots were not released")
+        if stats["registry"]["quota_rejections"] < rejected + len(raised):
+            failures.append("quota: rejections are under-counted in stats")
+    return {"max_in_flight": limit, "batch": total,
+            "repeats": args.quota_repeats, "rejected_per_batch":
+            total - limit, "deterministic": not failures}, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--generated", type=int, default=8, metavar="N",
@@ -145,9 +352,32 @@ def main(argv=None) -> int:
     parser.add_argument("--maxsize", type=int, default=2,
                         help="per-setting result-cache bound for the "
                              "eviction pass")
+    parser.add_argument("--pipeline", action="store_true",
+                        help="also run the pipelined-vs-serialized "
+                             "connection gate")
+    parser.add_argument("--slow-books", type=int, default=500,
+                        help="size of the slow solve in the pipeline gate")
+    parser.add_argument("--fast", type=int, default=150,
+                        help="fast requests behind the slow one in the "
+                             "pipeline gate (>= 100 keeps the single slow "
+                             "sample out of the p99)")
+    parser.add_argument("--quota", action="store_true",
+                        help="also run the admission-control gate")
+    parser.add_argument("--max-in-flight", type=int, default=2,
+                        help="per-setting in-flight quota for --quota")
+    parser.add_argument("--quota-batch", type=int, default=8,
+                        help="same-setting batch size for --quota")
+    parser.add_argument("--quota-repeats", type=int, default=3,
+                        help="how often --quota replays the batch")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable report here")
     args = parser.parse_args(argv)
+    if args.pipeline and args.fast < 100:
+        parser.error("--fast must be >= 100 so the p99 reflects the fast "
+                     "requests, not the one slow sample")
+    if args.quota and not 0 < args.max_in_flight < args.quota_batch:
+        parser.error("--quota needs 0 < --max-in-flight < --quota-batch "
+                     "(otherwise nothing is ever rejected)")
     if args.settings < 2:
         parser.error("--settings must be >= 2 (the point is mixed traffic)")
 
@@ -227,6 +457,14 @@ def main(argv=None) -> int:
         failures.append("eviction: bounded cache changed payloads vs "
                         "unbounded service")
 
+    pipeline_report = quota_report = None
+    if args.pipeline:
+        pipeline_report, pipeline_failures = run_pipeline_mode(args)
+        failures.extend(pipeline_failures)
+    if args.quota:
+        quota_report, quota_failures = run_quota_mode(args)
+        failures.extend(quota_failures)
+
     report = {
         "bench": "service",
         "seed": args.seed,
@@ -246,6 +484,10 @@ def main(argv=None) -> int:
         "evictions": evictions,
         "failures": failures,
     }
+    if pipeline_report is not None:
+        report["pipeline"] = pipeline_report
+    if quota_report is not None:
+        report["quota"] = quota_report
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

@@ -13,9 +13,13 @@ Run with:  python examples/service_quickstart.py
 """
 
 import asyncio
+import subprocess
+import sys
 
-from repro.service import (AsyncExchangeService, SettingRegistry,
+from repro.service import (AsyncExchangeService, QuotaExceededError,
+                           QuotaPolicy, SettingRegistry,
                            certain_answers_request, consistency_request)
+from repro.service.client import ServiceClient
 from repro.workloads import library, nested_relational
 
 
@@ -83,5 +87,66 @@ async def main() -> None:
         print(f"registry             : {stats['registry']}")
 
 
+async def quota_demo() -> None:
+    """Admission control: over-quota slots fail fast, typed, in order —
+    they never queue and never touch their admitted neighbours."""
+    bib = library.library_setting()
+    tree = library.generate_source(4, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+    async with AsyncExchangeService(
+            executor="thread", parallel=4,
+            quota=QuotaPolicy(max_in_flight=2)) as service:
+        # prewarm=True compiles ahead, so even the first request below
+        # pays no compile latency (see prewarm_* in the registry stats).
+        bib_key = service.register(bib, prewarm=True)
+        slots = await service.batch(
+            [certain_answers_request(bib_key, tree, query)] * 4)
+        for slot in slots:
+            verdict = ("rejected: " + str(slot.error)[:40] + "…"
+                       if slot.rejected else
+                       f"ok, {len(slot.result.payload)} answers")
+            print(f"quota batch[{slot.index}]       : {verdict}")
+        # Await-side, the same rejection arrives as a typed exception.
+        try:
+            await asyncio.gather(
+                *(service.certain_answers(bib_key, tree, query)
+                  for _ in range(3)))
+        except QuotaExceededError as error:
+            print(f"await-side rejection : {type(error).__name__} "
+                  f"(kind={error.kind}, limit={error.limit})")
+
+
+def pipelined_client_demo() -> None:
+    """The wire-level view: a pipelined client sends a burst of requests
+    down one connection and collects replies in completion order."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.server", "--port", "0",
+         "--max-in-flight", "8"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = process.stdout.readline().strip()
+        host, port = banner.split()[-1].rsplit(":", 1)
+        with ServiceClient(host, int(port)) as client:
+            bib_key = client.register(library.library_setting(),
+                                      prewarm=True)
+            # pipeline(): all three requests are on the wire before the
+            # first reply is read; results come back in submission order.
+            replies = client.pipeline([
+                {"op": "consistency", "fingerprint": bib_key},
+                {"op": "ping"},
+                {"op": "consistency", "fingerprint": bib_key},
+            ])
+            print(f"pipelined replies    : "
+                  f"{[reply['op'] for reply in replies]}")
+            client.shutdown()
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
 if __name__ == "__main__":
     asyncio.run(main())
+    asyncio.run(quota_demo())
+    pipelined_client_demo()

@@ -16,10 +16,9 @@ the translation from DTDs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
-from ..regexlang.ast import Regex
 from ..regexlang.nfa import NFA, regex_to_nfa
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree

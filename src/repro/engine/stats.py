@@ -45,6 +45,7 @@ class CacheStats:
         self._hits: Counter = Counter()
         self._misses: Counter = Counter()
         self._evictions: Counter = Counter()
+        self._events: Counter = Counter()
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -59,6 +60,15 @@ class CacheStats:
     def evict(self, name: str, count: int = 1) -> None:
         """Record ``count`` capacity evictions from the cache ``name``."""
         self._evictions[name] += count
+
+    def count(self, name: str, count: int = 1) -> None:
+        """Record ``count`` occurrences of the plain event ``name``.
+
+        Events are one-sided counters (no hit/miss pairing): prewarm
+        compiles, quota rejections, and the like.  They appear in
+        :meth:`snapshot` under their own name, verbatim.
+        """
+        self._events[name] += count
 
     def set_counts(self, name: str, hits: int, misses: int) -> None:
         """Overwrite both counters of ``name`` (used for caches that keep
@@ -79,6 +89,9 @@ class CacheStats:
     def evictions(self, name: str) -> int:
         return self._evictions[name]
 
+    def counts(self, name: str) -> int:
+        return self._events[name]
+
     @property
     def total_hits(self) -> int:
         return sum(self._hits.values())
@@ -89,13 +102,16 @@ class CacheStats:
 
     def snapshot(self) -> Dict[str, int]:
         """A flat ``{"<name>_hits": n, "<name>_misses": m, "<name>_evictions":
-        e}`` mapping (evictions reported only for caches that recorded any)."""
+        e}`` mapping (evictions reported only for caches that recorded any;
+        plain event counters recorded via :meth:`count` appear verbatim)."""
         flat: Dict[str, int] = {}
         for name in sorted(set(self._hits) | set(self._misses)):
             flat[f"{name}_hits"] = self._hits[name]
             flat[f"{name}_misses"] = self._misses[name]
         for name in sorted(self._evictions):
             flat[f"{name}_evictions"] = self._evictions[name]
+        for name in sorted(self._events):
+            flat[name] = self._events[name]
         return flat
 
     @staticmethod

@@ -14,8 +14,8 @@ answer set is undefined (``has_solution`` is ``False`` in the result).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Set, Tuple
 
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree

@@ -28,9 +28,9 @@ existence (Lemma 6.15):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from ..regexlang.parikh import CountVector, parikh_vector
+from ..regexlang.parikh import parikh_vector
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory, Value, is_constant

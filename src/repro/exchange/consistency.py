@@ -28,7 +28,7 @@ variables in source patterns), which the caller can ask to have verified.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional,
                     Sequence, Set, Tuple)
 

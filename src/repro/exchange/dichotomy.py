@@ -21,7 +21,6 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .setting import DataExchangeSetting
-from .std import classify_std
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from ..engine.compiled import CompiledSetting

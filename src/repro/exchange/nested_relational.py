@@ -19,7 +19,7 @@ The paper's algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 from ..patterns.evaluate import pattern_holds
 from ..xmlmodel.tree import XMLTree

@@ -12,7 +12,7 @@ same polynomial behaviour for a fixed DTD.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..regexlang.nfa import NFA, regex_to_nfa
 from ..xmlmodel.dtd import DTD

@@ -12,7 +12,7 @@ DTD and is subsequently repaired by the chase (:mod:`repro.exchange.chase`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional
 
 from ..patterns.evaluate import match_anywhere
 from ..patterns.formula import NodePattern, TreePattern, Variable

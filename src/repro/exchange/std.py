@@ -18,7 +18,7 @@ descendant, no wildcard) and the three relaxations ``STD(_, //)``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..patterns.evaluate import match_anywhere, pattern_holds
 from ..patterns.formula import NodePattern, TreePattern

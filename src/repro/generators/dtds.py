@@ -31,8 +31,8 @@ non-recursive and ``SAT(D)`` is never empty.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..xmlmodel.dtd import DTD
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..patterns.formula import Variable
 from ..patterns.queries import (Query, classify_query, exists, pattern_query,

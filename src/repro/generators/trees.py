@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..regexlang.ast import (Concat, Empty, Epsilon, Regex, Star, Symbol,
                              Union)

@@ -14,7 +14,7 @@ certain answers).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import Value

@@ -22,10 +22,9 @@ it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union as TUnion
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union as TUnion
 
-from ..xmlmodel.values import Value
 
 __all__ = [
     "WILDCARD", "Variable", "Term", "AttributeFormula",

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..xmlmodel.tree import XMLTree
-from ..xmlmodel.values import Value, is_constant
+from ..xmlmodel.values import Value
 from .evaluate import Assignment, join_assignments, match_anywhere
-from .formula import TreePattern, Variable
+from .formula import TreePattern
 
 __all__ = [
     "Query", "PatternQuery", "ConjunctionQuery", "ExistsQuery", "UnionQuery",

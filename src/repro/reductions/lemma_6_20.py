@@ -24,13 +24,13 @@ The module also implements the proof's constructive direction
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
-from ..patterns.formula import NodePattern, TreePattern, Variable, node
+from ..patterns.formula import TreePattern, node
 from ..patterns.queries import Query, conjunction, exists, pattern_query
 from ..regexlang.ast import Regex
 from ..regexlang.parse import parse_regex
-from ..regexlang.univocal import RegexAnalysis, analyse
+from ..regexlang.univocal import analyse
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory

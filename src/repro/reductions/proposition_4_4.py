@@ -17,9 +17,9 @@ encodes a 3-CNF formula ``θ``:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-from ..patterns.formula import DescendantPattern, NodePattern, TreePattern, node
+from ..patterns.formula import DescendantPattern, TreePattern, node
 from ..xmlmodel.dtd import DTD
 from ..exchange.setting import DataExchangeSetting
 from ..exchange.std import STD

@@ -12,7 +12,7 @@ complete DPLL solver (the ground truth), and a random instance generator.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Literal", "Clause", "CNFFormula", "dpll_satisfiable", "random_3cnf"]
@@ -67,9 +67,9 @@ class CNFFormula:
         return codes
 
     def __str__(self) -> str:
-        def lit(l: Literal) -> str:
-            return f"x{l}" if l > 0 else f"¬x{-l}"
-        return " ∧ ".join("(" + " ∨ ".join(lit(l) for l in clause) + ")"
+        def lit(literal: Literal) -> str:
+            return f"x{literal}" if literal > 0 else f"¬x{-literal}"
+        return " ∧ ".join("(" + " ∨ ".join(lit(term) for term in clause) + ")"
                           for clause in self.clauses)
 
 

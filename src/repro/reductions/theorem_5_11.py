@@ -24,13 +24,12 @@ use this to exercise both directions of the reduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict
 
 from ..patterns.parse import parse_pattern
 from ..patterns.queries import Query, conjunction, exists, pattern_query
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
-from ..xmlmodel.values import NullFactory
 from ..exchange.setting import DataExchangeSetting
 from ..exchange.std import STD, std
 from .sat import CNFFormula

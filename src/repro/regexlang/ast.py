@@ -12,7 +12,7 @@ This module provides the AST, constructors, and basic structural measures
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, Tuple
+from typing import FrozenSet, Iterator
 
 __all__ = [
     "Regex", "Epsilon", "Empty", "Symbol", "Concat", "Union", "Star",

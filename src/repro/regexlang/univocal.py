@@ -34,11 +34,10 @@ caller.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional
 
-from .ast import Concat, Epsilon, Regex, Star, Symbol, Union
-from .parikh import (CountVector, SemilinearSet, parikh_vector, semilinear_of)
+from .ast import Epsilon, Regex, Star, Symbol, Union
+from .parikh import CountVector, parikh_vector, semilinear_of
 
 __all__ = [
     "RegexAnalysis", "analyse", "c_value", "is_univocal", "is_simple_regex",

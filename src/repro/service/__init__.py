@@ -14,9 +14,20 @@ lifetime:
   (``await consistency/solve/certain_answers/batch``) running work on a
   configurable serial/thread/process executor without blocking the event
   loop;
+* :class:`QuotaPolicy` — admission control: per-setting ``max_in_flight``
+  and registry-wide ``max_registered`` ceilings; over-quota work is
+  rejected immediately with a typed :class:`QuotaExceededError` (await-side
+  and over the wire) instead of queueing without bound;
+* prewarming — ``register(setting, prewarm=True)`` /
+  ``await service.prewarm(fp)`` compile ahead of the first request
+  (``prewarm_*`` counters in registry stats), so hot settings never pay
+  first-request compile latency;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a stdlib-only
-  JSON-lines TCP server (``python -m repro.service.server``) and its client
-  helper, the demonstration workload of the layer.
+  JSON-lines TCP server (``python -m repro.service.server``) with
+  **per-connection request pipelining** (replies in completion order,
+  matched by id) and its client helper (lock-step ``request`` or pipelined
+  ``submit``/``collect``/``pipeline``), the demonstration workload of the
+  layer.
 
 Quickstart::
 
@@ -31,6 +42,7 @@ Quickstart::
                                      for t in trees])
 """
 
+from .quota import QuotaExceededError, QuotaPolicy
 from .registry import SettingRegistry, UnknownSettingError
 from .requests import (OPERATIONS, ExchangeRequest, ServiceResult,
                        certain_answers_request, classify_request,
@@ -42,6 +54,7 @@ from .shard import Shard
 __all__ = [
     "AsyncExchangeService", "SERVICE_EXECUTORS",
     "SettingRegistry", "UnknownSettingError", "Router", "Shard",
+    "QuotaPolicy", "QuotaExceededError",
     "ExchangeRequest", "ServiceResult", "OPERATIONS",
     "consistency_request", "classify_request", "solve_request",
     "certain_answers_request",

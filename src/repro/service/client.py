@@ -6,60 +6,44 @@ in as :class:`~repro.DataExchangeSetting`, solutions come back as
 :class:`~repro.XMLTree`, answers as sets of tuples — and server-side
 failures re-raise as their original exception classes.
 
+Replies are matched to requests **by id**, not by arrival order, so the
+client interoperates with pipelined servers (which reply in completion
+order) and with old arrival-order servers alike:
+
+* :meth:`request` — send one message and block for *its* reply (lock-step;
+  any other replies that arrive first are parked for their own waiters);
+* :meth:`submit` / :meth:`collect` — fire a request without waiting, pick
+  its reply up later by id;
+* :meth:`collect_any` — the next reply in completion order (how a pipelined
+  consumer observes fast requests overtaking slow ones);
+* :meth:`pipeline` — send a whole batch back-to-back down the socket, then
+  collect every reply, returned in submission order.
+
 Also runnable as the end-to-end smoke check CI uses::
 
     python -m repro.service.client --smoke
 
 which boots a server subprocess on a free port, round-trips a register +
-consistency + certain-answers + solve conversation, asks the server to shut
-down and asserts the process exits cleanly.
+consistency + certain-answers + solve conversation (plus a pipelined batch),
+asks the server to shut down and asserts the process exits cleanly.
 """
 
 from __future__ import annotations
 
 import argparse
-import re
 import socket
 import subprocess
 import sys
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from ..exchange.errors import ChaseError, ExchangeError, NoSolutionError
 from ..exchange.setting import DataExchangeSetting
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import Value
-from .protocol import (decode_line, encode_line, setting_to_wire,
-                       tree_from_wire, tree_to_wire, value_from_wire)
-from .registry import UnknownSettingError
+from .protocol import (ServerError, decode_line, encode_line,
+                       error_from_wire, setting_to_wire, tree_from_wire,
+                       tree_to_wire, value_from_wire)
 
 __all__ = ["ServiceClient", "ServerError", "main"]
-
-def _rebuild_unknown_setting(message: str) -> UnknownSettingError:
-    """Reconstruct with the fingerprint (prefix) the server's message names,
-    not the whole sentence — ``.fingerprint`` must stay a routing key."""
-    match = re.search(r"fingerprint ([0-9a-f]{8,})", message)
-    return UnknownSettingError(match.group(1) if match else message)
-
-
-#: Error names the server may send, mapped back to the exception the direct
-#: engine call would have raised.
-_ERROR_TYPES = {
-    "ChaseError": ChaseError,
-    "NoSolutionError": NoSolutionError,
-    "ExchangeError": ExchangeError,
-    "UnknownSettingError": _rebuild_unknown_setting,
-    "ValueError": ValueError,
-    "TypeError": TypeError,
-    "KeyError": KeyError,
-}
-
-
-class ServerError(RuntimeError):
-    """A server-side failure with no local exception class to map onto."""
-
-    def __init__(self, error: str, message: str) -> None:
-        super().__init__(f"{error}: {message}")
-        self.error = error
 
 
 class ServiceClient:
@@ -72,29 +56,116 @@ class ServiceClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._reader = self._sock.makefile("rb")
         self._next_id = 0
+        #: Replies that arrived while a different id was being awaited,
+        #: parked here for their own :meth:`collect` call.
+        self._parked: Dict[int, Dict[str, Any]] = {}
+        self._outstanding: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Transport
     # ------------------------------------------------------------------ #
 
+    def submit(self, message: Dict[str, Any]) -> int:
+        """Send one message without waiting; returns the assigned id.
+
+        Pair with :meth:`collect` (by id) or :meth:`collect_any`
+        (completion order) — the wire is now pipelined until collected.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        self._sock.sendall(encode_line(dict(message, id=request_id)))
+        self._outstanding.add(request_id)
+        return request_id
+
+    def collect(self, request_id: int,
+                raise_errors: bool = True) -> Dict[str, Any]:
+        """Block for the reply to ``request_id``, in whatever order the
+        server completes requests; raises the typed server error by default.
+        """
+        reply = self._parked.pop(request_id, None)
+        if reply is None and request_id not in self._outstanding:
+            # Fail fast instead of parking every future reply while
+            # blocking on a reply that can never arrive.
+            raise RuntimeError(f"request id {request_id!r} is not "
+                               f"outstanding (already collected, or never "
+                               f"submitted on this connection)")
+        while reply is None:
+            arrived_id, arrived = self._read_reply()
+            if arrived_id == request_id:
+                reply = arrived
+            else:
+                self._parked[arrived_id] = arrived
+        self._outstanding.discard(request_id)
+        if raise_errors and not reply.get("ok"):
+            raise self._as_error(reply)
+        return reply
+
+    def pending(self) -> int:
+        """How many submitted requests have not been collected yet."""
+        return len(self._outstanding)
+
+    def collect_any(self) -> Tuple[int, Dict[str, Any]]:
+        """The next outstanding reply in **completion order** (parked
+        replies first); never raises for error replies — inspect ``ok``.
+
+        This is the pipelined consumer's view: after a burst of
+        :meth:`submit` calls, fast requests come back here before slow ones
+        submitted ahead of them.
+        """
+        if not self._outstanding:
+            raise RuntimeError("no outstanding requests to collect")
+        if self._parked:
+            request_id = next(iter(self._parked))
+            reply = self._parked.pop(request_id)
+        else:
+            request_id, reply = self._read_reply()
+        self._outstanding.discard(request_id)
+        return request_id, reply
+
+    def pipeline(self, messages: Sequence[Dict[str, Any]],
+                 return_exceptions: bool = False
+                 ) -> List[Union[Dict[str, Any], BaseException]]:
+        """Send a batch back-to-back, then collect all replies.
+
+        Every message is on the wire before the first reply is read, so the
+        server works on the whole batch at once; the returned list is in
+        submission order regardless of completion order.  Error replies
+        never poison their neighbours: with ``return_exceptions=True`` they
+        come back as exception instances in their own slot, otherwise the
+        first error is raised after every reply has been drained.
+        """
+        ids = [self.submit(message) for message in messages]
+        replies = [self.collect(request_id, raise_errors=False)
+                   for request_id in ids]
+        slots: List[Union[Dict[str, Any], BaseException]] = [
+            reply if reply.get("ok") else self._as_error(reply)
+            for reply in replies]
+        if not return_exceptions:
+            for slot in slots:
+                if isinstance(slot, BaseException):
+                    raise slot
+        return slots
+
     def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one message, await its reply, raise server errors."""
-        self._next_id += 1
-        message = dict(message, id=self._next_id)
-        self._sock.sendall(encode_line(message))
+        return self.collect(self.submit(message))
+
+    def _read_reply(self) -> Tuple[int, Dict[str, Any]]:
         line = self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         reply = decode_line(line)
-        if reply.get("id") != self._next_id:
+        reply_id = reply.get("id")
+        if not isinstance(reply_id, int):
             raise ConnectionError(
-                f"out-of-order reply: sent id {self._next_id}, "
-                f"got {reply.get('id')!r}")
-        if not reply.get("ok"):
-            name = str(reply.get("error", "ServerError"))
-            text = str(reply.get("message", ""))
-            raise _ERROR_TYPES.get(name, lambda m: ServerError(name, m))(text)
-        return reply
+                f"reply carries no usable id (got {reply_id!r}); "
+                f"cannot demultiplex")
+        return reply_id, reply
+
+    @staticmethod
+    def _as_error(reply: Dict[str, Any]) -> BaseException:
+        return error_from_wire(str(reply.get("error", "ServerError")),
+                               str(reply.get("message", "")))
 
     def close(self) -> None:
         try:
@@ -115,11 +186,24 @@ class ServiceClient:
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 
-    def register(self, setting: DataExchangeSetting) -> str:
-        """Register a setting; returns its fingerprint (the routing key)."""
-        reply = self.request({"op": "register",
-                              "setting": setting_to_wire(setting)})
-        return reply["fingerprint"]
+    def register(self, setting: DataExchangeSetting,
+                 prewarm: bool = False) -> str:
+        """Register a setting; returns its fingerprint (the routing key).
+
+        ``prewarm=True`` asks the server to compile the setting in the
+        background immediately, so the first real request finds a warm
+        shard (``prewarm_*`` counters in :meth:`stats`).
+        """
+        message: Dict[str, Any] = {"op": "register",
+                                   "setting": setting_to_wire(setting)}
+        if prewarm:
+            message["prewarm"] = True
+        return self.request(message)["fingerprint"]
+
+    def prewarm(self, fingerprint: str) -> bool:
+        """Schedule a background compile of a registered setting."""
+        return bool(self.request({"op": "prewarm",
+                                  "fingerprint": fingerprint})["scheduled"])
 
     def check_consistency(self, fingerprint: str,
                           strategy: str = "auto") -> bool:
@@ -205,6 +289,14 @@ def run_smoke(executor: str = "thread", verbose: bool = True) -> int:
             solution = client.solve(fingerprint, tree)
             assert solution is not None and len(solution) > 1
             say(f"solve round-trip ok ({len(solution)} solution nodes)")
+            pipelined = client.pipeline([
+                {"op": "ping"},
+                {"op": "consistency", "fingerprint": fingerprint},
+                {"op": "ping"},
+            ])
+            assert [reply["op"] for reply in pipelined] == \
+                ["ping", "consistency", "ping"]
+            say("pipelined batch round-trip ok (3 replies demuxed by id)")
             stats = client.stats()
             assert stats["registry"]["settings_registered"] == 1
             assert client.shutdown()

@@ -16,14 +16,21 @@ definition of the wire format:
 * **queries** travel as tree-pattern text (:func:`repro.parse_pattern`
   syntax); the server wraps them with :func:`repro.pattern_query`;
 * **answer sets** travel as a sorted list of value lists (``null`` for a
-  no-solution outcome, mirroring ``CertainAnswers.answers``).
+  no-solution outcome, mirroring ``CertainAnswers.answers``);
+* **errors** travel as ``{"ok": false, "error": <class name>, "message": …}``
+  and rebuild client-side into the exception the direct engine call would
+  have raised (:func:`error_to_wire` / :func:`error_from_wire`) — typed
+  failures like ``QuotaExceededError`` cross the wire losslessly enough
+  for ``except`` clauses to behave identically on either side.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional, Set, Tuple
+import re
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from ..exchange.errors import ChaseError, ExchangeError, NoSolutionError
 from ..exchange.setting import DataExchangeSetting
 from ..exchange.std import std
 from ..patterns.parse import parse_pattern
@@ -31,11 +38,14 @@ from ..patterns.queries import Query, pattern_query
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import Null, Value, is_null
+from .quota import QuotaExceededError
+from .registry import UnknownSettingError
 
 __all__ = ["encode_line", "decode_line", "value_to_wire", "value_from_wire",
            "tree_to_wire", "tree_from_wire", "dtd_to_wire", "dtd_from_wire",
            "setting_to_wire", "setting_from_wire", "query_from_wire",
-           "answers_to_wire"]
+           "answers_to_wire", "error_to_wire", "error_from_wire",
+           "ServerError"]
 
 
 def encode_line(message: Dict[str, Any]) -> bytes:
@@ -166,3 +176,55 @@ def answers_to_wire(answers: Optional[Set[Tuple[Value, ...]]]
         return None
     return sorted([value_to_wire(value) for value in answer]
                   for answer in answers)
+
+
+# --------------------------------------------------------------------- #
+# Errors
+# --------------------------------------------------------------------- #
+
+class ServerError(RuntimeError):
+    """A server-side failure with no local exception class to map onto."""
+
+    def __init__(self, error: str, message: str) -> None:
+        super().__init__(f"{error}: {message}")
+        self.error = error
+
+
+def _rebuild_unknown_setting(message: str) -> UnknownSettingError:
+    """Reconstruct with the fingerprint (prefix) the server's message names,
+    not the whole sentence — ``.fingerprint`` must stay a routing key."""
+    match = re.search(r"fingerprint ([0-9a-f]{8,})", message)
+    return UnknownSettingError(match.group(1) if match else message)
+
+
+#: Error names the server may send, mapped back to the exception the direct
+#: engine (or registry) call would have raised.
+_ERROR_TYPES: Dict[str, Callable[[str], BaseException]] = {
+    "ChaseError": ChaseError,
+    "NoSolutionError": NoSolutionError,
+    "ExchangeError": ExchangeError,
+    "QuotaExceededError": QuotaExceededError,
+    "UnknownSettingError": _rebuild_unknown_setting,
+    "ValueError": ValueError,
+    "TypeError": TypeError,
+    "KeyError": KeyError,
+}
+
+
+def error_to_wire(error: BaseException) -> Dict[str, Any]:
+    """One failure as an error *response* (the connection stays open)."""
+    return {"ok": False, "error": type(error).__name__,
+            "message": str(error)}
+
+
+def error_from_wire(name: str, message: str) -> BaseException:
+    """The exception instance an error response stands for.
+
+    Known names rebuild as their original class so ``except`` clauses match
+    the direct-call behaviour; unknown names degrade to
+    :class:`ServerError` (which keeps the server-side class name around).
+    """
+    factory = _ERROR_TYPES.get(name)
+    if factory is None:
+        return ServerError(name, message)
+    return factory(message)

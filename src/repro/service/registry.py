@@ -7,13 +7,24 @@ admitted with :meth:`register` and keyed by
 a syntactically identical setting is a no-op returning the same key, and
 clients can compute the routing key without the registry.
 
-Compilation is **lazy and bounded**: a setting is compiled into a
-:class:`~repro.service.shard.Shard` the first time a request routes to it,
-and at most ``max_compiled`` shards are kept, least-recently-used first out
+Compilation is **lazy, bounded and concurrent**: a setting is compiled into
+a :class:`~repro.service.shard.Shard` the first time a request routes to it
+(or eagerly, via :meth:`prewarm` / ``register(..., prewarm=True)``), and at
+most ``max_compiled`` shards are kept, least-recently-used first out
 (``compiled_evictions`` in :meth:`stats`).  An evicted setting stays
 registered — the next request simply pays compilation again (a
 ``compiled_misses`` increment), which is what makes an LRU of compiled
 settings safe: eviction is a performance event, never a correctness event.
+Compilation runs *outside* the registry lock — one tenant's compile never
+stalls routing for already-compiled tenants — with a per-fingerprint latch
+collapsing duplicate concurrent compiles of the same setting.
+
+Admission control: an optional :class:`~repro.service.quota.QuotaPolicy`
+bounds how many distinct settings may register (``max_registered``) and how
+many requests per setting may be in flight at once (``max_in_flight``,
+enforced through :meth:`quota_acquire` / :meth:`quota_release` by the async
+service).  Over-quota work fails fast with a typed
+:class:`~repro.service.quota.QuotaExceededError` — it is never queued.
 
 Isolation: every shard owns a private engine whose result cache is bounded
 by this registry's ``result_cache_maxsize`` — per setting, not globally —
@@ -24,11 +35,12 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..engine import CacheStats, ExchangeEngine, compile_setting
 from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
+from .quota import QuotaPolicy
 from .shard import Shard
 
 __all__ = ["SettingRegistry", "UnknownSettingError"]
@@ -53,33 +65,45 @@ class SettingRegistry:
 
     def __init__(self, max_compiled: Optional[int] = None,
                  result_cache: bool = True,
-                 result_cache_maxsize: Optional[int] = None) -> None:
+                 result_cache_maxsize: Optional[int] = None,
+                 quota: Optional[QuotaPolicy] = None) -> None:
+        if quota is not None and quota.max_compiled is not None:
+            if max_compiled is not None:
+                raise ValueError(
+                    "pass the compiled-settings bound either as "
+                    "max_compiled or on the QuotaPolicy, not both")
+            max_compiled = quota.max_compiled
         if max_compiled is not None and max_compiled < 1:
             raise ValueError(f"max_compiled must be a positive integer or "
                              f"None (unbounded), got {max_compiled!r}")
         self.max_compiled = max_compiled
         self.result_cache = result_cache
         self.result_cache_maxsize = result_cache_maxsize
+        self.quota = quota
         self._settings: Dict[str, DataExchangeSetting] = {}
         self._shards: "OrderedDict[str, Shard]" = OrderedDict()
         self._stats = CacheStats()
-        # An RLock: shard() compiles while holding it, which serialises
-        # compilation (no duplicated compile work under concurrency) at the
-        # cost of briefly blocking other registry calls — registry calls are
-        # otherwise dictionary lookups.
+        self._in_flight: Dict[str, int] = {}
+        #: Per-fingerprint latches for compiles in progress: waiters block on
+        #: the latch instead of the registry lock, so compilation never
+        #: serialises routing for other settings.
+        self._compiling: Dict[str, threading.Event] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
 
-    def register(self, setting: Union[DataExchangeSetting, CompiledSetting]
-                 ) -> str:
+    def register(self, setting: Union[DataExchangeSetting, CompiledSetting],
+                 prewarm: bool = False) -> str:
         """Admit a setting and return its fingerprint (the routing key).
 
-        Passing an already-compiled :class:`CompiledSetting` also pre-seeds
-        the shard, skipping the lazy compile on first request.
-        Re-registering an identical setting is a no-op.
+        ``prewarm=True`` compiles the setting before returning (counted
+        under ``prewarm_*``, not as a ``compiled_miss``), so its first
+        request never pays compile latency.  Passing an already-compiled
+        :class:`CompiledSetting` pre-seeds the shard the same way.
+        Re-registering an identical setting is a no-op (and is never
+        rejected by the registration quota).
         """
         compiled: Optional[CompiledSetting] = None
         if isinstance(setting, CompiledSetting):
@@ -89,10 +113,63 @@ class SettingRegistry:
                             f"CompiledSetting, got {type(setting).__name__}")
         fingerprint = setting.fingerprint()
         with self._lock:
+            if (self.quota is not None
+                    and self.quota.max_registered is not None
+                    and fingerprint not in self._settings
+                    and len(self._settings) >= self.quota.max_registered):
+                self._stats.count("quota_rejections")
+                raise self.quota.reject_registered()
             self._settings.setdefault(fingerprint, setting)
-            if compiled is not None and fingerprint not in self._shards:
-                self._admit_shard(fingerprint, compiled)
+            if (compiled is not None and fingerprint not in self._shards
+                    and fingerprint not in self._compiling):
+                # Skip pre-seeding while a lazy compile of the same
+                # fingerprint is in flight: its owner is about to admit a
+                # shard, and overwriting it would discard whichever engine
+                # (and result cache) started serving first.
+                self._admit_shard(fingerprint, compiled, prewarmed=True)
+        if prewarm:
+            self.prewarm(fingerprint)
         return fingerprint
+
+    # ------------------------------------------------------------------ #
+    # In-flight quota
+    # ------------------------------------------------------------------ #
+
+    def quota_acquire(self, fingerprint: str) -> None:
+        """Claim one in-flight slot for ``fingerprint``, or reject.
+
+        No-op without an in-flight quota.  Raises
+        :class:`~repro.service.quota.QuotaExceededError` — and counts a
+        ``quota_rejections`` event — when the setting is already at its
+        ``max_in_flight``; the caller must :meth:`quota_release` every slot
+        it successfully acquired, exactly once, when the request settles.
+        """
+        quota = self.quota
+        if quota is None or quota.max_in_flight is None:
+            return
+        with self._lock:
+            current = self._in_flight.get(fingerprint, 0)
+            if current >= quota.max_in_flight:
+                self._stats.count("quota_rejections")
+                raise quota.reject_in_flight(fingerprint)
+            self._in_flight[fingerprint] = current + 1
+
+    def quota_release(self, fingerprint: str) -> None:
+        """Return one in-flight slot claimed by :meth:`quota_acquire`."""
+        quota = self.quota
+        if quota is None or quota.max_in_flight is None:
+            return
+        with self._lock:
+            current = self._in_flight.get(fingerprint, 0)
+            if current <= 1:
+                self._in_flight.pop(fingerprint, None)
+            else:
+                self._in_flight[fingerprint] = current - 1
+
+    def in_flight(self, fingerprint: str) -> int:
+        """Currently-admitted, not-yet-released requests for a setting."""
+        with self._lock:
+            return self._in_flight.get(fingerprint, 0)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -100,24 +177,61 @@ class SettingRegistry:
 
     def shard(self, fingerprint: str) -> Shard:
         """The shard serving ``fingerprint``, compiling it if needed."""
-        with self._lock:
-            shard = self._shards.get(fingerprint)
-            if shard is not None:
-                self._shards.move_to_end(fingerprint)
-                self._stats.hit("compiled")
-                return shard
-            setting = self._settings.get(fingerprint)
-            if setting is None:
-                raise UnknownSettingError(fingerprint)
-            self._stats.miss("compiled")
-            return self._admit_shard(fingerprint, compile_setting(setting))
+        return self._obtain(fingerprint, prewarm=False)[0]
 
-    def _admit_shard(self, fingerprint: str,
-                     compiled: CompiledSetting) -> Shard:
+    def prewarm(self, fingerprint: str) -> bool:
+        """Compile ``fingerprint`` ahead of its first request.
+
+        Returns ``True`` when this call compiled the setting (a
+        ``prewarm_compiles`` event), ``False`` when it was already warm
+        (``prewarm_hits``).  Either way the first request afterwards is a
+        ``compiled_hits`` — never a ``compiled_misses``.
+        """
+        return self._obtain(fingerprint, prewarm=True)[1]
+
+    def _obtain(self, fingerprint: str, prewarm: bool) -> "Tuple[Shard, bool]":
+        """The shard plus whether *this call* compiled it just now."""
+        while True:
+            with self._lock:
+                shard = self._shards.get(fingerprint)
+                if shard is not None:
+                    self._shards.move_to_end(fingerprint)
+                    if prewarm:
+                        self._stats.count("prewarm_hits")
+                    else:
+                        self._stats.hit("compiled")
+                    return shard, False
+                setting = self._settings.get(fingerprint)
+                if setting is None:
+                    raise UnknownSettingError(fingerprint)
+                latch = self._compiling.get(fingerprint)
+                if latch is None:
+                    self._compiling[fingerprint] = threading.Event()
+                    if prewarm:
+                        self._stats.count("prewarm_compiles")
+                    else:
+                        self._stats.miss("compiled")
+                    break
+            # Someone else is compiling this very setting: wait on its
+            # latch (not the registry lock) and re-check — if the owner's
+            # compile failed, the retry elects a new owner.
+            latch.wait()
+        try:
+            compiled = compile_setting(setting)
+            with self._lock:
+                return self._admit_shard(fingerprint, compiled,
+                                         prewarmed=prewarm), True
+        finally:
+            with self._lock:
+                finished = self._compiling.pop(fingerprint)
+            finished.set()
+
+    def _admit_shard(self, fingerprint: str, compiled: CompiledSetting,
+                     prewarmed: bool = False) -> Shard:
         engine = ExchangeEngine(
             compiled, result_cache=self.result_cache,
             result_cache_maxsize=self.result_cache_maxsize)
-        shard = Shard(fingerprint, engine)
+        shard = Shard(fingerprint, engine, prewarmed=prewarmed)
         self._shards[fingerprint] = shard
         self._shards.move_to_end(fingerprint)
         if self.max_compiled is not None:
@@ -159,14 +273,19 @@ class SettingRegistry:
         return fingerprint in self._settings
 
     def stats(self) -> Dict[str, int]:
-        """Registry-level counters: registrations and the compiled LRU."""
+        """Registry-level counters: registrations, the compiled LRU,
+        prewarming and quota rejections."""
         with self._lock:
             flat = self._stats.snapshot()
             flat.setdefault("compiled_hits", 0)
             flat.setdefault("compiled_misses", 0)
             flat.setdefault("compiled_evictions", 0)
+            flat.setdefault("prewarm_compiles", 0)
+            flat.setdefault("prewarm_hits", 0)
+            flat.setdefault("quota_rejections", 0)
             flat["settings_registered"] = len(self._settings)
             flat["compiled_entries"] = len(self._shards)
+            flat["in_flight"] = sum(self._in_flight.values())
             return flat
 
     def shard_stats(self) -> Dict[str, Dict[str, Any]]:

@@ -22,6 +22,7 @@ from typing import Optional, Sequence, Tuple
 from ..engine import EngineResult
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
+from .quota import QuotaExceededError
 
 __all__ = ["OPERATIONS", "ExchangeRequest", "ServiceResult",
            "consistency_request", "classify_request", "solve_request",
@@ -104,6 +105,14 @@ class ServiceResult:
     def failed(self) -> bool:
         """Did the shard raise (as opposed to returning a defined outcome)?"""
         return self.error is not None
+
+    @property
+    def rejected(self) -> bool:
+        """Was this slot refused by admission control (a
+        :class:`~repro.service.quota.QuotaExceededError`) rather than
+        executed?  Rejected slots never reached a shard; their neighbours
+        in the same batch are unaffected."""
+        return isinstance(self.error, QuotaExceededError)
 
     def unwrap(self) -> EngineResult:
         """The engine result, re-raising the shard's exception unchanged."""

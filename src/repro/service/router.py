@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import Executor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine import EngineResult
 from .registry import SettingRegistry
@@ -59,28 +59,48 @@ class Router:
         The mapping iterates fingerprints in first-appearance order; each
         value lists ``(index, request)`` pairs in submission order.
         """
+        return self.partition_pairs(enumerate(requests))
+
+    def partition_pairs(self,
+                        pairs: Iterable[Tuple[int, ExchangeRequest]]
+                        ) -> "OrderedDict[str, List[Tuple[int, ExchangeRequest]]]":
+        """:meth:`partition` over explicitly-indexed requests.
+
+        For callers that dropped some slots before routing (quota
+        rejections): the pairs carry each request's *original* batch
+        position, so :meth:`reassemble` can merge routed outcomes with the
+        caller's rejection slots back into submission order.
+        """
         groups: "OrderedDict[str, List[Tuple[int, ExchangeRequest]]]" = \
             OrderedDict()
-        for index, request in enumerate(requests):
+        for index, request in pairs:
             groups.setdefault(request.fingerprint, []).append((index, request))
         return groups
 
     def execute_group(self, fingerprint: str,
                       group: Sequence[Tuple[int, ExchangeRequest]],
-                      process_parallel: Optional[int] = None
+                      process_parallel: Optional[int] = None,
+                      on_done: Optional[
+                          Callable[[int, ExchangeRequest], None]] = None
                       ) -> List[ServiceResult]:
         """Run one per-shard sub-batch, capturing failures per request.
 
         A routing failure (unknown fingerprint) fails every slot of the
         group — there is no shard to try the others on; execution failures
-        fail only their own slot.
+        fail only their own slot.  ``on_done(index, request)`` fires as
+        each request settles (success or failure) — the async service uses
+        it to release in-flight quota slots per request, not per batch.
         """
         try:
             shard = self.registry.shard(fingerprint)
         except Exception as error:
-            return [ServiceResult(index, fingerprint, error=error)
-                    for index, _ in group]
-        results: List[ServiceResult] = []
+            results = [ServiceResult(index, fingerprint, error=error)
+                       for index, _ in group]
+            if on_done is not None:
+                for index, request in group:
+                    on_done(index, request)
+            return results
+        results = []
         for index, request in group:
             try:
                 outcome = shard.execute(request, process_parallel)
@@ -89,6 +109,9 @@ class Router:
             else:
                 results.append(ServiceResult(index, fingerprint,
                                              result=outcome))
+            finally:
+                if on_done is not None:
+                    on_done(index, request)
         return results
 
     def execute_batch(self, requests: Sequence[ExchangeRequest],

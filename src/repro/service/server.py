@@ -7,10 +7,22 @@ newline-delimited JSON (see :mod:`repro.service.protocol`).  Run it with::
     python -m repro.service.server [--host 127.0.0.1] [--port 8421]
         [--executor thread] [--parallel 4]
         [--max-compiled N] [--result-cache-maxsize N]
+        [--max-in-flight N] [--max-registered N]
 
 ``--port 0`` picks a free port; the server always announces
 ``listening on HOST:PORT`` on stdout once it accepts connections, which is
 what the client helper's ``--smoke`` mode (and CI) wait for.
+
+**Connections are pipelined**: every request line starts its own asyncio
+task the moment it is read, and replies are written as the requests
+*complete* — matched to their request by the echoed ``id``, not by arrival
+order.  A slow ``solve`` never delays a fast ``ping`` sent after it on the
+same connection.  Clients that want the old lock-step behaviour simply wait
+for each reply before sending the next request (which is exactly what
+:meth:`repro.service.client.ServiceClient.request` does); pipelining
+clients use ``submit()``/``collect()`` or ``pipeline()`` and demultiplex
+by ``id``.  Requests sent *without* an ``id`` are answered too, but their
+replies carry nothing to match on — pipeline only with ids.
 
 Protocol (one JSON object per line, ``id`` echoed back when present):
 
@@ -18,7 +30,9 @@ Protocol (one JSON object per line, ``id`` echoed back when present):
 request ``op``       reply (all carry ``"ok"``; errors add ``error``/
                      ``message`` and keep the connection open)
 ===================  ====================================================
-``register``         ``{"fingerprint": …}`` — body: ``{"setting": …}``
+``register``         ``{"fingerprint": …}`` — body: ``{"setting": …}``;
+                     optional ``"prewarm": true`` schedules a background
+                     compile so the first request finds the shard warm
 ``consistency``      ``{"consistent": bool, "strategy": …, "elapsed": …}``
 ``classify``         ``{"tractable": bool, "detail": …}``
 ``solve``            ``{"result_ok": bool, "solution": tree|null, …}``
@@ -27,11 +41,13 @@ request ``op``       reply (all carry ``"ok"``; errors add ``error``/
 ``stats``            ``{"stats": {…}}`` — registry + per-shard counters
 ``ping``             ``{"pong": true}``
 ``shutdown``         ``{"bye": true}``, then the server exits cleanly
+                     (in-flight requests on the connection reply first)
 ===================  ====================================================
 
 Engine failures (``ChaseError``, precondition ``ValueError``\\ s, unknown
-fingerprints) are *responses*, never connection drops: the error class name
-travels in ``error`` so clients can re-raise faithfully.
+fingerprints, quota rejections) are *responses*, never connection drops:
+the error class name travels in ``error`` so clients can re-raise
+faithfully — see :func:`repro.service.protocol.error_to_wire`.
 """
 
 from __future__ import annotations
@@ -39,27 +55,40 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import Any, Dict, List, Optional
+import threading
+from typing import Any, Dict, List, Optional, Set
 
 from .protocol import (answers_to_wire, decode_line, encode_line,
-                       query_from_wire, setting_from_wire, tree_from_wire,
-                       tree_to_wire)
+                       error_to_wire, query_from_wire, setting_from_wire,
+                       tree_from_wire, tree_to_wire)
+from .quota import QuotaPolicy
 from .service import SERVICE_EXECUTORS, AsyncExchangeService
 
-__all__ = ["ExchangeServer", "main"]
+__all__ = ["ExchangeServer", "serve_in_background", "main"]
 
 
 class ExchangeServer:
     """The asyncio JSON-lines front end of one :class:`AsyncExchangeService`."""
 
+    #: Per-line buffer bound: big solve requests (large source trees)
+    #: easily exceed asyncio's 64 KiB default.
+    DEFAULT_LINE_LIMIT = 32 * 1024 * 1024
+
     def __init__(self, service: AsyncExchangeService,
-                 host: str = "127.0.0.1", port: int = 8421) -> None:
+                 host: str = "127.0.0.1", port: int = 8421,
+                 line_limit: int = DEFAULT_LINE_LIMIT) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.line_limit = line_limit
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
         self._writers: set = set()
+        #: Background prewarm tasks spawned by ``register`` + ``prewarm``.
+        self._warm_tasks: Set[asyncio.Task] = set()
+        #: Live connection-handler tasks, so aclose() can drain them
+        #: instead of letting loop teardown cancel them mid-EOF.
+        self._conn_tasks: Set[asyncio.Task] = set()
         self.connections = 0
         self.requests = 0
 
@@ -69,7 +98,8 @@ class ExchangeServer:
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(self._serve_connection,
-                                                  self.host, self.port)
+                                                  self.host, self.port,
+                                                  limit=self.line_limit)
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def serve_until_shutdown(self, announce: bool = True) -> None:
@@ -82,6 +112,8 @@ class ExchangeServer:
         await self.aclose()
 
     async def aclose(self) -> None:
+        for task in list(self._warm_tasks):
+            task.cancel()
         if self._server is not None:
             self._server.close()
             # Close every live connection first: a handler parked in
@@ -90,6 +122,12 @@ class ExchangeServer:
             # listening socket) would hang on any idle client.
             for writer in list(self._writers):
                 writer.close()
+            # ... and give the handlers a chance to actually process that
+            # EOF: the service shutdown below blocks the loop, and a
+            # handler still parked in readline() at loop teardown would be
+            # cancelled noisily instead of exiting cleanly.
+            if self._conn_tasks:
+                await asyncio.wait(list(self._conn_tasks), timeout=5)
             await self._server.wait_closed()
             self._server = None
         await self.service.aclose()
@@ -100,23 +138,41 @@ class ExchangeServer:
 
     async def _serve_connection(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
+        """One connection, **pipelined**: each request line becomes its own
+        task; replies are written (under a per-connection lock) as requests
+        complete, in completion order, matched by the echoed ``id``."""
         self.connections += 1
         self._writers.add(writer)
+        handler = asyncio.current_task()
+        if handler is not None:
+            self._conn_tasks.add(handler)
+            handler.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        in_flight: Set[asyncio.Task] = set()
+        closing = asyncio.Event()
         try:
-            while not self._shutdown.is_set():
+            while not (self._shutdown.is_set() or closing.is_set()):
                 line = await reader.readline()
                 if not line:
                     break
                 if not line.strip():
                     continue
-                reply = await self._handle_line(line)
-                writer.write(encode_line(reply))
-                await writer.drain()
-                if reply.get("bye"):
-                    break
-        except (ConnectionResetError, asyncio.IncompleteReadError):
+                task = asyncio.create_task(self._serve_line(
+                    line, writer, write_lock, in_flight, closing))
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+            # EOF (or shutdown): let in-flight requests finish replying
+            # before the connection is torn down.
+            if in_flight:
+                await asyncio.gather(*in_flight, return_exceptions=True)
+        except (ConnectionResetError, asyncio.IncompleteReadError,
+                ValueError):
+            # ValueError: a request line overran line_limit — the stream is
+            # no longer parseable, so the connection must drop.
             pass
         finally:
+            for task in list(in_flight):
+                task.cancel()
             self._writers.discard(writer)
             writer.close()
             try:
@@ -124,22 +180,79 @@ class ExchangeServer:
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
 
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock,
+                          in_flight: Set[asyncio.Task],
+                          closing: asyncio.Event) -> None:
+        """Serve one request line to completion and write its reply."""
+        reply = await self._handle_line(line)
+        bye = bool(reply.get("bye"))
+        first_bye = False
+        if bye:
+            # Only the FIRST shutdown on a connection waits for the other
+            # in-flight requests — a second pipelined shutdown must not
+            # gather the first (they would deadlock awaiting each other).
+            first_bye = not closing.is_set()
+            closing.set()
+        try:
+            if first_bye:
+                # Graceful shutdown: every other in-flight request on this
+                # connection replies before the "bye" goes out and the
+                # server starts closing connections.
+                current = asyncio.current_task()
+                others = [task for task in in_flight if task is not current]
+                if others:
+                    await asyncio.gather(*others, return_exceptions=True)
+            async with write_lock:
+                try:
+                    writer.write(encode_line(reply))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+        finally:
+            # Only the FIRST bye triggers the server shutdown: it has
+            # awaited every other in-flight task (later byes included), so
+            # all replies are on the wire before connections start closing.
+            # Set even when the client vanished before reading the reply —
+            # the shutdown it requested must still happen.
+            if first_bye:
+                self._shutdown.set()
+
+    #: Payloads above this many bytes are decoded/encoded off the event
+    #: loop: a multi-megabyte solve tree must not stall the loop that every
+    #: other connection's replies are written from.
+    OFFLOAD_CODEC_BYTES = 64 * 1024
+
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         request_id: Any = None
+        big = len(line) > self.OFFLOAD_CODEC_BYTES
         try:
-            message = decode_line(line)
+            if big:
+                message = await self.service.offload(
+                    lambda: decode_line(line))
+            else:
+                message = decode_line(line)
             request_id = message.get("id")
-            reply = await self._dispatch(message)
+            reply = await self._dispatch(message, big)
         except Exception as error:
-            reply = {"ok": False, "error": type(error).__name__,
-                     "message": str(error)}
+            reply = error_to_wire(error)
         if request_id is not None:
             reply["id"] = request_id
         return reply
 
-    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    async def _dispatch(self, message: Dict[str, Any],
+                        big: bool = False) -> Dict[str, Any]:
         op = message.get("op")
         self.requests += 1
+
+        async def wire_tree(wire: Any):
+            """Deserialize the request tree — off-loop when the request
+            line was big, so a huge source tree cannot stall the loop."""
+            if big:
+                return await self.service.offload(
+                    lambda: tree_from_wire(wire))
+            return tree_from_wire(wire)
+
         if op == "ping":
             return {"ok": True, "op": op, "pong": True}
         if op == "stats":
@@ -147,12 +260,20 @@ class ExchangeServer:
                     "server": {"connections": self.connections,
                                "requests": self.requests}}
         if op == "shutdown":
-            self._shutdown.set()
+            # The shutdown event is set by _serve_line *after* the "bye"
+            # reply is on the wire (and after the connection's other
+            # in-flight requests have replied) — setting it here would race
+            # aclose() against our own reply.
             return {"ok": True, "op": op, "bye": True}
         if op == "register":
             fingerprint = self.service.register(
                 setting_from_wire(message["setting"]))
+            if message.get("prewarm"):
+                self._spawn_prewarm(fingerprint)
             return {"ok": True, "op": op, "fingerprint": fingerprint}
+        if op == "prewarm":
+            self._spawn_prewarm(message["fingerprint"])
+            return {"ok": True, "op": op, "scheduled": True}
         if op == "consistency":
             result = await self.service.check_consistency(
                 message["fingerprint"], message.get("strategy", "auto"))
@@ -165,16 +286,25 @@ class ExchangeServer:
                     "detail": result.detail, "elapsed": result.elapsed}
         if op == "solve":
             result = await self.service.solve(
-                message["fingerprint"], tree_from_wire(message["tree"]))
-            solution = (tree_to_wire(result.payload)
-                        if result.ok and result.payload is not None else None)
+                message["fingerprint"], await wire_tree(message["tree"]))
+            if result.ok and result.payload is not None:
+                payload = result.payload
+                # Solutions are at least source-sized: render big ones
+                # off-loop too.
+                if big:
+                    solution = await self.service.offload(
+                        lambda: tree_to_wire(payload))
+                else:
+                    solution = tree_to_wire(payload)
+            else:
+                solution = None
             return {"ok": True, "op": op, "result_ok": result.ok,
                     "solution": solution, "detail": result.detail,
                     "elapsed": result.elapsed}
         if op == "certain_answers":
             order = message.get("variable_order")
             result = await self.service.certain_answers(
-                message["fingerprint"], tree_from_wire(message["tree"]),
+                message["fingerprint"], await wire_tree(message["tree"]),
                 query_from_wire(message["query"]), order)
             raw = result.raw
             return {"ok": True, "op": op, "result_ok": result.ok,
@@ -182,6 +312,77 @@ class ExchangeServer:
                     "variables": list(raw.variable_order),
                     "detail": result.detail, "elapsed": result.elapsed}
         raise ValueError(f"unknown operation {op!r}")
+
+    def _spawn_prewarm(self, fingerprint: str) -> None:
+        """Compile-ahead in the background: the register/prewarm reply goes
+        out immediately while the compile runs on the service executor, so
+        the setting's first real request finds a warm shard."""
+        task = asyncio.create_task(self._prewarm(fingerprint))
+        self._warm_tasks.add(task)
+        task.add_done_callback(self._warm_tasks.discard)
+
+    async def _prewarm(self, fingerprint: str) -> None:
+        try:
+            await self.service.prewarm(fingerprint)
+        except asyncio.CancelledError:  # pragma: no cover - shutdown race
+            raise
+        except Exception:
+            # Best-effort warm-up: a failing compile surfaces (typed) on
+            # the first real request, exactly as without prewarming.
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Embedded server
+# --------------------------------------------------------------------- #
+
+def serve_in_background(**service_kwargs: Any):
+    """Boot an :class:`ExchangeServer` on a daemon thread with its own
+    event loop; block until it accepts connections.
+
+    The embedded-server helper the in-process tests and benchmarks share
+    (an alternative to the ``python -m repro.service.server`` subprocess):
+    returns ``(port, server, join)`` where ``join()`` waits for the server
+    loop to exit after a ``shutdown`` request and raises if it does not.
+    ``service_kwargs`` go to :class:`AsyncExchangeService` verbatim.
+    """
+    ready = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    def run() -> None:
+        async def serve() -> None:
+            service = AsyncExchangeService(**service_kwargs)
+            server = ExchangeServer(service, port=0)
+            await server.start()
+            holder["port"] = server.port
+            holder["server"] = server
+            ready.set()
+            await server.serve_until_shutdown(announce=False)
+
+        try:
+            asyncio.run(serve())
+        except BaseException as error:  # surfaced to the caller below
+            holder["error"] = error
+            ready.set()
+
+    thread = threading.Thread(target=run, daemon=True,
+                              name="exchange-server")
+    thread.start()
+    if not ready.wait(timeout=60):
+        raise RuntimeError("embedded exchange server did not come up")
+    if "error" in holder and "port" not in holder:
+        raise RuntimeError("embedded exchange server failed to start") \
+            from holder["error"]
+
+    def join(timeout: float = 60) -> None:
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            raise RuntimeError("embedded exchange server did not shut down")
+        if "error" in holder:
+            raise RuntimeError("embedded exchange server crashed") \
+                from holder["error"]
+
+    return holder["port"], holder["server"], join
 
 
 # --------------------------------------------------------------------- #
@@ -202,13 +403,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="LRU bound on concurrently compiled settings")
     parser.add_argument("--result-cache-maxsize", type=int, default=None,
                         help="per-setting LRU bound on cached results")
+    parser.add_argument("--max-in-flight", type=int, default=None,
+                        help="per-setting quota on admitted-but-unfinished "
+                             "requests (over-quota work is rejected with "
+                             "QuotaExceededError, not queued)")
+    parser.add_argument("--max-registered", type=int, default=None,
+                        help="quota on distinct registered settings")
     args = parser.parse_args(argv)
+
+    quota: Optional[QuotaPolicy] = None
+    if args.max_in_flight is not None or args.max_registered is not None:
+        quota = QuotaPolicy(max_in_flight=args.max_in_flight,
+                            max_registered=args.max_registered)
 
     async def run() -> None:
         service = AsyncExchangeService(
             executor=args.executor, parallel=args.parallel,
             max_compiled=args.max_compiled,
-            result_cache_maxsize=args.result_cache_maxsize)
+            result_cache_maxsize=args.result_cache_maxsize,
+            quota=quota)
         server = ExchangeServer(service, args.host, args.port)
         await server.serve_until_shutdown()
 

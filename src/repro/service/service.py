@@ -16,6 +16,16 @@ pipeline work running off the event loop on a configurable executor.
   per-shard sub-batches (:class:`Router`), runs the sub-batches concurrently
   on the executor and re-assembles :class:`ServiceResult` slots in
   submission order, isolating failures per request.
+* Admission control: with a :class:`~repro.service.quota.QuotaPolicy`, work
+  beyond a setting's ``max_in_flight`` is rejected **at submission time**
+  with a typed :class:`~repro.service.quota.QuotaExceededError` — raised
+  await-side for single requests, captured as that slot's ``error`` in
+  batches — instead of queueing without bound on the executor.  Rejections
+  never touch the request's batch neighbours.
+* Prewarming: ``register(setting, prewarm=True)`` compiles before
+  returning; :meth:`prewarm` does the same compile off the event loop, so
+  a server can warm settings in the background (``prewarm_*`` counters in
+  ``stats()["registry"]``).
 
 Executors
 ---------
@@ -37,6 +47,7 @@ Executors
 from __future__ import annotations
 
 import asyncio
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import (Any, Callable, Dict, List, Optional, Sequence, TypeVar,
@@ -47,6 +58,7 @@ from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
+from .quota import QuotaExceededError, QuotaPolicy
 from .registry import SettingRegistry
 from .requests import (ExchangeRequest, ServiceResult,
                        certain_answers_request, classify_request,
@@ -67,7 +79,8 @@ class AsyncExchangeService:
     def __init__(self, registry: Optional[SettingRegistry] = None,
                  executor: str = "thread", parallel: int = 4,
                  max_compiled: Optional[int] = None,
-                 result_cache_maxsize: Optional[int] = None) -> None:
+                 result_cache_maxsize: Optional[int] = None,
+                 quota: Optional[QuotaPolicy] = None) -> None:
         if executor not in SERVICE_EXECUTORS:
             raise ValueError(
                 f"unknown service executor {executor!r}; "
@@ -77,12 +90,14 @@ class AsyncExchangeService:
         if registry is None:
             registry = SettingRegistry(
                 max_compiled=max_compiled,
-                result_cache_maxsize=result_cache_maxsize)
-        elif max_compiled is not None or result_cache_maxsize is not None:
+                result_cache_maxsize=result_cache_maxsize,
+                quota=quota)
+        elif (max_compiled is not None or result_cache_maxsize is not None
+                or quota is not None):
             raise ValueError(
-                "pass cache bounds either on the registry or to the "
-                "service, not both: an explicit registry keeps its own "
-                "max_compiled / result_cache_maxsize")
+                "pass cache bounds and quotas either on the registry or to "
+                "the service, not both: an explicit registry keeps its own "
+                "max_compiled / result_cache_maxsize / quota")
         self.registry = registry
         self.router = Router(registry)
         self.executor = executor
@@ -101,24 +116,44 @@ class AsyncExchangeService:
     # Admission
     # ------------------------------------------------------------------ #
 
-    def register(self, setting: Union[DataExchangeSetting, CompiledSetting]
-                 ) -> str:
+    def register(self, setting: Union[DataExchangeSetting, CompiledSetting],
+                 prewarm: bool = False) -> str:
         """Admit a setting; returns its fingerprint (the routing key).
 
         Synchronous on purpose: admission only fingerprints and stores the
         setting — compilation happens lazily on the serving path.
+        ``prewarm=True`` compiles before returning (blocking the caller, not
+        the loop — from a coroutine prefer ``register()`` followed by
+        ``await prewarm(fingerprint)``), so the first request never pays
+        compile latency.
         """
-        return self.registry.register(setting)
+        return self.registry.register(setting, prewarm=prewarm)
+
+    async def prewarm(self, fingerprint: str) -> bool:
+        """Compile a registered setting off the event loop, ahead of its
+        first request.  Returns ``True`` when this call did the compile,
+        ``False`` when the setting was already warm."""
+        return await self._offload(
+            partial(self.registry.prewarm, fingerprint))
 
     # ------------------------------------------------------------------ #
     # Await-able single requests
     # ------------------------------------------------------------------ #
 
     async def submit(self, request: ExchangeRequest) -> EngineResult:
-        """Serve one request; shard exceptions surface unchanged."""
-        return await self._offload(
-            partial(self.router.execute, request,
-                    process_parallel=self._process_parallel))
+        """Serve one request; shard exceptions surface unchanged.
+
+        With an in-flight quota the request is admitted (or rejected with
+        :class:`~repro.service.quota.QuotaExceededError`) *here*, before any
+        executor queueing; the slot is released when the request settles.
+        """
+        self.registry.quota_acquire(request.fingerprint)
+        try:
+            return await self._offload(
+                partial(self.router.execute, request,
+                        process_parallel=self._process_parallel))
+        finally:
+            self.registry.quota_release(request.fingerprint)
 
     async def check_consistency(self, fingerprint: str,
                                 strategy: str = "auto") -> EngineResult:
@@ -151,17 +186,55 @@ class AsyncExchangeService:
         first failed slot's exception is re-raised after the whole batch has
         settled, so one bad request still cannot abort its neighbours
         mid-flight.
+
+        With an in-flight quota, slots are admitted in submission order —
+        the first ``max_in_flight`` requests per setting are accepted, the
+        rest become deterministic
+        :class:`~repro.service.quota.QuotaExceededError` slots without ever
+        touching a shard (or their admitted neighbours).
         """
         requests = list(requests)
         if not requests:
             return []
-        groups = self.router.partition(requests)
-        group_runs = [
-            self._offload(partial(self.router.execute_group, fingerprint,
-                                  group,
-                                  process_parallel=self._process_parallel))
-            for fingerprint, group in groups.items()]
-        outcomes = await asyncio.gather(*group_runs)
+        admitted: List[tuple] = []
+        rejected: List[ServiceResult] = []
+        for index, request in enumerate(requests):
+            try:
+                self.registry.quota_acquire(request.fingerprint)
+            except QuotaExceededError as error:
+                rejected.append(ServiceResult(index, request.fingerprint,
+                                              error=error))
+            else:
+                admitted.append((index, request))
+        # Each admitted slot is released the moment its request settles
+        # (the router's on_done hook) — not when the whole batch does, so
+        # a finished setting's slots free up while unrelated sub-batches
+        # are still running.  The idempotent guard lets the finally below
+        # sweep up anything a failed/cancelled group run never reached.
+        released: set = set()
+        release_guard = threading.Lock()
+
+        def release(index: int, request: ExchangeRequest) -> None:
+            with release_guard:
+                if index in released:
+                    return
+                released.add(index)
+            self.registry.quota_release(request.fingerprint)
+
+        try:
+            groups = self.router.partition_pairs(admitted)
+            group_runs = [
+                self._offload(partial(self.router.execute_group, fingerprint,
+                                      group,
+                                      process_parallel=self._process_parallel,
+                                      on_done=release))
+                for fingerprint, group in groups.items()]
+            outcomes = list(await asyncio.gather(*group_runs))
+        finally:
+            for index, request in admitted:
+                release(index, request)
+        if rejected:
+            outcomes.append(rejected)
         results = self.router.reassemble(outcomes, len(requests))
         if not return_exceptions:
             for item in results:
@@ -175,9 +248,15 @@ class AsyncExchangeService:
 
     def stats(self) -> Dict[str, Any]:
         """Registry counters plus per-shard accounting."""
+        quota = self.registry.quota
         return {
             "executor": self.executor,
             "parallel": self.parallel,
+            "quota": None if quota is None else {
+                "max_in_flight": quota.max_in_flight,
+                "max_registered": quota.max_registered,
+                "max_compiled": quota.max_compiled,
+            },
             "registry": self.registry.stats(),
             "shards": self.registry.shard_stats(),
         }
@@ -208,10 +287,17 @@ class AsyncExchangeService:
     # Internals
     # ------------------------------------------------------------------ #
 
-    async def _offload(self, fn: Callable[[], _T]) -> _T:
+    async def offload(self, fn: Callable[[], _T]) -> _T:
+        """Run ``fn()`` off the event loop on the service's pool (inline
+        for the serial executor).  The server front end also routes heavy
+        *codec* work — decoding multi-megabyte request lines, building and
+        rendering wire trees — through here, so big payloads cannot stall
+        the loop that other connections' replies are written from."""
         if self._closed:
             raise RuntimeError("service is closed")
         if self._pool is None:  # serial: inline on the loop thread
             return fn()
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._pool, fn)
+
+    _offload = offload

@@ -37,9 +37,14 @@ __all__ = ["Shard"]
 class Shard:
     """The serving unit for one setting fingerprint."""
 
-    def __init__(self, fingerprint: str, engine: ExchangeEngine) -> None:
+    def __init__(self, fingerprint: str, engine: ExchangeEngine,
+                 prewarmed: bool = False) -> None:
         self.fingerprint = fingerprint
         self.engine = engine
+        #: Was this shard compiled ahead of its first request (register
+        #: ``prewarm=True`` / pre-seeded compiled setting) rather than
+        #: lazily on the serving path?
+        self.prewarmed = prewarmed
         self.requests = 0
         self.errors = 0
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -166,6 +171,7 @@ class Shard:
         return {
             "requests": served,
             "errors": errors,
+            "prewarmed": self.prewarmed,
             "engine_requests": summary.requests,
             "result_cache_hits": summary.result_cache_hits,
             "result_cache_misses": summary.result_cache_misses,

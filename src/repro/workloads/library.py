@@ -12,8 +12,7 @@ introduction.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from ..patterns.parse import parse_pattern
 from ..patterns.queries import Query, exists, pattern_query

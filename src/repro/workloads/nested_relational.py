@@ -15,11 +15,10 @@ module provides
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from ..patterns.parse import parse_pattern
-from ..patterns.queries import Query, exists, pattern_query
+from ..patterns.queries import Query, pattern_query
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from ..exchange.setting import DataExchangeSetting

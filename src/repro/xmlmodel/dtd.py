@@ -23,8 +23,8 @@ The module implements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from ..regexlang.ast import (Concat, Empty, Epsilon, Regex, Star, Symbol, Union,
                              concat, empty, epsilon, star, sym, union)

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from .values import Null, NullFactory, Value, is_constant, is_null
+from .values import Value, is_constant, is_null
 
 __all__ = ["XMLNode", "XMLTree"]
 

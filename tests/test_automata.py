@@ -1,8 +1,7 @@
 """Tests for unranked tree automata (Appendix A)."""
 
-import pytest
 
-from repro.automata import UNFTA, dtd_to_automaton, product_automaton
+from repro.automata import dtd_to_automaton, product_automaton
 from repro.xmlmodel import DTD, XMLTree
 from repro.workloads import library
 

@@ -11,7 +11,7 @@ makes repeated process batches converge with everything else.
 import pytest
 
 from repro import ExchangeEngine, compile_setting
-from repro.generators import generate_scenario, scenario_batch
+from repro.generators import generate_scenario
 from repro.workloads import library
 
 #: (scenario seed, profile) pairs for the sweep; small but structurally

@@ -12,7 +12,7 @@ from repro.exchange import (DataExchangeSetting, check_consistency,
 from repro.patterns import parse_pattern
 from repro.reductions import proposition_4_4
 from repro.reductions.sat import CNFFormula, dpll_satisfiable, random_3cnf
-from repro.workloads import library, nested_relational
+from repro.workloads import library
 from repro.xmlmodel import DTD
 
 

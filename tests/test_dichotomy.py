@@ -2,7 +2,7 @@
 
 from repro.exchange import DataExchangeSetting, classify_setting, std
 from repro.reductions import lemma_6_20, theorem_5_11
-from repro.workloads import library, nested_relational
+from repro.workloads import nested_relational
 from repro.xmlmodel import DTD
 
 

@@ -10,9 +10,9 @@ import pytest
 
 from repro import compile_setting
 from repro.generators import (DTD_PROFILES, QUERY_KINDS, SCENARIO_PROFILES,
-                              generate_dtd, generate_query, generate_queries,
-                              generate_scenario, generate_std, generate_stds,
-                              generate_tree, generate_trees, scenario_batch)
+                              generate_dtd, generate_query, generate_scenario,
+                              generate_std, generate_stds, generate_tree,
+                              generate_trees, scenario_batch)
 from repro.patterns.queries import classify_query
 
 SEEDS = range(5)

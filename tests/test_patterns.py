@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.patterns import (DescendantPattern, NodePattern, Variable,
-                            descendant, match_anywhere, match_at_node, node,
-                            parse_pattern, pattern_holds, wildcard,
-                            PatternParseError)
+from repro.patterns import (DescendantPattern, NodePattern, descendant,
+                            match_anywhere, match_at_node, node, parse_pattern,
+                            pattern_holds, PatternParseError)
 from repro.workloads import library
 from repro.xmlmodel import XMLTree
 

@@ -12,7 +12,7 @@ import pickle
 
 import pytest
 
-from repro import (ExchangeEngine, Null, NullFactory, XMLTree, certain_answers,
+from repro import (ExchangeEngine, Null, NullFactory, certain_answers,
                    compile_setting)
 from repro.generators import generate_scenario
 from repro.workloads import library, nested_relational

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.exchange import (ChaseError, DataExchangeSetting, canonical_pre_solution,
+from repro.exchange import (DataExchangeSetting, canonical_pre_solution,
                             canonical_solution, chase, pattern_to_tree, std)
 from repro.exchange.presolution import PreSolutionError
 from repro.patterns import parse_pattern
-from repro.workloads import library
 from repro.xmlmodel import DTD, XMLTree
-from repro.xmlmodel.values import NullFactory, is_constant, is_null
+from repro.xmlmodel.values import is_null
 
 
 class TestPatternToTree:

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.patterns import (classify_query, conjunction, descendant, exists,
-                            node, parse_pattern, pattern_query, union_query)
+from repro.patterns import (classify_query, conjunction, exists, parse_pattern,
+                            pattern_query, union_query)
 from repro.workloads import library
 from repro.xmlmodel import XMLTree
 from repro.xmlmodel.values import Null

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.regexlang import (Concat, Epsilon, Star, Symbol, Union, concat,
-                             epsilon, parse_regex, plus, optional, regex_to_nfa,
-                             star, sym, union, RegexParseError, empty)
+from repro.regexlang import (Concat, Star, Symbol, Union, concat, epsilon,
+                             parse_regex, plus, optional, regex_to_nfa, star,
+                             sym, union, RegexParseError, empty)
 
 
 class TestParsing:

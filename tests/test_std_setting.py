@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.exchange import DataExchangeSetting, STD, classify_std, std
-from repro.patterns import parse_pattern
+from repro.exchange import STD, classify_std, std
 from repro.workloads import library
 from repro.xmlmodel import DTD, XMLTree
 from repro.xmlmodel.values import Null
