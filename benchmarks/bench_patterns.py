@@ -1,0 +1,174 @@
+"""Pattern evaluation: the interpreter vs compiled plans on generated trees.
+
+The PlanCompiler's claim is that lowering a CTQ//,∪ query once into a
+slot-based plan and running it over a frozen tree beats re-interpreting the
+pattern AST per (query, node).  This bench pins that claim as a perf
+baseline of its own, orthogonal to the chase-dominated engine bench:
+
+* ``interpreter_eps`` — evaluations/second of ``Query.answers`` (the
+  memoised :class:`~repro.patterns.evaluate.PatternMatcher` oracle);
+* ``plan_eps``       — evaluations/second of the *full* plan path, paying
+  ``freeze()`` per tree and the plan-cache lookup per query, as a cold
+  request would;
+* ``plan_warm_eps``  — evaluations/second with frozen trees and compiled
+  plans amortised, the steady state of a warm shard.
+
+Exit-code gates are deterministic only: plan/interpreter parity on every
+(tree, query) pair and exact plan-cache accounting (one compile per query
+fingerprint across repeated passes).  Raw speedups are reported and fed to
+``compare_bench.py`` (bench kind ``"patterns"``) against the committed
+``benchmarks/BENCH_patterns.json``.
+
+Run standalone::
+
+    python benchmarks/bench_patterns.py --generated 30 --seed 7 \\
+        [--repeat 3] [--json PATH]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.generators import scenario_batch
+from repro.patterns import PlanCache, compile_query
+from repro.workloads.generated import benchmark_workload
+
+
+def _write_json(path, report) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"json report         : {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--generated", type=int, default=25, metavar="N",
+                        help="trees in the heavy benchmark workload "
+                             "(default 25)")
+    parser.add_argument("--scenarios", type=int, default=20,
+                        help="extra light scenarios for parity breadth "
+                             "(default 20)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing passes; the best one is reported")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable result file")
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    # Timing runs on the heavy probe-selected workload (the same generator
+    # the engine bench uses — trees of hundreds of nodes, where matching
+    # loops dominate); a batch of light scenarios rides along for parity
+    # breadth across query shapes.
+    workload = benchmark_workload(args.seed, args.generated)
+    pairs = [(tree, query)
+             for tree in workload.source_trees
+             for query in workload.queries]
+    for scenario in scenario_batch(args.scenarios, seed=args.seed):
+        pairs.extend((tree, query)
+                     for tree in scenario.source_trees
+                     for query in scenario.queries)
+    n = len(pairs)
+    nodes = sum(len(tree) for tree, _ in pairs)
+    print(f"workload            : {args.generated} heavy trees + "
+          f"{args.scenarios} light scenarios, {n} (tree, query) pairs, "
+          f"{nodes} tree-node visits per pass "
+          f"(generated in {time.perf_counter() - started:.2f} s)")
+
+    failures = []
+
+    def timed(operation):
+        best = float("inf")
+        outcome = None
+        for _ in range(args.repeat):
+            begun = time.perf_counter()
+            outcome = operation()
+            best = min(best, time.perf_counter() - begun)
+        return best, outcome
+
+    # Interpreter oracle: memoised PatternMatcher per call.
+    interp_time, interp_answers = timed(
+        lambda: [query.answers(tree) for tree, query in pairs])
+
+    # Cold plan path: freeze per tree, plan-cache lookup per query — what a
+    # request pays on a warm shard serving a fresh tree.
+    cache = PlanCache()
+
+    def plan_pass():
+        return [cache.get(query).answers(tree.freeze())
+                for tree, query in pairs]
+
+    plan_time, plan_answers = timed(plan_pass)
+
+    # Warm plan path: frozen trees + compiled plans amortised.
+    frozen_pairs = [(tree.freeze(), compile_query(query))
+                    for tree, query in pairs]
+    warm_time, warm_answers = timed(
+        lambda: [plan.answers(frozen) for frozen, plan in frozen_pairs])
+
+    interpreter_eps = n / max(interp_time, 1e-9)
+    plan_eps = n / max(plan_time, 1e-9)
+    plan_warm_eps = n / max(warm_time, 1e-9)
+    print(f"interpreter         : {interpreter_eps:10.1f} evals/s")
+    print(f"plan (freeze+eval)  : {plan_eps:10.1f} evals/s "
+          f"({plan_eps / interpreter_eps:4.1f}x)")
+    print(f"plan (warm)         : {plan_warm_eps:10.1f} evals/s "
+          f"({plan_warm_eps / interpreter_eps:4.1f}x)")
+
+    # Gate: parity on every pair, across all three paths.
+    if not (interp_answers == plan_answers == warm_answers):
+        mismatches = sum(1 for a, b, c in zip(interp_answers, plan_answers,
+                                              warm_answers)
+                         if not (a == b == c))
+        failures.append(f"parity: {mismatches} of {n} (tree, query) pairs "
+                        f"differ between interpreter and plan")
+    else:
+        print(f"parity              : all {n} pairs equal across "
+              f"interpreter / plan / warm plan")
+
+    # Gate: exact plan-cache accounting — one compile per distinct query
+    # fingerprint over `repeat` identical passes, everything else hits.
+    distinct = len({query.fingerprint() for _, query in pairs})
+    if cache.misses != distinct:
+        failures.append(f"plan cache: {cache.misses} compiles for "
+                        f"{distinct} distinct queries")
+    expected_hits = args.repeat * n - distinct
+    if cache.hits != expected_hits:
+        failures.append(f"plan cache: {cache.hits} hits, expected "
+                        f"{expected_hits}")
+    else:
+        print(f"plan cache          : {distinct} compiles, "
+              f"{cache.hits} hits over {args.repeat} passes")
+
+    if plan_warm_eps <= interpreter_eps:
+        # Machine-dependent: report loudly, gate on parity only.
+        print(f"WARNING: warm plans ({plan_warm_eps:.1f} evals/s) did not "
+              f"beat the interpreter ({interpreter_eps:.1f} evals/s) on "
+              f"this run", file=sys.stderr)
+
+    _write_json(args.json, {
+        "bench": "patterns",
+        "seed": args.seed,
+        "trees": args.generated,
+        "scenarios": args.scenarios,
+        "pairs": n,
+        "repeat": args.repeat,
+        "interpreter_eps": interpreter_eps,
+        "plan_eps": plan_eps,
+        "plan_warm_eps": plan_warm_eps,
+        "plan_speedup": plan_warm_eps / interpreter_eps,
+        "plan_cache_misses": cache.misses,
+        "plan_cache_hits": cache.hits,
+        "failures": failures,
+    })
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -419,6 +419,24 @@ def main(argv=None) -> int:
           f"{registry_stats['compiled_entries']} shards)")
     print(f"result cache        : {cache_hits} hits / {cache_misses} misses "
           f"({cache_rate:.0%} hit rate)")
+    plan_hits = registry_stats.get("plan_cache_hits", 0)
+    plan_misses = registry_stats.get("plan_cache_misses", 0)
+    plan_rate = plan_hits / max(plan_hits + plan_misses, 1)
+    print(f"plan cache          : {plan_hits} hits / {plan_misses} "
+          f"compilations ({plan_rate:.0%} hit rate across shards)")
+    # Gate (deterministic): each shard compiles a query's plan at most once
+    # — the second evaluation of any query on a shard must be a hit.  LRU
+    # evictions legitimately force recompiles, so they don't count against
+    # the gate (this workload never evicts plans, but the arithmetic stays
+    # honest if a future run does).
+    for fingerprint, shard_stats in stats["shards"].items():
+        budget = (shard_stats["plan_cache_entries"]
+                  + shard_stats["plan_cache_evictions"])
+        if shard_stats["plan_cache_misses"] > budget:
+            failures.append(
+                f"plan cache: shard {fingerprint[:12]} recompiled a plan "
+                f"({shard_stats['plan_cache_misses']} misses for "
+                f"{budget} entries+evictions)")
 
     # Gate: per-shard results identical to serial per-setting engines.
     failed = [slot for slot in slots if slot.failed]
@@ -480,6 +498,9 @@ def main(argv=None) -> int:
         "result_cache_hit_rate": cache_rate,
         "result_cache_hits": cache_hits,
         "result_cache_misses": cache_misses,
+        "plan_cache_hit_rate": plan_rate,
+        "plan_cache_hits": plan_hits,
+        "plan_cache_misses": plan_misses,
         "eviction_maxsize": args.maxsize,
         "evictions": evictions,
         "failures": failures,

@@ -48,12 +48,16 @@ THROUGHPUT_METRICS = {
     "engine-generated": ("serial_tps", "thread_tps", "process_tps",
                          "repeat_tps"),
     "service": ("throughput_rps",),
+    "patterns": ("plan_eps", "plan_warm_eps"),
 }
 
-#: Dotted paths reported for context (no gating): latency percentiles.
+#: Dotted paths reported for context (no gating): latency percentiles, and
+#: the interpreter oracle's throughput (it is off the hot path — slowing it
+#: is allowed, silently speeding past the plan path is what parity gates).
 CONTEXT_METRICS = {
     "engine-generated": (),
     "service": ("latency_ms.p50", "latency_ms.p99"),
+    "patterns": ("interpreter_eps",),
 }
 
 

@@ -89,6 +89,20 @@ def main() -> None:
     print(f"\nEngine cache: {stats['rule_cache_hits']} rule-cache hits, "
           f"{stats['rule_cache_misses']} recompilations since compile.")
 
+    # ------------------------------------------------------------------ #
+    # 6. The plan cache: queries are compiled once, evaluated many times.
+    #    Each query was lowered to a slot-based plan on first use (a
+    #    plan_cache miss) and every later evaluation — here, re-asking the
+    #    first question — reuses the compiled plan over a frozen tree
+    #    instead of re-interpreting the pattern AST per node.
+    # ------------------------------------------------------------------ #
+    engine.clear_result_cache()           # force a real (re-)evaluation
+    engine.certain_answers(source, who_wrote_cc)
+    stats = engine.stats
+    print(f"Plan cache: {stats['plan_cache_hits']} hits, "
+          f"{stats['plan_cache_misses']} compilations — interpretation is "
+          f"paid once per query, not once per (query, node).")
+
 
 if __name__ == "__main__":
     main()

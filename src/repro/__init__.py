@@ -64,12 +64,14 @@ from .exchange import (STD, CertainAnswers, ChaseError, ChaseResult,
                        check_consistency_nested_relational, classify_setting,
                        naive_certain_answers, order_tree, pattern_satisfiable,
                        std, target_satisfiable)
-from .patterns import (Query, Variable, conjunction, descendant, exists, node,
-                       parse_pattern, pattern_query, union_query, wildcard)
+from .patterns import (PatternPlan, PlanCache, Query, QueryPlan, Variable,
+                       compile_pattern, compile_query, conjunction,
+                       descendant, exists, node, parse_pattern,
+                       pattern_query, union_query, wildcard)
 from .regexlang import (is_univocal, parse_regex, c_value,
                         in_permutation_language)
 from .service import AsyncExchangeService, SettingRegistry
-from .xmlmodel import DTD, Null, NullFactory, XMLTree, parse_dtd
+from .xmlmodel import DTD, FrozenTree, Null, NullFactory, XMLTree, parse_dtd
 
 __version__ = "1.3.0"
 
@@ -81,6 +83,9 @@ __all__ = [
     # patterns and queries
     "parse_pattern", "node", "wildcard", "descendant", "Variable",
     "Query", "pattern_query", "conjunction", "exists", "union_query",
+    # compiled plans
+    "FrozenTree", "PatternPlan", "QueryPlan", "PlanCache",
+    "compile_pattern", "compile_query",
     # engine
     "ExchangeEngine", "EngineResult", "EngineStats", "CompiledSetting",
     "compile_setting", "CacheStats",

@@ -15,7 +15,11 @@ lives here:
 * reusable consistency machinery: the attribute-erased dependencies of
   Claim 4.2, the target-side goal search (whose memo table persists across
   requests), the ⪯-minimal source-skeleton enumeration, and the unique
-  ``D°_S`` / ``D*_T`` trees of the nested-relational algorithm.
+  ``D°_S`` / ``D*_T`` trees of the nested-relational algorithm;
+* compiled evaluation plans (:mod:`repro.patterns.plan`): every STD source
+  pattern lowered once at compile time, plus a bounded, counted LRU of
+  per-query plans keyed by ``Query.fingerprint()`` — the request path runs
+  slot-based plans over frozen trees instead of interpreting pattern ASTs.
 
 All of it is observable through :meth:`CompiledSetting.cache_stats`, whose
 miss counters prove (for tests and benchmarks) that a warm engine never
@@ -31,11 +35,20 @@ from ..exchange.consistency import _GoalSearch, minimal_source_skeletons
 from ..exchange.dichotomy import DichotomyReport, classify_setting
 from ..exchange.setting import DataExchangeSetting
 from ..patterns.formula import TreePattern
+from ..patterns.plan import (PatternPlan, PlanCache, QueryPlan,
+                             compile_pattern)
+from ..patterns.queries import Query
 from ..regexlang.univocal import RegexAnalysis
 from ..xmlmodel.tree import XMLTree
 from .stats import CacheStats
 
-__all__ = ["CompiledSetting", "compile_setting"]
+__all__ = ["CompiledSetting", "compile_setting", "DEFAULT_PLAN_CACHE_MAXSIZE"]
+
+#: Default bound on the per-setting query-plan cache.  Plans are small
+#: (slot tables + op tuples), but the cache is keyed by query fingerprint
+#: and a long-lived shard sees an open-ended query stream — bounded LRU
+#: keeps the worst case flat while any realistic working set stays warm.
+DEFAULT_PLAN_CACHE_MAXSIZE = 256
 
 
 class CompiledSetting:
@@ -51,7 +64,9 @@ class CompiledSetting:
     on real recompilations, which the compile phase has already exhausted).
     """
 
-    def __init__(self, setting: DataExchangeSetting) -> None:
+    def __init__(self, setting: DataExchangeSetting,
+                 plan_cache_maxsize: Optional[int] = DEFAULT_PLAN_CACHE_MAXSIZE
+                 ) -> None:
         self.setting = setting
         self.stats = CacheStats()
 
@@ -87,6 +102,20 @@ class CompiledSetting:
         self.erased_stds: List[Tuple[TreePattern, TreePattern]] = [
             (dep.source.erase_attributes(), dep.target.erase_attributes())
             for dep in setting.stds]
+
+        # --- compiled evaluation plans (compile phase 3) ------------------ #
+        # STD source patterns are lowered once here: every pre-solution
+        # evaluates them as slot-based plans over the frozen source tree.
+        self.std_source_plans: List[PatternPlan] = [
+            compile_pattern(dep.source) for dep in setting.stds]
+        #: Bounded LRU of per-query evaluation plans, keyed by
+        #: ``Query.fingerprint()``.  Hits/misses/evictions are recorded into
+        #: this setting's :class:`CacheStats` as ``plan_cache_*``, so they
+        #: surface in every ``EngineResult.cache`` snapshot, in
+        #: ``ExchangeEngine.stats_summary()`` and in the serving layer's
+        #: shard/registry stats.
+        self.plan_cache = PlanCache(maxsize=plan_cache_maxsize,
+                                    stats=self.stats)
 
         # --- lazily memoised heavy machinery ------------------------------ #
         self._lock = threading.Lock()
@@ -129,6 +158,15 @@ class CompiledSetting:
                 "the compiled= handle was built from a different "
                 "DataExchangeSetting than the one passed to this call; "
                 "compile_setting() the setting you are querying")
+
+    def query_plan(self, query: Query) -> QueryPlan:
+        """The compiled evaluation plan for ``query`` (cached, counted).
+
+        The first request for a query fingerprint compiles the plan
+        (``plan_cache_misses``); every later evaluation of the same query on
+        this setting — and on every process-pool worker it was shipped to
+        afterwards — reuses it (``plan_cache_hits``)."""
+        return self.plan_cache.get(query)
 
     def goal_search(self) -> _GoalSearch:
         """The target-side goal search of Section 4.  One instance per
@@ -208,12 +246,16 @@ class CompiledSetting:
                 f"[{', '.join(verdict) or 'general'}]>")
 
 
-def compile_setting(setting: DataExchangeSetting) -> CompiledSetting:
+def compile_setting(setting: DataExchangeSetting,
+                    plan_cache_maxsize: Optional[int] = DEFAULT_PLAN_CACHE_MAXSIZE
+                    ) -> CompiledSetting:
     """Precompute everything derivable from ``(D_S, D_T, Σ_ST)`` alone.
 
     The returned :class:`CompiledSetting` is the unit of reuse of the engine
     API: build it once per setting, then serve any number of per-tree
     requests (consistency checks, chases, certain-answer queries) without
-    recompiling DTD content models or re-deriving structural verdicts.
+    recompiling DTD content models, re-deriving structural verdicts or
+    re-lowering query plans (``plan_cache_maxsize`` bounds the per-query
+    plan LRU; ``None`` keeps it unbounded).
     """
-    return CompiledSetting(setting)
+    return CompiledSetting(setting, plan_cache_maxsize=plan_cache_maxsize)

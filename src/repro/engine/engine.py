@@ -169,6 +169,9 @@ class ExchangeEngine:
         merged.setdefault("result_cache_hits", 0)
         merged.setdefault("result_cache_misses", 0)
         merged.setdefault("result_cache_evictions", 0)
+        merged.setdefault("plan_cache_hits", 0)
+        merged.setdefault("plan_cache_misses", 0)
+        merged.setdefault("plan_cache_evictions", 0)
         return merged
 
     def stats_summary(self) -> EngineStats:
@@ -181,6 +184,10 @@ class ExchangeEngine:
             result_cache_entries=len(self._results),
             result_cache_evictions=counters["result_cache_evictions"],
             result_cache_maxsize=self.result_cache_maxsize,
+            plan_cache_hits=counters["plan_cache_hits"],
+            plan_cache_misses=counters["plan_cache_misses"],
+            plan_cache_evictions=counters["plan_cache_evictions"],
+            plan_cache_entries=len(self.compiled.plan_cache),
             counters=counters)
 
     def clear_result_cache(self) -> None:
@@ -234,7 +241,8 @@ class ExchangeEngine:
         when the source tree has no solution (Lemma 6.15 b)."""
         started = time.perf_counter()
         outcome: ChaseResult = canonical_solution(self.setting, source_tree,
-                                                  nulls)
+                                                  nulls,
+                                                  compiled=self.compiled)
         return self._result(outcome.success, outcome.tree, "chase", started,
                             detail=outcome.failure or "", raw=outcome)
 
@@ -498,7 +506,8 @@ def _process_worker_run(task: Tuple[str, Any]) -> EngineResult:
     operation_name, item = task
     started = time.perf_counter()
     if operation_name == "solve":
-        outcome = canonical_solution(compiled.setting, item)
+        outcome = canonical_solution(compiled.setting, item,
+                                     compiled=compiled)
         return EngineResult(outcome.success, outcome.tree, "chase",
                             time.perf_counter() - started,
                             compiled.cache_stats(),

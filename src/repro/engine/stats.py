@@ -21,8 +21,12 @@ class EngineStats:
     """A point-in-time summary of one :class:`~repro.engine.ExchangeEngine`.
 
     ``result_cache_*`` counters describe the engine-level result cache keyed
-    by ``(tree_fingerprint, query_fingerprint)``; ``counters`` is the full
-    merged snapshot (compiled-setting caches plus engine caches) that every
+    by ``(tree_fingerprint, query_fingerprint)``; ``plan_cache_*`` counters
+    describe the compiled setting's query-plan cache keyed by
+    ``Query.fingerprint()`` (a warm engine evaluates every repeated query
+    through a cached plan — ``plan_cache_misses`` stops moving after the
+    first evaluation of each query); ``counters`` is the full merged
+    snapshot (compiled-setting caches plus engine caches) that every
     :class:`~repro.engine.EngineResult` also carries in its ``cache`` field.
     ``result_cache_maxsize`` is ``None`` for an unbounded cache (the batch-job
     default); a bounded cache reports LRU evictions in
@@ -35,6 +39,10 @@ class EngineStats:
     result_cache_entries: int
     result_cache_evictions: int = 0
     result_cache_maxsize: Optional[int] = None
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_evictions: int = 0
+    plan_cache_entries: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
 
 

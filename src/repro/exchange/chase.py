@@ -28,7 +28,7 @@ existence (Lemma 6.15):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..regexlang.parikh import parikh_vector
 from ..xmlmodel.dtd import DTD
@@ -37,6 +37,9 @@ from ..xmlmodel.values import NullFactory, Value, is_constant
 from .errors import ChaseError
 from .presolution import canonical_pre_solution
 from .setting import DataExchangeSetting
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.compiled import CompiledSetting
 
 __all__ = ["ChaseError", "ChaseResult", "chase", "canonical_solution"]
 
@@ -92,14 +95,19 @@ def chase(target_dtd: DTD, tree: XMLTree,
 
 
 def canonical_solution(setting: DataExchangeSetting, source_tree: XMLTree,
-                       nulls: Optional[NullFactory] = None) -> ChaseResult:
+                       nulls: Optional[NullFactory] = None,
+                       compiled: Optional["CompiledSetting"] = None) -> ChaseResult:
     """``cps(T)`` followed by the chase: the canonical solution of Section 6.1.
 
     Returns a failing :class:`ChaseResult` when no solution exists
-    (Lemma 6.15 b).
+    (Lemma 6.15 b).  ``compiled`` hands the pre-solution its pre-lowered
+    STD source plans (see :func:`~repro.exchange.presolution.canonical_pre_solution`).
     """
+    if compiled is not None:
+        compiled.check_owns(setting)
     factory = nulls or NullFactory()
-    pre_solution = canonical_pre_solution(setting, source_tree, factory)
+    pre_solution = canonical_pre_solution(setting, source_tree, factory,
+                                          compiled=compiled)
     return chase(setting.target_dtd, pre_solution, factory)
 
 

@@ -93,7 +93,7 @@ def order_tree(tree: XMLTree, dtd: DTD) -> XMLTree:
                 f"L({dtd.content_model(label)}); the tree does not weakly conform")
         queues = {lbl: list(ids) for lbl, ids in by_label.items()}
         new_order = [queues[symbol].pop(0) for symbol in word]
-        ordered.node(node).children = new_order
+        ordered.reorder_children(node, new_order)
     violations = dtd.conformance_violations(ordered, ordered=True)
     if violations:
         raise OrderingError("; ".join(violations))

@@ -12,14 +12,18 @@ DTD and is subsequently repaired by the chase (:mod:`repro.exchange.chase`).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
-from ..patterns.evaluate import match_anywhere
 from ..patterns.formula import NodePattern, TreePattern, Variable
+from ..patterns.plan import PatternPlan, shared_pattern_plan
+from ..xmlmodel.frozen import FrozenTree
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory, Value
 from .setting import DataExchangeSetting
 from .std import STD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from ..engine.compiled import CompiledSetting
 
 __all__ = ["pattern_to_tree", "canonical_pre_solution", "PreSolutionError"]
 
@@ -76,39 +80,58 @@ def _fill_attributes(tree: XMLTree, node: int, pattern: NodePattern,
 
 
 def canonical_pre_solution(setting: DataExchangeSetting, source_tree: XMLTree,
-                           nulls: Optional[NullFactory] = None) -> XMLTree:
+                           nulls: Optional[NullFactory] = None,
+                           compiled: Optional["CompiledSetting"] = None) -> XMLTree:
     """Compute ``cps(T)`` for a fully-specified setting (Section 6.1).
 
     The result is an *unordered* tree rooted at the target root element whose
     child subtrees are the instantiated right-hand sides of the STDs, one per
     satisfying source assignment.
+
+    The source tree is frozen once and every STD's source pattern is
+    evaluated as a compiled plan over that snapshot; ``compiled`` (a
+    :class:`repro.engine.CompiledSetting` for this setting) supplies the
+    plans pre-lowered at compile time, so the request path never touches
+    the pattern AST.
     """
+    if compiled is not None:
+        compiled.check_owns(setting)
     factory = nulls or NullFactory()
     root_label = setting.target_dtd.root
     result = XMLTree(root_label, ordered=False)
-    for dependency in setting.stds:
-        if not dependency.is_fully_specified(root_label):
-            raise PreSolutionError(
-                f"STD {dependency} is not fully specified; "
-                "canonical pre-solutions are defined for fully-specified STDs only")
-        _instantiate_std(result, dependency, source_tree, factory)
+    if compiled is None or not compiled.fully_specified:
+        for dependency in setting.stds:
+            if not dependency.is_fully_specified(root_label):
+                raise PreSolutionError(
+                    f"STD {dependency} is not fully specified; "
+                    "canonical pre-solutions are defined for fully-specified STDs only")
+    plans = (compiled.std_source_plans if compiled is not None
+             else [shared_pattern_plan(dependency.source)
+                   for dependency in setting.stds])
+    frozen = source_tree.freeze()
+    for dependency, plan in zip(setting.stds, plans):
+        _instantiate_std(result, dependency, frozen, factory, plan)
     return result
 
 
-def _instantiate_std(result: XMLTree, dependency: STD, source_tree: XMLTree,
-                     factory: NullFactory) -> None:
+def _instantiate_std(result: XMLTree, dependency: STD, frozen: FrozenTree,
+                     factory: NullFactory, plan: PatternPlan) -> None:
     target = dependency.target
     assert isinstance(target, NodePattern)
     source_vars = dependency.source_variables()
+    var_slots = [(name, plan.slot_of(name)) for name in source_vars]
     seen: set = set()
-    for assignment in match_anywhere(source_tree, dependency.source):
-        # One instantiation per distinct tuple (s̄, s̄') of source values.
-        key = tuple((name, repr(assignment.get(name))) for name in source_vars)
+    for row in plan.matches(frozen):
+        # One instantiation per distinct tuple (s̄, s̄') of source values
+        # (keyed on the value objects themselves — type-aware, never on
+        # rendered representations).
+        key = tuple(row[slot] for _, slot in var_slots)
         if key in seen:
             continue
         seen.add(key)
-        binding: Dict[str, Value] = {name: assignment[name]
-                                     for name in source_vars if name in assignment}
+        binding: Dict[str, Value] = {name: row[slot]
+                                     for name, slot in var_slots
+                                     if row[slot] is not None}
         # Fresh nulls for the existential target variables z̄.
         for name in dependency.existential_variables():
             binding[name] = factory.fresh()

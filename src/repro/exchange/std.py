@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..patterns.evaluate import match_anywhere, pattern_holds
+from ..patterns.evaluate import assignment_key, match_anywhere, pattern_holds
 from ..patterns.formula import NodePattern, TreePattern
 from ..patterns.parse import parse_pattern
 from ..xmlmodel.tree import XMLTree
@@ -131,7 +131,7 @@ class STD:
         seen: Set[Tuple] = set()
         for assignment in match_anywhere(source_tree, self.source):
             exported = {name: assignment[name] for name in shared if name in assignment}
-            key = tuple(sorted((k, repr(v)) for k, v in exported.items()))
+            key = assignment_key(exported)
             if key in seen:
                 continue
             seen.add(key)

@@ -1,11 +1,14 @@
 """Tree-pattern formulae and conjunctive tree queries (paper, Sections 3.1, 5)."""
 
-from .evaluate import (Assignment, join_assignments, match_anywhere,
-                       match_at_node, pattern_holds, satisfying_assignments)
+from .evaluate import (Assignment, assignment_key, join_assignments,
+                       match_anywhere, match_at_node, pattern_holds,
+                       satisfying_assignments)
 from .formula import (WILDCARD, AttributeFormula, DescendantPattern,
                       NodePattern, Term, TreePattern, Variable, descendant,
                       node, wildcard)
 from .parse import PatternParseError, parse_pattern
+from .plan import (PatternPlan, PlanCache, QueryPlan, compile_pattern,
+                   compile_query)
 from .queries import (ConjunctionQuery, ExistsQuery, PatternQuery, Query,
                       UnionQuery, boolean_query_holds, classify_query,
                       conjunction, evaluate_query, exists, pattern_query,
@@ -17,8 +20,10 @@ __all__ = [
     "node", "wildcard", "descendant",
     "parse_pattern", "PatternParseError",
     "Assignment", "match_at_node", "match_anywhere", "pattern_holds",
-    "satisfying_assignments", "join_assignments",
+    "satisfying_assignments", "join_assignments", "assignment_key",
     "Query", "PatternQuery", "ConjunctionQuery", "ExistsQuery", "UnionQuery",
     "pattern_query", "conjunction", "exists", "union_query",
     "evaluate_query", "boolean_query_holds", "classify_query",
+    "PatternPlan", "QueryPlan", "PlanCache", "compile_pattern",
+    "compile_query",
 ]

@@ -10,6 +10,11 @@ The evaluator works on both ordered and unordered trees — patterns never
 mention sibling order — and treats nulls as ordinary values that are equal
 only to themselves (Section 5.1 then keeps only all-constant tuples in
 certain answers).
+
+This interpreter is the **parity oracle**: the hot path (pre-solution
+instantiation, certain-answer evaluation) runs the compiled plan evaluator
+of :mod:`repro.patterns.plan` over frozen trees instead, and the generated
+property harness asserts the two agree on every scenario it sweeps.
 """
 
 from __future__ import annotations
@@ -23,11 +28,24 @@ from .formula import (AttributeFormula, DescendantPattern, NodePattern,
 
 __all__ = [
     "Assignment", "match_at_node", "match_anywhere", "pattern_holds",
-    "satisfying_assignments", "join_assignments",
+    "satisfying_assignments", "join_assignments", "assignment_key",
 ]
 
 #: A (partial) assignment of variable names to attribute values.
 Assignment = Dict[str, Value]
+
+
+def assignment_key(assignment: Assignment) -> tuple:
+    """A hashable identity key for an assignment.
+
+    Keyed on the *value objects themselves* (sorted by variable name), so
+    equality is Python's own type-aware equality: two distinct values can
+    never alias the way ``repr``-rendered keys could (a ``repr`` collision
+    across value types would silently merge distinct assignments).  Values
+    are never compared against each other — variable names are unique
+    within an assignment, so the sort never ties.
+    """
+    return tuple(sorted(assignment.items(), key=lambda item: item[0]))
 
 
 def join_assignments(left: Iterable[Assignment],
@@ -56,7 +74,7 @@ def _dedup(assignments: List[Assignment]) -> List[Assignment]:
     seen = set()
     result = []
     for assignment in assignments:
-        key = tuple(sorted((k, repr(v)) for k, v in assignment.items()))
+        key = assignment_key(assignment)
         if key not in seen:
             seen.add(key)
             result.append(assignment)

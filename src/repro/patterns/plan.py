@@ -1,0 +1,648 @@
+"""Compiled query plans: CTQ//,∪ lowered onto frozen trees.
+
+The interpreted :class:`~repro.patterns.evaluate.PatternMatcher` re-walks
+the pattern AST per (pattern, node) pair, building dict assignments that it
+deduplicates through rendered keys.  This module pays that interpretation
+cost **once per query** instead of once per (query, node):
+
+* :func:`compile_pattern` / :func:`compile_query` lower a
+  :class:`~repro.patterns.formula.TreePattern` or a full
+  :class:`~repro.patterns.queries.Query` (conjunction, ∃-projection, union,
+  descendant ``//``) into a *slot-based plan* — every variable is mapped to
+  an integer slot, assignments are fixed-width tuples (``None`` marks an
+  unbound slot), label tests are single ``int`` comparisons against the
+  interned labels of a :class:`~repro.xmlmodel.frozen.FrozenTree`, and
+  joins are slot-merge loops over those tuples;
+* the evaluator runs one bottom-up pass over the frozen tree's
+  ``post_order``, filling per-op match tables — ``//ϕ`` is lowered to the
+  recurrence ``desc(v) = ⋃_{c child of v} (inner(c) ∪ desc(c))``, so no
+  descendant set is ever enumerated;
+* :class:`PlanCache` is a bounded, counted, thread-safe LRU keyed by
+  ``Query.fingerprint()`` — the engine and every service shard reuse plans
+  across requests.
+
+Variable scoping matches the interpreter: members of a conjunction share
+slots by variable *name* (that is the join), while each ``∃x̄`` scope
+allocates fresh slots for its bound variables (an inner ``x`` never aliases
+an outer ``x``).
+
+The interpreted API (:func:`~repro.patterns.evaluate.match_anywhere`,
+``Query.evaluate``) stays unchanged and serves as the parity oracle — the
+generated property harness asserts plan/interpreter agreement on every
+scenario it sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Set,
+                    Tuple)
+
+from ..xmlmodel.frozen import FrozenTree
+from ..xmlmodel.values import Value
+from .formula import (DescendantPattern, NodePattern, TreePattern, Variable)
+from .queries import (ConjunctionQuery, ExistsQuery, PatternQuery, Query,
+                      UnionQuery)
+
+__all__ = ["PatternPlan", "QueryPlan", "PlanCache",
+           "compile_pattern", "compile_query",
+           "shared_pattern_plan", "shared_query_plan"]
+
+#: A slot row: one assignment as a fixed-width tuple, ``None`` = unbound.
+Row = Tuple[Optional[Value], ...]
+
+_EMPTY: Tuple[Row, ...] = ()
+
+
+# --------------------------------------------------------------------- #
+# Pattern lowering
+# --------------------------------------------------------------------- #
+#
+# A lowered pattern is a flat tuple of op specs, children before parents:
+#
+#   ("node", label_or_None, const_tests, var_tests, child_op_indexes)
+#   ("desc", inner_op_index)
+#
+# const_tests: ((attr_name, constant), ...)    — equality against a literal
+# var_tests:   ((attr_name, slot), ...)        — bind/check a variable slot
+#
+# The op tuple for the whole pattern is its last entry.  Specs carry label
+# and attribute *names*; they are interned against a concrete FrozenTree at
+# evaluation time (a label or attribute absent from the tree disables the
+# op in O(1) instead of failing per node).
+
+
+class _SlotTable:
+    """Allocates integer slots for variable names (append-only)."""
+
+    __slots__ = ("names",)
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+
+    def allocate(self, name: str) -> int:
+        self.names.append(name)
+        return len(self.names) - 1
+
+
+def _lower_pattern(pattern: TreePattern, env: Dict[str, int],
+                   slots: _SlotTable, ops: List[tuple]) -> int:
+    """Append the ops for ``pattern`` to ``ops``; return its root op index.
+
+    ``env`` maps in-scope variable names to slots; first occurrences
+    allocate (and record) a new slot.
+    """
+    if isinstance(pattern, DescendantPattern):
+        inner = _lower_pattern(pattern.inner, env, slots, ops)
+        ops.append(("desc", inner))
+        return len(ops) - 1
+    if not isinstance(pattern, NodePattern):  # pragma: no cover - defensive
+        raise TypeError(f"unknown pattern node: {pattern!r}")
+    child_indexes = tuple(_lower_pattern(child, env, slots, ops)
+                          for child in pattern.children)
+    const_tests: List[Tuple[str, Value]] = []
+    var_tests: List[Tuple[str, int]] = []
+    for attr_name, term in pattern.attribute.assignments:
+        if isinstance(term, Variable):
+            slot = env.get(term.name)
+            if slot is None:
+                slot = slots.allocate(term.name)
+                env[term.name] = slot
+            var_tests.append((attr_name, slot))
+        else:
+            const_tests.append((attr_name, term))
+    label = None if pattern.attribute.is_wildcard() else pattern.attribute.label
+    ops.append(("node", label, tuple(const_tests), tuple(var_tests),
+                child_indexes))
+    return len(ops) - 1
+
+
+def _merge_rows(first: Row, second: Row) -> Optional[Row]:
+    """Slot-merge of two rows: ``None`` on a bound-slot conflict."""
+    merged: Optional[List[Optional[Value]]] = None
+    for index, value in enumerate(second):
+        if value is None:
+            continue
+        current = first[index] if merged is None else merged[index]
+        if current is None:
+            if merged is None:
+                merged = list(first)
+            merged[index] = value
+        elif current != value:
+            return None
+    return first if merged is None else tuple(merged)
+
+
+def _join_rows(left: Sequence[Row], right: Sequence[Row]) -> Tuple[Row, ...]:
+    """Natural join of two row sets (deduplicated)."""
+    out: List[Row] = []
+    seen: Set[Row] = set()
+    for first in left:
+        for second in right:
+            merged = _merge_rows(first, second)
+            if merged is not None and merged not in seen:
+                seen.add(merged)
+                out.append(merged)
+    return tuple(out)
+
+
+def _evaluate_ops(ops: Sequence[tuple], frozen: FrozenTree, width: int,
+                  base: Row) -> List[List[Tuple[Row, ...]]]:
+    """One bottom-up pass: per-op, per-node match tables over ``frozen``."""
+    n = frozen.n
+    labels = frozen.labels
+    attr_tables = frozen.attr_tables
+    attr_ids = frozen.attr_ids
+    child_start = frozen.child_start
+    child_end = frozen.child_end
+
+    # Bind the specs to this tree: intern labels and attribute names once.
+    # rlabel: -1 = wildcard, -2 = label absent (op can never match).
+    resolved: List[tuple] = []
+    for op in ops:
+        if op[0] == "desc":
+            resolved.append(("desc", op[1]))
+            continue
+        _, label, const_tests, var_tests, child_indexes = op
+        if label is None:
+            rlabel = -1
+        else:
+            rlabel = frozen.label_ids.get(label, -2)
+        rconst: List[Tuple[Dict[int, Value], Value]] = []
+        rvar: List[Tuple[Dict[int, Value], int]] = []
+        possible = rlabel != -2
+        for attr_name, constant in const_tests:
+            aid = attr_ids.get(attr_name)
+            if aid is None:
+                possible = False
+                break
+            rconst.append((attr_tables[aid], constant))
+        if possible:
+            for attr_name, slot in var_tests:
+                aid = attr_ids.get(attr_name)
+                if aid is None:
+                    possible = False
+                    break
+                rvar.append((attr_tables[aid], slot))
+        if not possible:
+            resolved.append(("never",))
+        else:
+            resolved.append(("node", rlabel, tuple(rconst), tuple(rvar),
+                             child_indexes))
+    tables: List[List[Tuple[Row, ...]]] = [[_EMPTY] * n for _ in ops]
+
+    for v in frozen.post_order:
+        cs = child_start[v]
+        ce = child_end[v]
+        for index, op in enumerate(resolved):
+            kind = op[0]
+            if kind == "never":
+                continue
+            if kind == "desc":
+                if cs == ce:
+                    continue
+                inner_table = tables[op[1]]
+                self_table = tables[index]
+                gathered: List[Row] = []
+                for c in range(cs, ce):
+                    found = inner_table[c]
+                    if found:
+                        gathered.extend(found)
+                    found = self_table[c]
+                    if found:
+                        gathered.extend(found)
+                if gathered:
+                    if len(gathered) > 1:
+                        gathered = list(dict.fromkeys(gathered))
+                    self_table[v] = tuple(gathered)
+                continue
+            _, rlabel, rconst, rvar, child_indexes = op
+            if rlabel >= 0 and labels[v] != rlabel:
+                continue
+            ok = True
+            for table, constant in rconst:
+                if table.get(v) != constant:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            row = base
+            if rvar:
+                scratch: Optional[List[Optional[Value]]] = None
+                for table, slot in rvar:
+                    value = table.get(v)
+                    if value is None:
+                        ok = False
+                        break
+                    current = row[slot] if scratch is None else scratch[slot]
+                    if current is None:
+                        if scratch is None:
+                            scratch = list(row)
+                        scratch[slot] = value
+                    elif current != value:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if scratch is not None:
+                    row = tuple(scratch)
+            result: Tuple[Row, ...] = (row,)
+            for child_index in child_indexes:
+                child_table = tables[child_index]
+                gathered = []
+                for c in range(cs, ce):
+                    found = child_table[c]
+                    if found:
+                        gathered.extend(found)
+                if not gathered:
+                    result = _EMPTY
+                    break
+                if len(gathered) > 1:
+                    gathered = list(dict.fromkeys(gathered))
+                result = _join_rows(result, gathered)
+                if not result:
+                    break
+            if result:
+                tables[index][v] = result
+    return tables
+
+
+class PatternPlan:
+    """One tree-pattern formula lowered to slot-based ops.
+
+    ``slots`` maps the pattern's variable names to their integer slots
+    inside rows of width ``width`` (a query-level plan shares one global
+    slot table across all its atoms, so an atom's rows typically leave most
+    slots unbound).
+    """
+
+    __slots__ = ("pattern", "ops", "root", "width", "slots", "variables")
+
+    def __init__(self, pattern: TreePattern, ops: Tuple[tuple, ...],
+                 root: int, width: int, slots: Dict[str, int]) -> None:
+        self.pattern = pattern
+        self.ops = ops
+        self.root = root
+        self.width = width
+        self.slots = slots
+        self.variables: Tuple[str, ...] = tuple(
+            v.name for v in pattern.variables())
+
+    def slot_of(self, name: str) -> int:
+        """The slot index of a pattern variable."""
+        return self.slots[name]
+
+    def _base_row(self, binding: Optional[Mapping[str, Value]]) -> Row:
+        base: List[Optional[Value]] = [None] * self.width
+        if binding:
+            for name, value in binding.items():
+                slot = self.slots.get(name)
+                if slot is not None:
+                    base[slot] = value
+        return tuple(base)
+
+    def matches(self, frozen: FrozenTree,
+                binding: Optional[Mapping[str, Value]] = None
+                ) -> Tuple[Row, ...]:
+        """All rows under which *some* node of ``frozen`` witnesses the
+        pattern (the plan analogue of
+        :func:`~repro.patterns.evaluate.match_anywhere`), deduplicated."""
+        tables = _evaluate_ops(self.ops, frozen, self.width,
+                               self._base_row(binding))
+        root_table = tables[self.root]
+        gathered: List[Row] = []
+        for found in root_table:
+            if found:
+                gathered.extend(found)
+        if len(gathered) > 1:
+            gathered = list(dict.fromkeys(gathered))
+        return tuple(gathered)
+
+    def assignments(self, frozen: FrozenTree,
+                    binding: Optional[Mapping[str, Value]] = None
+                    ) -> List[Dict[str, Value]]:
+        """The matches as name-keyed dicts (parity with the interpreter)."""
+        items = [(name, self.slots[name]) for name in self.variables]
+        out = []
+        for row in self.matches(frozen, binding):
+            out.append({name: row[slot] for name, slot in items
+                        if row[slot] is not None})
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<PatternPlan ops={len(self.ops)} width={self.width} "
+                f"vars={list(self.variables)}>")
+
+
+def compile_pattern(pattern: TreePattern) -> PatternPlan:
+    """Lower a single tree-pattern formula into a standalone plan."""
+    slots = _SlotTable()
+    env: Dict[str, int] = {}
+    ops: List[tuple] = []
+    root = _lower_pattern(pattern, env, slots, ops)
+    return PatternPlan(pattern, tuple(ops), root, len(slots.names), env)
+
+
+# --------------------------------------------------------------------- #
+# Query lowering
+# --------------------------------------------------------------------- #
+
+class _Atom:
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: PatternPlan) -> None:
+        self.plan = plan
+
+    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+        return self.plan.matches(frozen)
+
+
+class _Join:
+    __slots__ = ("members",)
+
+    def __init__(self, members: Tuple[Any, ...]) -> None:
+        self.members = members
+
+    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+        result: Tuple[Row, ...] = ((None,) * width,)
+        for member in self.members:
+            result = _join_rows(result, member.rows(frozen, width))
+            if not result:
+                return _EMPTY
+        return result
+
+
+class _Project:
+    __slots__ = ("inner", "cleared")
+
+    def __init__(self, inner: Any, cleared: frozenset) -> None:
+        self.inner = inner
+        self.cleared = cleared
+
+    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+        cleared = self.cleared
+        projected = [tuple(None if index in cleared else value
+                           for index, value in enumerate(row))
+                     for row in self.inner.rows(frozen, width)]
+        if len(projected) > 1:
+            projected = list(dict.fromkeys(projected))
+        return tuple(projected)
+
+
+class _Union:
+    __slots__ = ("members",)
+
+    def __init__(self, members: Tuple[Any, ...]) -> None:
+        self.members = members
+
+    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+        gathered: List[Row] = []
+        for member in self.members:
+            gathered.extend(member.rows(frozen, width))
+        if len(gathered) > 1:
+            gathered = list(dict.fromkeys(gathered))
+        return tuple(gathered)
+
+
+def _lower_query(query: Query, env: Dict[str, int], slots: _SlotTable):
+    if isinstance(query, PatternQuery):
+        ops: List[tuple] = []
+        root = _lower_pattern(query.pattern, env, slots, ops)
+        # Width is finalised by the caller once the whole query is lowered;
+        # the atom reads it through the shared slot table.
+        plan = PatternPlan(query.pattern, tuple(ops), root, 0, dict(env))
+        return _Atom(plan)
+    if isinstance(query, ConjunctionQuery):
+        # Members share the environment: equal names = equal slots = the join.
+        return _Join(tuple(_lower_query(member, env, slots)
+                           for member in query.members))
+    if isinstance(query, ExistsQuery):
+        inner_env = dict(env)
+        bound = set(query.variables)
+        cleared = []
+        for name in query.variables:
+            slot = slots.allocate(name)
+            inner_env[name] = slot           # shadows any outer binding
+            cleared.append(slot)
+        node = _Project(_lower_query(query.inner, inner_env, slots),
+                        frozenset(cleared))
+        # Non-quantified variables first seen inside the scope are *free*
+        # in the Exists: export their slots (the quantified names keep
+        # whatever meaning — if any — they had outside).
+        for name, slot in inner_env.items():
+            if name not in bound and name not in env:
+                env[name] = slot
+        return node
+    if isinstance(query, UnionQuery):
+        return _Union(tuple(_lower_query(member, env, slots)
+                            for member in query.members))
+    raise TypeError(f"cannot compile query of type {type(query).__name__}")
+
+
+def _fix_widths(node: Any, width: int) -> None:
+    """Stamp the final slot-table width onto every atom's pattern plan."""
+    if isinstance(node, _Atom):
+        node.plan.width = width
+        return
+    if isinstance(node, _Project):
+        _fix_widths(node.inner, width)
+        return
+    if isinstance(node, (_Join, _Union)):
+        for member in node.members:
+            _fix_widths(member, width)
+
+
+class QueryPlan:
+    """A whole CTQ//,∪ query compiled once, evaluated per frozen tree.
+
+    ``slot_names`` lists every allocated slot (free and ∃-bound) in
+    allocation order; ``free_variables``/``free_slots`` give the output
+    schema in the query's free-variable order.
+    """
+
+    __slots__ = ("query", "node", "width", "slot_names",
+                 "free_variables", "free_slots", "_slot_by_name")
+
+    def __init__(self, query: Query, node: Any, width: int,
+                 slot_names: Tuple[str, ...],
+                 free_variables: Tuple[str, ...],
+                 free_slots: Tuple[int, ...]) -> None:
+        self.query = query
+        self.node = node
+        self.width = width
+        self.slot_names = slot_names
+        self.free_variables = free_variables
+        self.free_slots = free_slots
+        self._slot_by_name = dict(zip(free_variables, free_slots))
+
+    def rows(self, frozen: FrozenTree) -> Tuple[Row, ...]:
+        """All satisfying assignments as slot rows (deduplicated)."""
+        return self.node.rows(frozen, self.width)
+
+    def answers(self, frozen: FrozenTree,
+                variable_order: Optional[Sequence[str]] = None
+                ) -> Set[Tuple[Value, ...]]:
+        """``Q(T)`` as a set of value tuples ordered by ``variable_order``
+        (defaults to the free-variable order) — the plan analogue of
+        :meth:`~repro.patterns.queries.Query.answers`."""
+        order = (tuple(variable_order) if variable_order is not None
+                 else self.free_variables)
+        slots = tuple(self._slot_by_name[name] for name in order)
+        return {tuple(row[slot] for slot in slots)
+                for row in self.rows(frozen)}
+
+    def evaluate(self, frozen: FrozenTree) -> List[Dict[str, Value]]:
+        """Assignments of the free variables as dicts (parity with
+        :meth:`~repro.patterns.queries.Query.evaluate`)."""
+        pairs = tuple(zip(self.free_variables, self.free_slots))
+        return [{name: row[slot] for name, slot in pairs
+                 if row[slot] is not None}
+                for row in self.rows(frozen)]
+
+    def holds(self, frozen: FrozenTree) -> bool:
+        """For Boolean queries: ``T ⊨ Q``."""
+        return bool(self.rows(frozen))
+
+    def __repr__(self) -> str:
+        return (f"<QueryPlan width={self.width} "
+                f"free={list(self.free_variables)}>")
+
+
+def compile_query(query: Query) -> QueryPlan:
+    """Lower a query into a :class:`QueryPlan` (one shared slot table)."""
+    slots = _SlotTable()
+    env: Dict[str, int] = {}
+    node = _lower_query(query, env, slots)
+    width = len(slots.names)
+    _fix_widths(node, width)
+    free = tuple(query.free_variables())
+    free_slots = tuple(env[name] for name in free)
+    return QueryPlan(query, node, width, tuple(slots.names), free,
+                     free_slots)
+
+
+# --------------------------------------------------------------------- #
+# Plan cache
+# --------------------------------------------------------------------- #
+
+def _query_fingerprint(query: Query) -> str:
+    return query.fingerprint()
+
+
+class PlanCache:
+    """A bounded, counted, thread-safe LRU of compiled query plans.
+
+    Keys are ``Query.fingerprint()`` digests, so syntactically identical
+    queries share one plan.  ``stats`` is any hit/miss/evict recorder with
+    the :class:`~repro.engine.stats.CacheStats` interface (the compiled
+    setting passes its own, which is how ``plan_cache_*`` counters reach
+    every ``EngineResult.cache`` snapshot); the cache also keeps plain
+    integer counters for standalone use.  Two threads racing past the
+    lookup may both compile — the counters then truthfully report two
+    misses, and the first stored plan wins (mirroring the engine's result
+    cache).
+    """
+
+    def __init__(self, maxsize: Optional[int] = None,
+                 stats: Optional[Any] = None,
+                 name: str = "plan_cache", *,
+                 key: Optional[Any] = None,
+                 compiler: Optional[Any] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be a positive integer or None "
+                             f"(unbounded), got {maxsize!r}")
+        self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._stats = stats
+        #: Cache key and compile functions — query plans by default; the
+        #: module-level pattern fallback reuses the same machinery with
+        #: ``key=str, compiler=compile_pattern``.  Module-level defaults
+        #: keep the cache picklable (compiled settings ship to workers).
+        self._key = key if key is not None else _query_fingerprint
+        self._compiler = compiler if compiler is not None else compile_query
+        self._plans: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, query: Any) -> Any:
+        """The plan for ``query``, compiling (and caching) on first use."""
+        key = self._key(query)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                if self._stats is not None:
+                    self._stats.hit(self.name)
+                return plan
+            self.misses += 1
+            if self._stats is not None:
+                self._stats.miss(self.name)
+        compiled = self._compiler(query)
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                return existing
+            self._plans[key] = compiled
+            if self.maxsize is not None:
+                while len(self._plans) > self.maxsize:
+                    self._plans.popitem(last=False)
+                    self.evictions += 1
+                    if self._stats is not None:
+                        self._stats.evict(self.name)
+        return compiled
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+
+    # Pickling (compiled settings travel to process-pool workers): the lock
+    # stays behind; cached plans travel, so workers arrive plan-warm.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        bound = "" if self.maxsize is None else f"/{self.maxsize}"
+        return (f"<PlanCache entries={len(self._plans)}{bound} "
+                f"hits={self.hits} misses={self.misses}>")
+
+
+# --------------------------------------------------------------------- #
+# Module-level fallback caches
+# --------------------------------------------------------------------- #
+#
+# The functional front door (certain_answers / canonical_pre_solution
+# without a `compiled=` handle) has no CompiledSetting to hang plans on;
+# these bounded module caches give it the same compile-once amortisation,
+# so the uncached path never re-lowers a plan it has seen before.  Both
+# key on canonical pattern/query text (what `Query.fingerprint()` hashes),
+# so equal formulae share one plan regardless of which setting they came
+# from.
+
+_SHARED_QUERY_PLANS = PlanCache(maxsize=512, name="shared_plan_cache")
+_SHARED_PATTERN_PLANS = PlanCache(maxsize=512, name="shared_pattern_cache",
+                                  key=str, compiler=compile_pattern)
+
+
+def shared_query_plan(query: Query) -> QueryPlan:
+    """The plan for ``query`` from the process-wide fallback cache."""
+    return _SHARED_QUERY_PLANS.get(query)
+
+
+def shared_pattern_plan(pattern: TreePattern) -> PatternPlan:
+    """The plan for ``pattern`` from the process-wide fallback cache
+    (keyed on the pattern's canonical text)."""
+    return _SHARED_PATTERN_PLANS.get(pattern)

@@ -27,7 +27,8 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import Value
-from .evaluate import Assignment, join_assignments, match_anywhere
+from .evaluate import (Assignment, assignment_key, join_assignments,
+                       match_anywhere)
 from .formula import TreePattern
 
 __all__ = [
@@ -157,7 +158,7 @@ class ExistsQuery(Query):
         seen = set()
         for assignment in self.inner.evaluate(tree):
             reduced = {name: assignment[name] for name in free if name in assignment}
-            key = tuple(sorted((k, repr(v)) for k, v in reduced.items()))
+            key = assignment_key(reduced)
             if key not in seen:
                 seen.add(key)
                 projected.append(reduced)
@@ -193,7 +194,7 @@ class UnionQuery(Query):
         seen = set()
         for member in self.members:
             for assignment in member.evaluate(tree):
-                key = tuple(sorted((k, repr(v)) for k, v in assignment.items()))
+                key = assignment_key(assignment)
                 if key not in seen:
                     seen.add(key)
                     collected.append(assignment)

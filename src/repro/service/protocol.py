@@ -78,34 +78,99 @@ def value_from_wire(wire: Any) -> Value:
     return wire
 
 
-def tree_to_wire(tree: XMLTree, ident: Optional[int] = None) -> List[Any]:
-    """The (sub)tree as a nested ``[label, attrs, children]`` triple."""
+#: Trees nested deeper than this travel in the *flat* wire format: the
+#: nested triples are interoperable with older peers but the JSON
+#: encoder/decoder (and the pre-PR-5 recursive codec) recurse per nesting
+#: level, so very deep documents — which the engine itself handles fine,
+#: every tree traversal being iterative — would blow the ~1000-frame
+#: recursion guards.  800 keeps every depth an old peer could actually
+#: round-trip on the old nested format (preserving both-ways interop for
+#: that whole window) and switches to the recursion-free encoding only
+#: where the old format was already broken.
+NESTED_TREE_DEPTH_LIMIT = 800
+
+
+def _wire_attrs(tree: XMLTree, ident: int) -> Dict[str, Any]:
+    return {name: value_to_wire(value)
+            for name, value in sorted(tree.attributes(ident).items())}
+
+
+def tree_to_wire(tree: XMLTree, ident: Optional[int] = None) -> Any:
+    """The (sub)tree in wire form.
+
+    Nested ``[label, attrs, children]`` triples for ordinary documents;
+    documents deeper than :data:`NESTED_TREE_DEPTH_LIMIT` switch to the
+    flat ``{"flat": [[label, attrs, parent_index], ...]}`` encoding
+    (pre-order, parents before children), which neither the codec nor the
+    JSON layer recurses on.  Both encoders are iterative; depth is tracked
+    *during* the nested encode, so the common (shallow) case pays exactly
+    one traversal and only an over-deep document restarts in flat form.
+    """
     if ident is None:
         ident = tree.root
-    node = tree.node(ident)
-    attrs = {name: value_to_wire(value)
-             for name, value in sorted(node.attributes.items())}
-    children = [tree_to_wire(tree, child) for child in node.children]
-    return [node.label, attrs, children]
+    assembled: Dict[int, List[Any]] = {}
+    walk: List[Tuple[int, int, bool]] = [(ident, 0, False)]
+    while walk:
+        node_id, level, expanded = walk.pop()
+        if not expanded:
+            if level > NESTED_TREE_DEPTH_LIMIT:
+                return _flat_tree_wire(tree, ident)
+            walk.append((node_id, level, True))
+            walk.extend((child, level + 1, False)
+                        for child in tree.children(node_id))
+            continue
+        children = [assembled.pop(child)
+                    for child in tree.children(node_id)]
+        assembled[node_id] = [tree.label(node_id),
+                              _wire_attrs(tree, node_id), children]
+    return assembled[ident]
 
 
-def tree_from_wire(wire: List[Any], ordered: bool = True) -> XMLTree:
+def _flat_tree_wire(tree: XMLTree, ident: int) -> Dict[str, Any]:
+    """The recursion-free encoding for over-deep documents."""
+    flat: List[List[Any]] = []
+    positions: Dict[int, int] = {}
+    order: List[int] = [ident]
+    cursor = 0
+    while cursor < len(order):
+        node_id = order[cursor]
+        positions[node_id] = cursor
+        cursor += 1
+        order.extend(tree.children(node_id))
+    for node_id in order:
+        parent = tree.parent(node_id)
+        flat.append([tree.label(node_id), _wire_attrs(tree, node_id),
+                     -1 if node_id == ident else positions[parent]])
+    return {"flat": flat}
+
+
+def tree_from_wire(wire: Any, ordered: bool = True) -> XMLTree:
+    """Rebuild a tree from either wire encoding (iteratively)."""
+    if isinstance(wire, dict):
+        nodes = wire["flat"]
+        label, attrs, _ = nodes[0]
+        tree = XMLTree(str(label), ordered=ordered)
+        idents = [tree.root]
+        for name, value in attrs.items():
+            tree.set_attribute(tree.root, name, value_from_wire(value))
+        for label, attrs, parent in nodes[1:]:
+            idents.append(tree.add_child(
+                idents[parent], str(label),
+                {name: value_from_wire(value)
+                 for name, value in attrs.items()}))
+        return tree
     label, attrs, children = wire
     tree = XMLTree(str(label), ordered=ordered)
     for name, value in attrs.items():
         tree.set_attribute(tree.root, name, value_from_wire(value))
-    for child in children:
-        _graft_from_wire(tree, tree.root, child)
+    stack = [(tree.root, child) for child in reversed(children)]
+    while stack:
+        parent, (label, attrs, kids) = stack.pop()
+        node = tree.add_child(parent, str(label),
+                              {name: value_from_wire(value)
+                               for name, value in attrs.items()})
+        stack.extend((node, kid) for kid in reversed(kids))
     return tree
-
-
-def _graft_from_wire(tree: XMLTree, parent: int, wire: List[Any]) -> None:
-    label, attrs, children = wire
-    node = tree.add_child(parent, str(label),
-                          {name: value_from_wire(value)
-                           for name, value in attrs.items()})
-    for child in children:
-        _graft_from_wire(tree, node, child)
 
 
 # --------------------------------------------------------------------- #

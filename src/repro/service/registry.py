@@ -237,9 +237,20 @@ class SettingRegistry:
         if self.max_compiled is not None:
             while len(self._shards) > self.max_compiled:
                 _, evicted = self._shards.popitem(last=False)
+                self._retire_plan_counters(evicted)
                 evicted.close(wait=False)
                 self._stats.evict("compiled")
         return shard
+
+    def _retire_plan_counters(self, shard: Shard) -> None:
+        """Fold an evicted shard's plan-cache counters into the registry's
+        own stats, so the registry-level ``plan_cache_*`` view stays
+        monotonic across shard evictions (a recompiled setting starts a
+        fresh cache whose counters then add on top)."""
+        cache = shard.engine.compiled.plan_cache
+        self._stats.hit("plan_cache", cache.hits)
+        self._stats.miss("plan_cache", cache.misses)
+        self._stats.evict("plan_cache", cache.evictions)
 
     def engine(self, fingerprint: str) -> ExchangeEngine:
         """Shortcut for ``registry.shard(fingerprint).engine``."""
@@ -274,7 +285,11 @@ class SettingRegistry:
 
     def stats(self) -> Dict[str, int]:
         """Registry-level counters: registrations, the compiled LRU,
-        prewarming and quota rejections."""
+        prewarming, quota rejections, and the plan caches aggregated over
+        every currently-compiled shard *plus* shards already evicted (their
+        counters are folded in at eviction time, so the registry-level
+        ``plan_cache_hits/misses/evictions`` never decrease;
+        ``plan_cache_entries`` counts live caches only)."""
         with self._lock:
             flat = self._stats.snapshot()
             flat.setdefault("compiled_hits", 0)
@@ -286,7 +301,21 @@ class SettingRegistry:
             flat["settings_registered"] = len(self._settings)
             flat["compiled_entries"] = len(self._shards)
             flat["in_flight"] = sum(self._in_flight.values())
-            return flat
+            shards = list(self._shards.values())
+        # Retired (evicted-shard) counters live in self._stats and are part
+        # of `flat` already; live shards add on top.  Entries count live
+        # caches only.
+        for name in ("plan_cache_hits", "plan_cache_misses",
+                     "plan_cache_evictions"):
+            flat.setdefault(name, 0)
+        flat["plan_cache_entries"] = 0
+        for shard in shards:
+            cache = shard.engine.compiled.plan_cache
+            flat["plan_cache_hits"] += cache.hits
+            flat["plan_cache_misses"] += cache.misses
+            flat["plan_cache_evictions"] += cache.evictions
+            flat["plan_cache_entries"] += len(cache)
+        return flat
 
     def shard_stats(self) -> Dict[str, Dict[str, Any]]:
         """Per-shard accounting for every currently-compiled shard."""

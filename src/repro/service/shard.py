@@ -178,6 +178,13 @@ class Shard:
             "result_cache_evictions": summary.result_cache_evictions,
             "result_cache_entries": summary.result_cache_entries,
             "result_cache_maxsize": summary.result_cache_maxsize,
+            # Compiled query plans are per-setting state: all requests for
+            # this fingerprint share them, so the second evaluation of any
+            # query on a shard is always a plan_cache hit.
+            "plan_cache_hits": summary.plan_cache_hits,
+            "plan_cache_misses": summary.plan_cache_misses,
+            "plan_cache_evictions": summary.plan_cache_evictions,
+            "plan_cache_entries": summary.plan_cache_entries,
         }
 
     def __repr__(self) -> str:
@@ -214,7 +221,8 @@ def _run_exchange_task(compiled: CompiledSetting, task: Tuple[str, Any]):
     inline fallback, so both paths are identical by construction."""
     operation, payload = task
     if operation == "solve":
-        return canonical_solution(compiled.setting, payload)
+        return canonical_solution(compiled.setting, payload,
+                                  compiled=compiled)
     if operation == "certain_answers":
         tree, query, variable_order = payload
         return certain_answers(compiled.setting, tree, query, variable_order,

@@ -1,0 +1,267 @@
+"""Immutable, label-interned tree snapshots: the plan evaluator's input.
+
+A :class:`FrozenTree` is a read-only snapshot of an
+:class:`~repro.xmlmodel.tree.XMLTree` laid out as flat integer arrays:
+
+* nodes are renumbered ``0 .. n-1`` in **breadth-first order**, so the
+  children of every node occupy one contiguous span — ``children(v)`` is a
+  ``range``, not an allocation;
+* labels and attribute names are **interned** to small integers per tree;
+  a pattern's label test compiles to one ``int`` comparison and a missing
+  label is detected once at bind time instead of per node;
+* ``nodes_by_label[label_id]`` indexes all nodes carrying a label (built
+  lazily on first use — the hook for candidate-driven matching of rooted
+  patterns, a ROADMAP follow-up);
+* attribute values live in per-attribute tables ``{node: value}`` keyed by
+  the interned attribute id — one dict lookup per attribute test;
+* ``post_order`` is a precomputed bottom-up evaluation order (every node
+  after all of its descendants), which is what the compiled evaluator in
+  :mod:`repro.patterns.plan` iterates;
+* :meth:`fingerprint` is computed **iteratively** and cached, and equals
+  ``XMLTree.fingerprint()`` of the snapshotted tree — frozen and mutable
+  views of the same document share cache identity.
+
+Freezing pays one O(n) pass; everything afterwards is allocation-free
+reads.  The chase output is frozen once per request and evaluated many
+times (once per plan node), which is where the layout earns its keep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .values import Value, value_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .tree import XMLTree
+
+__all__ = ["FrozenTree"]
+
+
+class FrozenTree:
+    """An immutable array-backed snapshot of an XML tree.
+
+    Build one with :meth:`XMLTree.freeze` (or :meth:`from_tree`).  All
+    fields are read-only by convention; nothing in the pipeline mutates a
+    frozen tree, and the fingerprint cache relies on that.
+    """
+
+    __slots__ = (
+        "ordered", "n",
+        "labels", "label_names", "label_ids",
+        "parents", "child_start", "child_end",
+        "post_order",
+        "attr_names", "attr_ids", "attr_tables",
+        "orig_ids",
+        "_by_label", "_fingerprint",
+    )
+
+    def __init__(self, *, ordered: bool, labels: Tuple[int, ...],
+                 label_names: Tuple[str, ...], label_ids: Dict[str, int],
+                 parents: Tuple[int, ...], child_start: Tuple[int, ...],
+                 child_end: Tuple[int, ...], post_order: Tuple[int, ...],
+                 attr_names: Tuple[str, ...], attr_ids: Dict[str, int],
+                 attr_tables: Tuple[Dict[int, Value], ...],
+                 orig_ids: Tuple[int, ...]) -> None:
+        self.ordered = ordered
+        self.n = len(labels)
+        self.labels = labels
+        self.label_names = label_names
+        self.label_ids = label_ids
+        self.parents = parents
+        self.child_start = child_start
+        self.child_end = child_end
+        self.post_order = post_order
+        self.attr_names = attr_names
+        self.attr_ids = attr_ids
+        self.attr_tables = attr_tables
+        self.orig_ids = orig_ids
+        self._by_label: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def nodes_by_label(self) -> Tuple[Tuple[int, ...], ...]:
+        """``nodes_by_label[label_id]``: every node position carrying the
+        label, ascending.  Built lazily on first use (the bottom-up plan
+        evaluator does not consult it; candidate-driven matching for rooted
+        patterns is the ROADMAP follow-up that will) and cached — the
+        snapshot is immutable."""
+        if self._by_label is None:
+            index: List[List[int]] = [[] for _ in self.label_names]
+            for pos, lid in enumerate(self.labels):
+                index[lid].append(pos)
+            self._by_label = tuple(tuple(ns) for ns in index)
+        return self._by_label
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_tree(cls, tree: "XMLTree") -> "FrozenTree":
+        """Snapshot ``tree`` (one breadth-first pass, O(n)).
+
+        Breadth-first renumbering makes every position arithmetic: a node's
+        children are enqueued consecutively, so their span is
+        ``[len(queue), len(queue) + k)`` the moment the parent is visited —
+        no id→position table is ever needed.
+        """
+        label_ids: Dict[str, int] = {}
+        label_names: List[str] = []
+        attr_ids: Dict[str, int] = {}
+        attr_names: List[str] = []
+        attr_tables: List[Dict[int, Value]] = []
+
+        labels: List[int] = []
+        parents: List[int] = [-1]
+        child_start: List[int] = []
+        child_end: List[int] = []
+        orig_ids: List[int] = []
+
+        node_of = tree.node
+        queue = [node_of(tree.root)]
+        pos = 0
+        while pos < len(queue):
+            node = queue[pos]
+            lid = label_ids.get(node.label)
+            if lid is None:
+                lid = len(label_names)
+                label_ids[node.label] = lid
+                label_names.append(node.label)
+            labels.append(lid)
+            kids = node.children
+            first = len(queue)
+            child_start.append(first if kids else 0)
+            child_end.append(first + len(kids) if kids else 0)
+            for child in kids:
+                queue.append(node_of(child))
+                parents.append(pos)
+            orig_ids.append(node.ident)
+            for name, value in node._attributes.items():
+                aid = attr_ids.get(name)
+                if aid is None:
+                    aid = len(attr_names)
+                    attr_ids[name] = aid
+                    attr_names.append(name)
+                    attr_tables.append({})
+                attr_tables[aid][pos] = value
+            pos += 1
+
+        # Children always carry larger BFS ids than their parent, so walking
+        # ids descending visits every node after all of its descendants — a
+        # valid bottom-up (post-) order without a DFS pass.
+        post_order = tuple(range(len(queue) - 1, -1, -1))
+
+        return cls(
+            ordered=tree.ordered,
+            labels=tuple(labels),
+            label_names=tuple(label_names),
+            label_ids=label_ids,
+            parents=tuple(parents),
+            child_start=tuple(child_start),
+            child_end=tuple(child_end),
+            post_order=post_order,
+            attr_names=tuple(attr_names),
+            attr_ids=attr_ids,
+            attr_tables=tuple(attr_tables),
+            orig_ids=tuple(orig_ids),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors (mirroring the XMLTree read API on positions)
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self.n
+
+    def label(self, pos: int) -> str:
+        """The label string of the node at ``pos``."""
+        return self.label_names[self.labels[pos]]
+
+    def label_id(self, label: str) -> int:
+        """The interned id of ``label``, or ``-1`` when no node carries it
+        (a pattern bound against this tree then fails the label test once,
+        at bind time)."""
+        return self.label_ids.get(label, -1)
+
+    def children(self, pos: int) -> range:
+        """Child positions of ``pos`` in sibling order (a ``range`` — the
+        BFS numbering keeps every sibling span contiguous)."""
+        return range(self.child_start[pos], self.child_end[pos])
+
+    def parent(self, pos: int) -> Optional[int]:
+        parent = self.parents[pos]
+        return None if parent < 0 else parent
+
+    def attribute(self, pos: int, name: str) -> Optional[Value]:
+        """``ρ_@name(v)`` or ``None`` (one interning + one dict lookup)."""
+        aid = self.attr_ids.get(name)
+        if aid is None:
+            return None
+        return self.attr_tables[aid].get(pos)
+
+    def attributes(self, pos: int) -> Dict[str, Value]:
+        """The attribute map of the node at ``pos`` (reconstructed — for
+        inspection and tests, not the hot path)."""
+        result: Dict[str, Value] = {}
+        for aid, table in enumerate(self.attr_tables):
+            value = table.get(pos)
+            if value is not None:
+                result[self.attr_names[aid]] = value
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Fingerprint
+    # ------------------------------------------------------------------ #
+
+    def _fold_bottom_up(self, combine):
+        """Bottom-up fold over the frozen arrays:
+        ``combine(label, attrs_key, child_results)`` runs once per node in
+        ``post_order`` (children first), with the same canonical attrs key
+        :func:`~repro.xmlmodel.tree._attrs_key` produces for mutable trees.
+        The single traversal behind :meth:`structural_key` and
+        :meth:`fingerprint`."""
+        attrs_of: Dict[int, List[Tuple[str, tuple]]] = {}
+        for aid, table in enumerate(self.attr_tables):
+            name = self.attr_names[aid]
+            for pos, value in table.items():
+                attrs_of.setdefault(pos, []).append((name, value_key(value)))
+        results: List[object] = [None] * self.n
+        for pos in self.post_order:  # children before parents
+            child_results = [results[c] for c in self.children(pos)]
+            attrs = tuple(sorted(attrs_of.get(pos, ())))
+            results[pos] = combine(self.label(pos), attrs, child_results)
+        return results[0]
+
+    def structural_key(self) -> tuple:
+        """The same canonical key :meth:`XMLTree.structural_key` computes,
+        rebuilt iteratively from the frozen arrays."""
+        def combine(label: str, attrs: tuple, child_keys: list) -> tuple:
+            if not self.ordered:
+                child_keys.sort()
+            return (label, attrs, tuple(child_keys))
+
+        return self._fold_bottom_up(combine)
+
+    def fingerprint(self) -> str:
+        """Identical to the source :meth:`XMLTree.fingerprint` (hex SHA-256
+        of the root's Merkle subtree digest plus the ordered flag), computed
+        iteratively from the frozen arrays and cached — a frozen tree is
+        immutable, so the cache never invalidates.  Frozen and mutable
+        views of the same document share cache identity."""
+        if self._fingerprint is None:
+            from .tree import _node_digest
+            root_digest = self._fold_bottom_up(
+                lambda label, attrs, child_digests: _node_digest(
+                    label, attrs, child_digests, self.ordered))
+            hasher = hashlib.sha256()
+            hasher.update(b"ordered" if self.ordered else b"unordered")
+            hasher.update(root_digest)
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
+
+    def __repr__(self) -> str:
+        kind = "ordered" if self.ordered else "unordered"
+        return (f"<FrozenTree {kind} root={self.label(0)!r} nodes={self.n} "
+                f"labels={len(self.label_names)}>")

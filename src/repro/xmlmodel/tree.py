@@ -8,27 +8,73 @@ An XML tree over ``(E, A)`` is a finite ordered directed tree
 
 The paper also works with *unordered* XML trees (Section 5.2), obtained by
 forgetting the sibling order.  We use a single :class:`XMLTree` class with an
-``ordered`` flag; children of a node are always stored in a list, but for an
-unordered tree the list order carries no meaning (conformance is checked
+``ordered`` flag; children of a node are always stored in a tuple, but for an
+unordered tree the tuple order carries no meaning (conformance is checked
 against the permutation language ``π(P(ℓ))`` instead of ``L(P(ℓ))``).
 
 Nodes are identified by integer ids local to the tree, which keeps structural
 operations (chase rewrites, subtree replacement, homomorphism search) cheap
 and explicit.
+
+Two representation choices matter for the hot path:
+
+* child tuples are returned *by reference* from :meth:`XMLTree.children` —
+  the read path never copies; all structural mutation goes through the
+  tree's mutation methods, which rebuild the (small) sibling tuple;
+* every traversal (:meth:`structural_key`, :meth:`to_text`, :meth:`to_xml`,
+  subtree copying) is iterative, so arbitrarily deep documents never hit
+  the interpreter recursion limit.
+
+:meth:`XMLTree.freeze` snapshots the tree into an immutable
+:class:`~repro.xmlmodel.frozen.FrozenTree` — label-interned int arrays with
+per-label indexes — which is what the compiled query-plan evaluator
+(:mod:`repro.patterns.plan`) consumes.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple)
 
-from .values import Value, is_constant, is_null
+from .values import Value, is_constant, is_null, value_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (frozen imports us)
+    from .frozen import FrozenTree
 
 __all__ = ["XMLNode", "XMLTree"]
 
 
-@dataclass
+def _attrs_key(attributes: Dict[str, Value]) -> tuple:
+    """The canonical ``(name, value_key(value))`` tuple of an attribute map
+    — the single definition both structural keys and Merkle digests hash,
+    for mutable and frozen trees alike."""
+    return tuple(sorted((name, value_key(value))
+                        for name, value in attributes.items()))
+
+
+def _node_digest(label: str, attrs: tuple, child_digests: List[bytes],
+                 respect_order: bool) -> bytes:
+    """Merkle digest of one node: shallow payload plus child digests.
+
+    ``attrs`` is the sorted tuple of ``(name, value_key(value))`` pairs.
+    The payload rendered here is *shallow* (strings and flat tuples only)
+    and child digests are fixed-length, so the scheme is unambiguous and —
+    unlike rendering one nested structural key for the whole tree — never
+    recurses, whatever the document depth.  Unordered trees sort the child
+    digests, which canonicalises exactly up to sibling permutation.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(repr((label, attrs)).encode("utf-8"))
+    hasher.update(b"|")
+    if not respect_order:
+        child_digests = sorted(child_digests)
+    for digest in child_digests:
+        hasher.update(digest)
+    return hasher.digest()
+
+
 class XMLNode:
     """A single node of an :class:`XMLTree`.
 
@@ -39,20 +85,40 @@ class XMLNode:
     label:
         The element type of the node (``λ(v)`` in the paper).
     attributes:
-        Mapping attribute-name -> value (``ρ_@a(v)``).  Attribute names are
-        stored *without* the leading ``@``.
+        Read-only mapping attribute-name -> value (``ρ_@a(v)``).  Attribute
+        names are stored *without* the leading ``@``.  Mutation goes
+        through the owning tree (:meth:`XMLTree.set_attribute`,
+        :meth:`XMLTree.clear_attributes`), which keeps the tree's
+        fingerprint cache honest — the view raises on write.
     children:
         Child node ids, in sibling order (meaningful only if the tree is
-        ordered).
+        ordered).  Stored as a tuple: reads share it, mutation methods on
+        the owning tree replace it wholesale.
     parent:
         Parent node id, or ``None`` for the root.
     """
 
-    ident: int
-    label: str
-    attributes: Dict[str, Value] = field(default_factory=dict)
-    children: List[int] = field(default_factory=list)
-    parent: Optional[int] = None
+    __slots__ = ("ident", "label", "_attributes", "children", "parent")
+
+    def __init__(self, ident: int, label: str,
+                 attributes: Optional[Dict[str, Value]] = None,
+                 children: Tuple[int, ...] = (),
+                 parent: Optional[int] = None) -> None:
+        self.ident = ident
+        self.label = label
+        self._attributes: Dict[str, Value] = dict(attributes or {})
+        self.children = children
+        self.parent = parent
+
+    @property
+    def attributes(self) -> Mapping[str, Value]:
+        """The attribute map, as a read-only view of the live storage."""
+        return MappingProxyType(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"XMLNode(ident={self.ident}, label={self.label!r}, "
+                f"attributes={self._attributes!r}, "
+                f"children={self.children!r}, parent={self.parent!r})")
 
 
 class XMLTree:
@@ -61,23 +127,34 @@ class XMLTree:
     The class supports both the ordered trees of Section 2 and the unordered
     trees of Section 5.2; the ``ordered`` flag records which reading is
     intended.  Structural mutation is confined to a small set of methods used
-    by the chase (:mod:`repro.exchange.chase`).
+    by the chase (:mod:`repro.exchange.chase`); mutating the node objects
+    directly bypasses the fingerprint cache and is not supported.
     """
 
     def __init__(self, root_label: str, ordered: bool = True) -> None:
         self.ordered = ordered
         self._nodes: Dict[int, XMLNode] = {}
         self._next_id = 0
+        #: Memoised fingerprints keyed by the ordered flag; cleared by every
+        #: structural mutation (all of which funnel through the methods
+        #: below), so repeated cache-key computations on a settled tree are
+        #: free.
+        self._fp_cache: Dict[bool, str] = {}
         self.root = self._new_node(root_label, parent=None)
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
 
+    def _invalidate(self) -> None:
+        if self._fp_cache:
+            self._fp_cache.clear()
+
     def _new_node(self, label: str, parent: Optional[int]) -> int:
         ident = self._next_id
         self._next_id += 1
         self._nodes[ident] = XMLNode(ident=ident, label=label, parent=parent)
+        self._invalidate()
         return ident
 
     def add_child(self, parent: int, label: str,
@@ -91,17 +168,25 @@ class XMLTree:
         """
         ident = self._new_node(label, parent=parent)
         if attributes:
-            self._nodes[ident].attributes.update(attributes)
+            self._nodes[ident]._attributes.update(attributes)
         siblings = self._nodes[parent].children
         if position is None:
-            siblings.append(ident)
+            self._nodes[parent].children = siblings + (ident,)
         else:
-            siblings.insert(position, ident)
+            self._nodes[parent].children = (siblings[:position] + (ident,)
+                                            + siblings[position:])
         return ident
 
     def set_attribute(self, node: int, name: str, value: Value) -> None:
         """Set attribute ``@name`` of ``node`` to ``value``."""
-        self._nodes[node].attributes[name] = value
+        self._nodes[node]._attributes[name] = value
+        self._invalidate()
+
+    def clear_attributes(self, node: int) -> None:
+        """Drop every attribute of ``node`` (the write-path counterpart of
+        the read-only :meth:`attributes` view)."""
+        self._nodes[node]._attributes.clear()
+        self._invalidate()
 
     # ------------------------------------------------------------------ #
     # Accessors
@@ -115,17 +200,24 @@ class XMLTree:
         """Return ``λ(v)``, the element type of node ``ident``."""
         return self._nodes[ident].label
 
-    def attributes(self, ident: int) -> Dict[str, Value]:
-        """Return the attribute map of node ``ident``."""
+    def attributes(self, ident: int) -> Mapping[str, Value]:
+        """Return the attribute map of node ``ident`` (a read-only view —
+        write through :meth:`set_attribute` / :meth:`clear_attributes`)."""
         return self._nodes[ident].attributes
 
     def attribute(self, ident: int, name: str) -> Optional[Value]:
         """Return ``ρ_@name(v)`` or ``None`` if undefined."""
-        return self._nodes[ident].attributes.get(name)
+        return self._nodes[ident]._attributes.get(name)
 
-    def children(self, ident: int) -> List[int]:
-        """Return the list of child ids of ``ident`` (in sibling order)."""
-        return list(self._nodes[ident].children)
+    def children(self, ident: int) -> Tuple[int, ...]:
+        """Return the child ids of ``ident`` (in sibling order).
+
+        The tuple is the node's own child storage, returned without copying
+        — this sits in the innermost loop of pattern matching.  Mutation
+        goes through the tree's methods, which replace the tuple instead of
+        modifying it, so a returned tuple is stable forever.
+        """
+        return self._nodes[ident].children
 
     def parent(self, ident: int) -> Optional[int]:
         """Return the parent id of ``ident`` (``None`` for the root)."""
@@ -146,7 +238,7 @@ class XMLTree:
         """Number of nodes plus number of attribute assignments (``‖T‖``)."""
         total = 0
         for ident in self.nodes():
-            total += 1 + len(self._nodes[ident].attributes)
+            total += 1 + len(self._nodes[ident]._attributes)
         return total
 
     def depth(self) -> int:
@@ -186,7 +278,7 @@ class XMLTree:
     def values(self) -> Iterator[Value]:
         """Iterate over every attribute value occurring in the tree."""
         for ident in self.nodes():
-            yield from self._nodes[ident].attributes.values()
+            yield from self._nodes[ident]._attributes.values()
 
     def constants(self) -> set:
         """Return the set of constant values occurring in the tree."""
@@ -206,10 +298,13 @@ class XMLTree:
             raise ValueError("cannot remove the root of the tree")
         parent = self._nodes[ident].parent
         if parent is not None:
-            self._nodes[parent].children.remove(ident)
+            siblings = self._nodes[parent].children
+            self._nodes[parent].children = tuple(c for c in siblings
+                                                 if c != ident)
         doomed = [ident] + list(self.descendants(ident))
         for node in doomed:
             self._nodes.pop(node, None)
+        self._invalidate()
 
     def replace_subtree(self, target: int, source_tree: "XMLTree",
                         source_root: Optional[int] = None) -> int:
@@ -233,10 +328,13 @@ class XMLTree:
         return new_root
 
     def _copy_children(self, source_tree: "XMLTree", src: int, dst: int) -> None:
-        for child in source_tree.children(src):
-            new_child = self.add_child(dst, source_tree.label(child),
-                                       dict(source_tree.attributes(child)))
-            self._copy_children(source_tree, child, new_child)
+        stack = [(src, dst)]
+        while stack:
+            src_node, dst_node = stack.pop()
+            for child in source_tree.children(src_node):
+                new_child = self.add_child(dst_node, source_tree.label(child),
+                                           dict(source_tree.attributes(child)))
+                stack.append((child, new_child))
 
     def graft_subtree(self, parent: int, source_tree: "XMLTree",
                       source_root: Optional[int] = None) -> int:
@@ -253,22 +351,57 @@ class XMLTree:
         This implements the node-merging step of ``ChangeReg`` (Figure 7): the
         merged node receives the union of the victims' children; attribute
         merging is handled by the caller, which must have checked for clashes.
+        The merged node takes the sibling position of the first victim.
         Returns the id of the merged node.
         """
         if not victims:
             raise ValueError("need at least one node to merge")
+        # Same precondition the pre-tuple code enforced via .index():
+        # every victim must actually be a child of ``parent``, otherwise
+        # the rebuild below would silently drop the merged node.
+        siblings = set(self._nodes[parent].children)
+        strangers = [victim for victim in victims if victim not in siblings]
+        if strangers:
+            raise ValueError(
+                f"cannot merge node(s) {strangers}: not children of "
+                f"node {parent}")
         label = self._nodes[victims[0]].label
-        position = self._nodes[parent].children.index(victims[0])
         merged = self._new_node(label, parent=parent)
-        self._nodes[parent].children.insert(position, merged)
+        merged_children: List[int] = []
+        victim_set = set(victims)
         for victim in victims:
             for child in self._nodes[victim].children:
                 self._nodes[child].parent = merged
-                self._nodes[merged].children.append(child)
-            self._nodes[victim].children = []
-            self._nodes[parent].children.remove(victim)
+                merged_children.append(child)
+            self._nodes[victim].children = ()
+        self._nodes[merged].children = tuple(merged_children)
+        siblings = self._nodes[parent].children
+        reordered: List[int] = []
+        for child in siblings:
+            if child == victims[0]:
+                reordered.append(merged)
+            elif child not in victim_set:
+                reordered.append(child)
+        self._nodes[parent].children = tuple(reordered)
+        for victim in victims:
             self._nodes.pop(victim)
+        self._invalidate()
         return merged
+
+    def reorder_children(self, ident: int, new_order: Sequence[int]) -> None:
+        """Replace the sibling order of ``ident``'s children.
+
+        ``new_order`` must be a permutation of the current children (used by
+        :func:`repro.exchange.ordering.order_tree` to realise a conforming
+        sibling order).
+        """
+        node = self._nodes[ident]
+        if sorted(new_order) != sorted(node.children):
+            raise ValueError(
+                f"new order {list(new_order)!r} is not a permutation of the "
+                f"children {list(node.children)!r} of node {ident}")
+        node.children = tuple(new_order)
+        self._invalidate()
 
     # ------------------------------------------------------------------ #
     # Copying / comparison / rendering
@@ -283,11 +416,12 @@ class XMLTree:
             clone._nodes[ident] = XMLNode(
                 ident=ident,
                 label=node.label,
-                attributes=dict(node.attributes),
-                children=list(node.children),
+                attributes=node._attributes,
+                children=node.children,
                 parent=node.parent,
             )
         clone.root = self.root
+        clone._fp_cache = dict(self._fp_cache)
         return clone
 
     def as_unordered(self) -> "XMLTree":
@@ -302,66 +436,151 @@ class XMLTree:
         clone.ordered = True
         return clone
 
+    def _fold_bottom_up(self, ident: int, combine):
+        """Iterative bottom-up fold over the subtree rooted at ``ident``:
+        ``combine(node, child_results)`` runs once per node, children
+        first.  The single traversal behind :meth:`structural_key` and
+        :meth:`subtree_digest` — depth is bounded by memory, not the
+        interpreter recursion limit."""
+        results: Dict[int, object] = {}
+        stack: List[Tuple[int, bool]] = [(ident, False)]
+        while stack:
+            node_id, expanded = stack.pop()
+            node = self._nodes[node_id]
+            if not expanded:
+                stack.append((node_id, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            child_results = [results.pop(child) for child in node.children]
+            results[node_id] = combine(node, child_results)
+        return results[ident]
+
     def structural_key(self, ident: Optional[int] = None,
                        respect_order: Optional[bool] = None) -> tuple:
         """A canonical, hashable key of the subtree rooted at ``ident``.
 
         Two subtrees have the same key iff they are isomorphic (respecting
         sibling order for ordered trees, ignoring it otherwise) with identical
-        labels and attribute values.  Nulls are compared by identity.
+        labels and attribute values.  Values are keyed type-aware via
+        :func:`~repro.xmlmodel.values.value_key` (nulls by identity), so
+        distinct values can never alias.
         """
         if ident is None:
             ident = self.root
         if respect_order is None:
             respect_order = self.ordered
-        node = self._nodes[ident]
-        attrs = tuple(sorted((k, repr(v)) for k, v in node.attributes.items()))
-        child_keys = [self.structural_key(c, respect_order) for c in node.children]
-        if not respect_order:
-            child_keys.sort()
-        return (node.label, attrs, tuple(child_keys))
 
-    def fingerprint(self) -> str:
-        """A content fingerprint of the tree: the SHA-256 digest of its
-        :meth:`structural_key` (labels, attribute values and — for ordered
-        trees — sibling order).  Two trees have the same fingerprint iff they
-        are structurally equal, so the digest is a sound cache key for
-        per-tree results (the engine's result cache keys on it).  Nulls are
-        fingerprinted by identity (``⊥n``)."""
-        key = repr((self.ordered, self.structural_key()))
-        return hashlib.sha256(key.encode("utf-8")).hexdigest()
+        def combine(node: XMLNode, child_keys: list) -> tuple:
+            if not respect_order:
+                child_keys.sort()
+            return (node.label, _attrs_key(node._attributes),
+                    tuple(child_keys))
 
-    def equals(self, other: "XMLTree", respect_order: Optional[bool] = None) -> bool:
-        """Structural equality of two trees (see :meth:`structural_key`)."""
-        if respect_order is None:
-            respect_order = self.ordered and other.ordered
-        return (self.structural_key(respect_order=respect_order)
-                == other.structural_key(respect_order=respect_order))
+        return self._fold_bottom_up(ident, combine)
 
-    def to_text(self, ident: Optional[int] = None, indent: int = 0) -> str:
-        """Human-readable indented rendering of the (sub)tree."""
+    def subtree_digest(self, ident: Optional[int] = None,
+                       respect_order: Optional[bool] = None) -> bytes:
+        """Merkle digest of the subtree rooted at ``ident`` (iterative).
+
+        Two subtrees have the same digest iff they are isomorphic
+        (respecting sibling order when asked) with identical labels and
+        attribute values — the hashed analogue of :meth:`structural_key`,
+        usable at any depth because no nested key is ever rendered whole.
+        """
         if ident is None:
             ident = self.root
-        node = self._nodes[ident]
-        attrs = " ".join(f"@{k}={v!r}" for k, v in sorted(node.attributes.items()))
-        line = "  " * indent + node.label + (f" [{attrs}]" if attrs else "")
-        parts = [line]
-        for child in node.children:
-            parts.append(self.to_text(child, indent + 1))
+        if respect_order is None:
+            respect_order = self.ordered
+        return self._fold_bottom_up(
+            ident,
+            lambda node, child_digests: _node_digest(
+                node.label, _attrs_key(node._attributes), child_digests,
+                respect_order))
+
+    def fingerprint(self) -> str:
+        """A content fingerprint of the tree: the hex SHA-256 of the root's
+        Merkle :meth:`subtree_digest` plus the ordered flag (labels,
+        attribute values and — for ordered trees — sibling order).  Two
+        trees have the same fingerprint iff they are structurally equal, so
+        the digest is a sound cache key for per-tree results (the engine's
+        result cache keys on it).  Nulls are fingerprinted by identity
+        (``⊥n``), type-aware via
+        :func:`~repro.xmlmodel.values.value_key`.  The digest is memoised
+        per ordered-flag and invalidated by every structural mutation, so
+        repeated cache-key computations on a settled tree cost a dict
+        lookup."""
+        cached = self._fp_cache.get(self.ordered)
+        if cached is None:
+            hasher = hashlib.sha256()
+            hasher.update(b"ordered" if self.ordered else b"unordered")
+            hasher.update(self.subtree_digest())
+            cached = hasher.hexdigest()
+            self._fp_cache[self.ordered] = cached
+        return cached
+
+    def freeze(self) -> "FrozenTree":
+        """Snapshot the tree into an immutable
+        :class:`~repro.xmlmodel.frozen.FrozenTree` (label-interned arrays,
+        per-label indexes, iterative cached fingerprint) — the input format
+        of the compiled plan evaluator.  Later mutations of this tree do not
+        affect the snapshot."""
+        from .frozen import FrozenTree
+        return FrozenTree.from_tree(self)
+
+    def equals(self, other: "XMLTree", respect_order: Optional[bool] = None) -> bool:
+        """Structural equality of two trees (see :meth:`structural_key`).
+
+        Compared via :meth:`subtree_digest`, so arbitrarily deep documents
+        compare without recursing through nested keys."""
+        if respect_order is None:
+            respect_order = self.ordered and other.ordered
+        return (self.subtree_digest(respect_order=respect_order)
+                == other.subtree_digest(respect_order=respect_order))
+
+    def to_text(self, ident: Optional[int] = None, indent: int = 0) -> str:
+        """Human-readable indented rendering of the (sub)tree (iterative)."""
+        if ident is None:
+            ident = self.root
+        parts: List[str] = []
+        stack: List[Tuple[int, int]] = [(ident, indent)]
+        while stack:
+            node_id, level = stack.pop()
+            node = self._nodes[node_id]
+            attrs = " ".join(f"@{k}={v!r}"
+                             for k, v in sorted(node._attributes.items()))
+            parts.append("  " * level + node.label
+                         + (f" [{attrs}]" if attrs else ""))
+            stack.extend((child, level + 1)
+                         for child in reversed(node.children))
         return "\n".join(parts)
 
     def to_xml(self, ident: Optional[int] = None) -> str:
-        """Serialise the (sub)tree to an XML string (nulls rendered as ``⊥n``)."""
+        """Serialise the (sub)tree to an XML string (nulls rendered as
+        ``⊥n``).  Iterative: deep documents never hit the recursion limit."""
         if ident is None:
             ident = self.root
-        node = self._nodes[ident]
-        attrs = "".join(
-            f' {k}="{v}"' for k, v in sorted(node.attributes.items(), key=lambda kv: kv[0])
-        )
-        if not node.children:
-            return f"<{node.label}{attrs}/>"
-        inner = "".join(self.to_xml(c) for c in node.children)
-        return f"<{node.label}{attrs}>{inner}</{node.label}>"
+        out: List[str] = []
+        #: (node id, opened?): the False entry emits the opening tag and
+        #: re-pushes itself as True to emit the closing tag after the
+        #: children are done.
+        stack: List[Tuple[int, bool]] = [(ident, False)]
+        while stack:
+            node_id, closing = stack.pop()
+            node = self._nodes[node_id]
+            if closing:
+                out.append(f"</{node.label}>")
+                continue
+            attrs = "".join(
+                f' {k}="{v}"'
+                for k, v in sorted(node._attributes.items(),
+                                   key=lambda kv: kv[0]))
+            if not node.children:
+                out.append(f"<{node.label}{attrs}/>")
+                continue
+            out.append(f"<{node.label}{attrs}>")
+            stack.append((node_id, True))
+            stack.extend((child, False) for child in reversed(node.children))
+        return "".join(out)
 
     def __repr__(self) -> str:
         kind = "ordered" if self.ordered else "unordered"

@@ -19,7 +19,8 @@ from __future__ import annotations
 import itertools
 from typing import Union
 
-__all__ = ["Null", "Value", "NullFactory", "is_null", "is_constant", "fresh_null"]
+__all__ = ["Null", "Value", "NullFactory", "is_null", "is_constant",
+           "fresh_null", "value_key"]
 
 
 class Null:
@@ -79,3 +80,24 @@ def is_null(value: Value) -> bool:
 def is_constant(value: Value) -> bool:
     """True iff ``value`` is a constant (element of ``Const``)."""
     return isinstance(value, str)
+
+
+def value_key(value: Value) -> tuple:
+    """A canonical, *type-aware* identity key for an attribute value.
+
+    Deduplication and fingerprinting must never alias two distinct values.
+    Keying on ``repr(value)`` is unsound for that: two values of different
+    types can render identically while comparing unequal.  The returned key
+    is a pair ``(type tag, canonical payload)`` of strings — hashable,
+    totally ordered (so unordered structural keys can sort child keys) and
+    stable across processes (no ``hash()`` involved), with distinct tags per
+    value type so cross-type collisions are impossible.
+    """
+    if isinstance(value, str):
+        return ("s", value)
+    if isinstance(value, Null):
+        return ("n", str(value.ident))
+    # Future value types: namespaced by the exact class, with repr as the
+    # payload (injectivity within one type is that type's contract).
+    cls = type(value)
+    return (f"o:{cls.__module__}.{cls.__qualname__}", repr(value))

@@ -10,7 +10,7 @@ def _skeleton(tree: XMLTree) -> XMLTree:
     """Strip attributes (the automata only see element types)."""
     clone = tree.copy()
     for node in clone.nodes():
-        clone.node(node).attributes.clear()
+        clone.clear_attributes(node)
     return clone
 
 

@@ -93,8 +93,8 @@ class TestOrderIndependence:
     def test_reordering_source_preserves_certain_answers(self, library_setting):
         source = library.figure_1_source()
         reordered = library.figure_1_source()
-        root_children = reordered.node(reordered.root).children
-        root_children.reverse()
+        reordered.reorder_children(
+            reordered.root, tuple(reversed(reordered.children(reordered.root))))
         query = library.query_writer_of("Computational Complexity")
         first = certain_answers(library_setting, source, query)
         second = certain_answers(library_setting, reordered, query)

@@ -14,6 +14,11 @@ random scenarios (``repro.generators.scenario_batch``) and assert pipeline
 3. **Cache transparency** — repeating every request on the same engine hits
    the result cache and returns results indistinguishable from the first
    pass, and a cache-disabled engine agrees with a cache-enabled one.
+4. **Plan/interpreter parity** — the compiled plan evaluator
+   (:mod:`repro.patterns.plan`, the hot path) returns exactly the
+   interpreter's assignments on every (tree, query) pair, and the plan-based
+   certain answers equal the interpreted read-off from the same canonical
+   solution.
 
 The scenario count defaults to 200 and scales with the
 ``REPRO_GENERATED_SCENARIOS`` environment variable (the CI property job sets
@@ -28,6 +33,8 @@ import pytest
 
 from repro import ExchangeEngine, certain_answers, check_consistency
 from repro.generators import scenario_batch
+from repro.patterns import assignment_key, compile_query
+from repro.xmlmodel.values import is_constant
 
 #: Harness size: seeds are derived from BATCH_SEED, so runs are identical
 #: across machines for a fixed count.
@@ -114,6 +121,43 @@ def test_cache_transparency(scenarios):
         assert uncached_engine.stats_summary().result_cache_hits == 0
         hits_seen += summary.result_cache_hits
     assert hits_seen > 0
+
+
+def test_plan_interpreter_parity(scenarios):
+    """Property 4: compiling a query to a slot-based plan changes *how* it
+    is evaluated, never *what* it returns — assignments and certain answers
+    agree with the interpreter oracle on every generated pair."""
+    checked = 0
+    for scenario in scenarios:
+        engine = ExchangeEngine(scenario.setting)
+        for tree in scenario.source_trees:
+            frozen = tree.freeze()
+            for query in scenario.queries:
+                context = (f"{scenario.describe()} tree={tree.fingerprint()} "
+                           f"query={query.fingerprint()}")
+                plan = compile_query(query)
+                # Same satisfying assignments over the source tree itself.
+                planned = sorted(map(assignment_key, plan.evaluate(frozen)))
+                interpreted = sorted(map(assignment_key,
+                                         query.evaluate(tree)))
+                assert planned == interpreted, context
+                # Same certain answers: the engine's plan-based pipeline vs
+                # the interpreted read-off from its own canonical solution.
+                via_plan = engine.certain_answers(tree, query)
+                solved = engine.solve(tree)
+                assert via_plan.ok == solved.ok, context
+                if solved.ok:
+                    order = tuple(query.free_variables())
+                    oracle = {tup for tup in query.answers(solved.payload,
+                                                           order)
+                              if all(is_constant(value) for value in tup)}
+                    assert via_plan.payload == oracle, context
+                checked += 1
+        # Per-setting plans are compiled at most once per query fingerprint.
+        stats = engine.stats
+        assert stats["plan_cache_misses"] <= len(scenario.queries), \
+            scenario.describe()
+    assert checked >= SCENARIO_COUNT
 
 
 def test_functional_consistency_matches_engine(scenarios):

@@ -89,6 +89,18 @@ def test_merge_children():
     assert sorted(tree.children_labels(merged)) == ["x", "y"]
 
 
+def test_merge_children_rejects_non_children():
+    tree = XMLTree.build(("r", [("a", [("x",)]), ("a",)]))
+    children = tree.children(tree.root)
+    grandchild = tree.children(children[0])[0]
+    size_before = len(tree)
+    with pytest.raises(ValueError):
+        tree.merge_children(tree.root, [grandchild, children[1]])
+    # The guard fires before any mutation: the tree is untouched.
+    assert len(tree) == size_before
+    assert tree.children(tree.root) == children
+
+
 def test_copy_is_independent(sample):
     clone = sample.copy()
     clone.add_child(clone.root, "book", {"title": "B3"})
@@ -116,3 +128,128 @@ def test_to_xml_and_to_text(sample):
     assert 'title="B1"' in xml
     text = sample.to_text()
     assert "book" in text and "@title='B1'" in text
+
+
+def test_children_returns_shared_tuple(sample):
+    """The read path never copies: children() hands out the node's own
+    (immutable) child tuple, identical across calls."""
+    first = sample.children(sample.root)
+    assert isinstance(first, tuple)
+    assert sample.children(sample.root) is first
+    # A returned tuple is stable across mutation (the node gets a new one).
+    sample.add_child(sample.root, "book", {"title": "B3"})
+    assert len(first) == 2
+    assert len(sample.children(sample.root)) == 3
+
+
+def test_reorder_children_validates_permutation(sample):
+    books = sample.children(sample.root)
+    sample.reorder_children(sample.root, tuple(reversed(books)))
+    assert sample.children(sample.root) == tuple(reversed(books))
+    with pytest.raises(ValueError):
+        sample.reorder_children(sample.root, books[:1])
+
+
+def test_fingerprint_cache_invalidated_by_mutation(sample):
+    before = sample.fingerprint()
+    assert sample.fingerprint() == before  # memoised
+    sample.set_attribute(sample.root, "note", "x")
+    assert sample.fingerprint() != before
+    sample.add_child(sample.root, "book", {"title": "B4"})
+    changed = sample.fingerprint()
+    sample.remove_subtree(sample.children(sample.root)[-1])
+    assert sample.fingerprint() != changed
+
+
+class TestDeepTrees:
+    """Regression: every traversal must be iterative — a depth-5000 chain
+    used to blow ``sys.getrecursionlimit()`` in the recursive versions of
+    ``structural_key`` / ``to_xml`` / ``to_text`` / ``_copy_children``."""
+
+    DEPTH = 5000
+
+    @pytest.fixture(scope="class")
+    def chain(self):
+        tree = XMLTree("d0")
+        node = tree.root
+        for level in range(1, self.DEPTH + 1):
+            node = tree.add_child(node, f"d{level % 7}", {"level": str(level)})
+        return tree
+
+    def test_structural_key_and_fingerprint(self, chain):
+        assert chain.depth() == self.DEPTH
+        key = chain.structural_key()
+        assert key[0] == "d0"
+        assert len(chain.fingerprint()) == 64
+
+    def test_to_text_and_to_xml(self, chain):
+        text = chain.to_text()
+        assert text.count("\n") == self.DEPTH
+        xml = chain.to_xml()
+        assert xml.startswith("<d0>") and xml.endswith("</d0>")
+
+    def test_copy_graft_and_replace(self, chain):
+        clone = chain.copy()
+        assert clone.equals(chain)
+        host = XMLTree("host")
+        grafted = host.graft_subtree(host.root, chain)
+        assert host.label(grafted) == "d0"
+        assert host.depth() == self.DEPTH + 1
+        stub = host.add_child(host.root, "stub")
+        replaced = host.replace_subtree(stub, chain)
+        assert host.label(replaced) == "d0"
+
+    def test_freeze_deep(self, chain):
+        frozen = chain.freeze()
+        assert len(frozen) == self.DEPTH + 1
+        assert frozen.fingerprint() == chain.fingerprint()
+
+    def test_wire_roundtrip_deep(self, chain):
+        from repro.service.protocol import (decode_line, encode_line,
+                                            tree_from_wire, tree_to_wire)
+        wire = tree_to_wire(chain)
+        assert isinstance(wire, dict) and "flat" in wire  # deep → flat form
+        # Deep trees must survive the JSON layer too, not just the codec.
+        line = encode_line({"tree": wire})
+        rebuilt = tree_from_wire(decode_line(line)["tree"])
+        assert rebuilt.fingerprint() == chain.fingerprint()
+
+
+class _ReprImpostor:
+    """A value whose ``repr`` collides with ``Null(1)`` but which equals
+    nothing except itself — the collision the old repr-keyed identity
+    schemes would have aliased."""
+
+    def __repr__(self):
+        return repr(Null(1))
+
+    def __eq__(self, other):
+        return isinstance(other, _ReprImpostor)
+
+    def __hash__(self):
+        return 0
+
+
+class TestTypeAwareValueIdentity:
+    """Regression: dedup/fingerprint keys are type-aware — two distinct
+    values with equal ``repr`` must never alias."""
+
+    def test_structural_key_distinguishes_repr_collisions(self):
+        genuine = XMLTree.build(("r", {"a": Null(1)}))
+        impostor = XMLTree.build(("r", {"a": _ReprImpostor()}))
+        assert repr(Null(1)) == repr(_ReprImpostor())
+        assert genuine.structural_key() != impostor.structural_key()
+        assert genuine.fingerprint() != impostor.fingerprint()
+
+    def test_dedup_distinguishes_repr_collisions(self):
+        from repro.patterns.evaluate import _dedup
+        first = {"x": Null(1)}
+        second = {"x": _ReprImpostor()}
+        assert len(_dedup([first, second, dict(first)])) == 2
+
+    def test_null_never_aliases_its_rendering(self):
+        # repr(Null(1)) == "⊥1": a *constant* with that spelling is a
+        # different value and must fingerprint differently.
+        as_null = XMLTree.build(("r", {"a": Null(1)}))
+        as_text = XMLTree.build(("r", {"a": "⊥1"}))
+        assert as_null.fingerprint() != as_text.fingerprint()
