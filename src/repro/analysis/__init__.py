@@ -1,0 +1,37 @@
+"""ReproLint: domain-aware static analysis for this repository.
+
+Two prongs, both dependency-free (stdlib :mod:`ast`/:mod:`tokenize`):
+
+* the **invariant linter** (``python -m repro.analysis``) — pluggable
+  ``RLxxx`` rules that enforce the ROADMAP's standing conventions at
+  commit time (event-loop hygiene, lock discipline, layering around the
+  parity oracles, cache-counter accounting, generator determinism);
+  see :mod:`repro.analysis.rules` and the rule catalogue in ROADMAP.md;
+* the **plan verifier** (:func:`verify_plan`, CLI
+  ``python -m repro.analysis.plancheck``) — an abstract interpreter that
+  proves slot def-before-use, width uniformity, label/attr validity and
+  projection-scope consistency for every compiled
+  :class:`~repro.patterns.plan.PatternPlan` / ``QueryPlan``; with
+  ``REPRO_PLAN_VERIFY=1`` it runs automatically inside
+  ``compile_pattern``/``compile_query``.
+
+Suppressions: ``# repro-lint: disable=RLxxx -- reason`` (the reason is
+mandatory; strict mode also reports suppressions that no longer match).
+"""
+
+from .core import (Finding, ModuleContext, Rule, analyze_file,
+                   analyze_source, run)
+from .rules import ALL_RULES
+
+__all__ = ["Finding", "ModuleContext", "Rule", "ALL_RULES",
+           "analyze_file", "analyze_source", "run",
+           "PlanVerificationError", "verify_plan"]
+
+
+def __getattr__(name):
+    # Lazy (PEP 562): `python -m repro.analysis.plancheck` would otherwise
+    # warn about the submodule already sitting in sys.modules.
+    if name in ("PlanVerificationError", "verify_plan"):
+        from . import plancheck
+        return getattr(plancheck, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

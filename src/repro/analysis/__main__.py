@@ -1,0 +1,71 @@
+"""CLI: ``python -m repro.analysis [paths ...] [--strict] [--summary P]``.
+
+Walks the given paths (default: ``src tests benchmarks examples``, those
+that exist) with every registered rule and prints findings as
+``path:line:col RLxxx message``.  Exit status is non-zero when anything
+is found.  ``--strict`` additionally reports unused suppressions — the CI
+lint job runs ``--strict`` so the suppression inventory cannot rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import collect_files, run, summary_markdown
+from .rules import ALL_RULES
+
+_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="ReproLint: domain-invariant static analysis "
+                    "(see ROADMAP.md, 'Static analysis').")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze "
+                             f"(default: {' '.join(_DEFAULT_PATHS)})")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on unused suppressions")
+    parser.add_argument("--summary", default=None, metavar="PATH",
+                        help="append a markdown summary (e.g. "
+                             "$GITHUB_STEP_SUMMARY)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    if args.paths:
+        paths = [Path(path) for path in args.paths]
+    else:
+        paths = [Path(path) for path in _DEFAULT_PATHS
+                 if Path(path).exists()]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print("repro-lint: no such path(s): "
+              + ", ".join(str(path) for path in missing), file=sys.stderr)
+        return 2
+
+    findings = run(paths, ALL_RULES, strict=args.strict)
+    checked = len(collect_files(paths))
+    for finding in findings:
+        print(finding.format())
+    print(f"repro-lint: {checked} files checked, "
+          f"{len(findings)} finding(s)"
+          + (" [strict]" if args.strict else ""))
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(summary_markdown(findings, ALL_RULES, checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""ReproLint core: module loading, rule running, finding reporting.
+
+The analyzer is a plain :mod:`ast` walk — no imports of the analyzed code,
+no third-party dependencies — so it can run as the first CI step, before
+anything is installed beyond the package itself.
+
+A :class:`Rule` sees one :class:`ModuleContext` (path, dotted module name,
+parsed AST, directives) and yields :class:`Finding`\\ s.  :func:`run` walks
+the requested paths, applies every registered rule, honours reasoned
+``# repro-lint: disable=`` suppressions (see :mod:`.directives`) and — in
+strict mode — reports suppressions that no longer suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .directives import (BAD_DIRECTIVE_RULE, DirectiveSet, parse_directives,
+                         validate_codes)
+
+__all__ = ["Finding", "ModuleContext", "Rule", "analyze_source",
+           "analyze_file", "collect_files", "run", "format_findings",
+           "summary_markdown"]
+
+#: Top-level areas whose files get a dotted name rooted at the area, so
+#: rules can scope on ``repro.…`` vs ``tests.…`` vs ``benchmarks.…``.
+_AREA_ROOTS = ("tests", "benchmarks", "examples")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One reported invariant violation (``path:line:col RLxxx message``)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+
+class ModuleContext:
+    """Everything a rule may look at for one analyzed file."""
+
+    __slots__ = ("path", "module", "tree", "source", "directives")
+
+    def __init__(self, path: str, module: str, tree: ast.Module,
+                 source: str, directives: DirectiveSet) -> None:
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.source = source
+        self.directives = directives
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(self.path, getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0), rule, message)
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title``/``rationale`` and
+    implement :meth:`check`."""
+
+    id: str = "RL???"
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Rule {self.id}: {self.title}>"
+
+
+# --------------------------------------------------------------------- #
+# Module naming
+# --------------------------------------------------------------------- #
+
+def module_name_for(path: Path) -> str:
+    """A dotted module name for ``path``.
+
+    Files under a ``src`` directory are named from the package root
+    (``src/repro/service/server.py`` → ``repro.service.server``); files
+    under ``tests``/``benchmarks``/``examples`` are rooted at that area;
+    anything else falls back to its stem.  ``__init__`` maps to the
+    package itself.
+    """
+    parts = list(path.parts)
+    dotted: Optional[List[str]] = None
+    for anchor in ("src",) + _AREA_ROOTS:
+        if anchor in parts:
+            index = parts.index(anchor)
+            tail = parts[index + (1 if anchor == "src" else 0):]
+            if tail and tail[-1].endswith(".py"):
+                dotted = tail
+                break
+    if dotted is None:
+        dotted = [parts[-1]] if parts else []
+    if not dotted:
+        return ""
+    dotted = list(dotted)
+    dotted[-1] = dotted[-1][:-3] if dotted[-1].endswith(".py") else dotted[-1]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted)
+
+
+# --------------------------------------------------------------------- #
+# Analysis driver
+# --------------------------------------------------------------------- #
+
+def analyze_source(source: str, rules: Sequence[Rule], *,
+                   path: str = "<string>", module: str = "",
+                   strict: bool = False) -> List[Finding]:
+    """Analyze one in-memory module (the fixture entry point for tests)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding(path, error.lineno or 0, error.offset or 0,
+                        BAD_DIRECTIVE_RULE,
+                        f"file does not parse: {error.msg}")]
+    directives = parse_directives(source)
+    context = ModuleContext(path, module, tree, source, directives)
+    findings: List[Finding] = []
+    known = {rule.id: rule for rule in rules}
+    for rule in rules:
+        for finding in rule.check(context):
+            if directives.suppresses(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    for line, col, message in directives.problems:
+        findings.append(Finding(path, line, col, BAD_DIRECTIVE_RULE, message))
+    for line, col, message in validate_codes(directives, known):
+        findings.append(Finding(path, line, col, BAD_DIRECTIVE_RULE, message))
+    if strict:
+        for directive in directives.unused():
+            findings.append(Finding(
+                path, directive.line, 0, BAD_DIRECTIVE_RULE,
+                f"unused suppression of {', '.join(directive.codes)} "
+                f"({directive.reason!r}): nothing on line "
+                f"{directive.covers} triggers it any more — delete it"))
+    return sorted(findings)
+
+
+def analyze_file(path: Path, rules: Sequence[Rule], *,
+                 strict: bool = False,
+                 display_root: Optional[Path] = None) -> List[Finding]:
+    """Analyze one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    display = path
+    if display_root is not None:
+        try:
+            display = path.relative_to(display_root)
+        except ValueError:
+            display = path
+    return analyze_source(source, rules, path=str(display),
+                          module=module_name_for(path), strict=strict)
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through verbatim)."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+        elif path.is_dir():
+            files.extend(candidate for candidate in
+                         sorted(path.rglob("*.py"))
+                         if "__pycache__" not in candidate.parts
+                         and not any(part.startswith(".")
+                                     for part in candidate.parts))
+    return files
+
+
+def run(paths: Sequence[Path], rules: Sequence[Rule], *,
+        strict: bool = False,
+        display_root: Optional[Path] = None) -> List[Finding]:
+    """Analyze every Python file under ``paths`` with ``rules``."""
+    findings: List[Finding] = []
+    for file_path in collect_files(paths):
+        findings.extend(analyze_file(file_path, rules, strict=strict,
+                                     display_root=display_root))
+    return sorted(findings)
+
+
+# --------------------------------------------------------------------- #
+# Reporting
+# --------------------------------------------------------------------- #
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    return "\n".join(finding.format() for finding in findings)
+
+
+def summary_markdown(findings: Sequence[Finding], rules: Sequence[Rule],
+                     checked_files: int) -> str:
+    """A GitHub job-summary block: rule counts, then the findings."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    lines = ["## ReproLint", "",
+             f"Checked {checked_files} files — "
+             f"{len(findings)} finding(s).", ""]
+    lines.append("| rule | title | findings |")
+    lines.append("| --- | --- | ---: |")
+    lines.append(f"| {BAD_DIRECTIVE_RULE} | directive hygiene | "
+                 f"{by_rule.get(BAD_DIRECTIVE_RULE, 0)} |")
+    for rule in rules:
+        lines.append(f"| {rule.id} | {rule.title} | "
+                     f"{by_rule.get(rule.id, 0)} |")
+    if findings:
+        lines.append("")
+        lines.append("```text")
+        lines.extend(finding.format() for finding in findings)
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""``# repro-lint`` directive parsing (suppressions and module markers).
+
+Suppressions are *loud by design*: every ``disable`` must carry a reason,
+and ReproLint's strict mode reports suppressions that no longer suppress
+anything, so the inventory of exceptions cannot silently rot.
+
+Syntax (one directive per comment)::
+
+    x = blocking_call()  # repro-lint: disable=RL001 -- reason why this is fine
+    # repro-lint: disable=RL001,RL004 -- reason (covers the next statement line)
+    # repro-lint: parity-oracle -- this module IS the interpreted oracle
+
+* ``disable=RLxxx[,RLyyy]`` suppresses those rules on the directive's own
+  line; a *standalone* comment (nothing but whitespace before the ``#``)
+  instead covers the next line that holds code.
+* ``parity-oracle`` marks the whole module as an interpreter/functional-API
+  parity oracle, exempting it from the layering rule RL003.
+* The reason after ``--`` is mandatory.  A reasonless or malformed
+  directive does **not** suppress anything and is itself reported as RL000.
+
+Directives are read from the token stream (:mod:`tokenize`), so comment
+look-alikes inside string literals are never misparsed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Directive", "DirectiveSet", "parse_directives",
+           "BAD_DIRECTIVE_RULE", "KNOWN_RULE_PATTERN"]
+
+#: Rule id reserved for directive problems (bad syntax, missing reason,
+#: unknown rule ids, unused suppressions in strict mode).
+BAD_DIRECTIVE_RULE = "RL000"
+
+#: What a rule id looks like; unknown-but-well-formed ids are reported so a
+#: typo (``RL101`` for ``RL001``) cannot silently disable nothing.
+KNOWN_RULE_PATTERN = re.compile(r"^RL\d{3}$")
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
+_DISABLE = re.compile(r"^disable\s*=\s*(?P<codes>[A-Za-z0-9, ]+?)"
+                      r"\s*(?:--\s*(?P<reason>.*\S))?$")
+_ORACLE = re.compile(r"^parity-oracle\s*(?:--\s*(?P<reason>.*\S))?$")
+
+
+@dataclass
+class Directive:
+    """One parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int                      #: line the comment sits on (1-based)
+    covers: int                    #: line whose findings it suppresses
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool = False             #: flipped when it suppresses a finding
+
+
+@dataclass
+class DirectiveSet:
+    """Every directive of one module, plus the problems found parsing them."""
+
+    directives: List[Directive] = field(default_factory=list)
+    #: ``(line, col, message)`` triples for malformed/reasonless directives.
+    problems: List[Tuple[int, int, str]] = field(default_factory=list)
+    parity_oracle: bool = False
+    parity_oracle_reason: str = ""
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """True (and mark the directive used) when ``rule_id`` findings on
+        ``line`` are covered by a reasoned ``disable``."""
+        hit = False
+        for directive in self.directives:
+            if directive.covers == line and rule_id in directive.codes:
+                directive.used = True
+                hit = True
+        return hit
+
+    def unused(self) -> List[Directive]:
+        """Suppressions that never matched a finding (strict-mode fodder)."""
+        return [d for d in self.directives if not d.used]
+
+
+def _covered_line(comment_line: int, standalone: bool,
+                  code_lines: List[int]) -> int:
+    """The line a directive applies to: its own, or — for a standalone
+    comment — the next line that actually holds code."""
+    if not standalone:
+        return comment_line
+    for line in code_lines:
+        if line > comment_line:
+            return line
+    return comment_line
+
+
+def parse_directives(source: str) -> DirectiveSet:
+    """Extract every ``# repro-lint`` directive from ``source``."""
+    out = DirectiveSet()
+    comments: List[Tuple[int, int, str, bool]] = []
+    code_lines: List[int] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # the analyzer reports the parse failure separately
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            standalone = not token.line[:token.start[1]].strip()
+            comments.append((token.start[0], token.start[1], token.string,
+                             standalone))
+        elif token.type not in (tokenize.NL, tokenize.NEWLINE,
+                                tokenize.INDENT, tokenize.DEDENT,
+                                tokenize.ENDMARKER, tokenize.COMMENT):
+            if not code_lines or code_lines[-1] != token.start[0]:
+                code_lines.append(token.start[0])
+
+    for line, col, text, standalone in comments:
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        oracle = _ORACLE.match(body)
+        if oracle is not None:
+            if not oracle.group("reason"):
+                out.problems.append(
+                    (line, col, "parity-oracle marker needs a reason: "
+                     "`# repro-lint: parity-oracle -- why`"))
+                continue
+            out.parity_oracle = True
+            out.parity_oracle_reason = oracle.group("reason")
+            continue
+        disable = _DISABLE.match(body)
+        if disable is None:
+            out.problems.append(
+                (line, col, f"unrecognised repro-lint directive {body!r}; "
+                 "expected `disable=RLxxx[,RLyyy] -- reason` or "
+                 "`parity-oracle -- reason`"))
+            continue
+        codes = tuple(code.strip() for code in
+                      disable.group("codes").split(",") if code.strip())
+        reason = disable.group("reason") or ""
+        bad = [code for code in codes
+               if not KNOWN_RULE_PATTERN.match(code)]
+        if bad:
+            out.problems.append(
+                (line, col,
+                 f"malformed rule id(s) {', '.join(bad)} in disable "
+                 "directive (expected RLxxx)"))
+            continue
+        if not reason:
+            out.problems.append(
+                (line, col,
+                 f"suppression of {', '.join(codes)} has no reason; write "
+                 "`disable=" + ",".join(codes) + " -- why this is safe` "
+                 "(reasonless suppressions do not suppress)"))
+            continue
+        out.directives.append(Directive(
+            line=line, covers=_covered_line(line, standalone, code_lines),
+            codes=codes, reason=reason))
+    return out
+
+
+def validate_codes(directives: DirectiveSet,
+                   known: Dict[str, object]) -> List[Tuple[int, int, str]]:
+    """Problems for well-formed-but-unknown rule ids (e.g. ``RL042``)."""
+    problems: List[Tuple[int, int, str]] = []
+    for directive in directives.directives:
+        unknown = [code for code in directive.codes
+                   if code not in known and code != BAD_DIRECTIVE_RULE]
+        if unknown:
+            problems.append(
+                (directive.line, 0,
+                 f"disable names unknown rule(s) {', '.join(unknown)}; "
+                 f"known rules: {', '.join(sorted(known))}"))
+    return problems

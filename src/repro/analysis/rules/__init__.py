@@ -1,0 +1,30 @@
+"""The ReproLint rule catalogue.
+
+Adding a rule: subclass :class:`repro.analysis.core.Rule` in a module
+here, give it the next free ``RLxxx`` id, a one-line ``title`` and a
+``rationale``, implement ``check(module)`` as an AST walk, append an
+instance to :data:`ALL_RULES`, and add a fixture trio
+(positive / negative / suppressed) to ``tests/test_analysis.py`` —
+the catalogue table in ROADMAP.md is generated from these attributes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import Rule
+from .blocking import NoAwaitUnderLock, NoBlockingInAsync
+from .counters import CounterDisciplineRule
+from .determinism import DeterminismRule
+from .layering import LayeringRule
+
+__all__ = ["ALL_RULES"]
+
+#: Every registered rule, in id order.
+ALL_RULES: List[Rule] = [
+    NoBlockingInAsync(),
+    NoAwaitUnderLock(),
+    LayeringRule(),
+    CounterDisciplineRule(),
+    DeterminismRule(),
+]

@@ -1,0 +1,82 @@
+"""RL004 — cache-counter discipline.
+
+Every ``EngineResult.cache`` snapshot must balance: hits + misses add up
+per cache, evictions never exceed insertions, and ``registry.stats()``
+aggregates stay monotonic across shard evictions.  That only holds if
+counters move through :class:`repro.engine.stats.CacheStats` methods
+(``hit``/``miss``/``evict``/``count``/``set_counts``) — one raw
+``self.hits += 1`` in a new cache and the accounting invariants the tests
+assert become unprovable.
+
+The rule flags, anywhere in ``repro.*`` except ``repro.engine.stats``
+itself:
+
+* augmented assignment to an attribute named ``hits``/``misses``/
+  ``evictions`` or ending in ``_hits``/``_misses``/``_evictions``/
+  ``_rejections``/``_compiles``, and
+* any assignment through the ``CacheStats`` internals
+  (``_hits[...]``/``_misses[...]``/``_evictions[...]``/``_events[...]``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import Finding, ModuleContext, Rule
+
+__all__ = ["CounterDisciplineRule"]
+
+_COUNTER_ATTRS = {"hits", "misses", "evictions"}
+_COUNTER_SUFFIXES = ("_hits", "_misses", "_evictions", "_rejections",
+                     "_compiles")
+_STORE_NAMES = {"_hits", "_misses", "_evictions", "_events"}
+_EXEMPT_MODULE = "repro.engine.stats"
+
+
+def _counterish(attr: str) -> bool:
+    return attr in _COUNTER_ATTRS or attr.endswith(_COUNTER_SUFFIXES)
+
+
+def _terminal_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class CounterDisciplineRule(Rule):
+    id = "RL004"
+    title = "cache counters move only through CacheStats methods"
+    rationale = ("Raw counter arithmetic breaks the balance invariants "
+                 "every EngineResult.cache snapshot is tested against.")
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if (not module.module.startswith("repro.")
+                or module.module == _EXEMPT_MODULE):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                if (isinstance(target, ast.Attribute)
+                        and _counterish(target.attr)):
+                    yield module.finding(
+                        self.id, node,
+                        f"raw counter arithmetic on .{target.attr}: route "
+                        "it through CacheStats "
+                        "(.hit/.miss/.evict/.count) so cache snapshots "
+                        "stay balanced")
+                    continue
+            if isinstance(node, (ast.AugAssign, ast.Assign)):
+                targets = ([node.target] if isinstance(node, ast.AugAssign)
+                           else node.targets)
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and _terminal_name(target.value)
+                            in _STORE_NAMES):
+                        yield module.finding(
+                            self.id, node,
+                            f"direct mutation of CacheStats internals "
+                            f"({_terminal_name(target.value)}[...]): use "
+                            "the CacheStats recording methods instead")

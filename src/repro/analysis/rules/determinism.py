@@ -1,0 +1,74 @@
+"""RL005 — generator determinism.
+
+Every generated scenario must reproduce exactly from
+``generate_scenario(seed)`` (ROADMAP "Standing conventions"): a failing
+property-sweep case is re-run from the seed in its assertion message.  One
+naked ``random.random()`` or wall-clock read inside the generators and
+that contract silently breaks — the sweep still passes, but failures stop
+reproducing.
+
+Inside ``repro.generators`` and ``repro.workloads`` this rule flags:
+
+* module-level :mod:`random` calls (``random.random``, ``random.choice``,
+  ``random.seed``, …) — all randomness must flow through an explicitly
+  seeded ``random.Random(...)`` instance (constructing one is allowed);
+* wall-clock reads: ``time.time``/``time.time_ns``/``datetime.now``/
+  ``datetime.utcnow`` (timing a benchmark is what
+  ``time.perf_counter`` is for, and it never feeds generated content).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..core import Finding, ModuleContext, Rule
+
+__all__ = ["DeterminismRule"]
+
+_SCOPES = ("repro.generators", "repro.workloads")
+_ALLOWED_RANDOM = {"Random", "SystemRandom"}
+_WALL_CLOCK = {"time.time", "time.time_ns", "datetime.now",
+               "datetime.utcnow", "datetime.datetime.now",
+               "datetime.datetime.utcnow"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class DeterminismRule(Rule):
+    id = "RL005"
+    title = "generators stay seed-reproducible"
+    rationale = ("Naked module-level randomness or wall-clock reads break "
+                 "generate_scenario(seed) reproduction of sweep failures.")
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.module.startswith(_SCOPES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if (dotted.startswith("random.")
+                    and dotted.split(".", 1)[1] not in _ALLOWED_RANDOM):
+                yield module.finding(
+                    self.id, node,
+                    f"naked {dotted}() in a generator module: draw from a "
+                    "seeded random.Random(...) instance so "
+                    "generate_scenario(seed) reproduces exactly")
+            elif dotted in _WALL_CLOCK:
+                yield module.finding(
+                    self.id, node,
+                    f"wall-clock read {dotted}() in a generator module "
+                    "breaks seed-reproducibility; thread timestamps in as "
+                    "explicit arguments")

@@ -34,6 +34,7 @@ scenario it sweeps.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import (Any, Dict, List, Mapping, Optional, Sequence, Set,
@@ -53,6 +54,32 @@ __all__ = ["PatternPlan", "QueryPlan", "PlanCache",
 Row = Tuple[Optional[Value], ...]
 
 _EMPTY: Tuple[Row, ...] = ()
+
+
+def _verify_enabled() -> bool:
+    """Whether ``REPRO_PLAN_VERIFY`` asks for compile-time verification.
+
+    The test suite turns this on by default (``tests/conftest.py``), so
+    every plan the suite compiles is statically verified by
+    :func:`repro.analysis.plancheck.verify_plan` before it runs;
+    production keeps it off and pays nothing.
+    """
+    return os.environ.get("REPRO_PLAN_VERIFY", "0").strip().lower() \
+        not in ("", "0", "false", "no", "off")
+
+
+def _maybe_verify(plan: Any) -> Any:
+    """Verify ``plan`` (and stamp ``plan.verified``) when enabled.
+
+    Verification happens exactly once, at compile time: the ``verified``
+    stamp travels through pickle with the plan, so compiled settings
+    shipped to process-pool workers are **not** re-verified on unpickle.
+    """
+    if _verify_enabled():
+        from ..analysis import plancheck
+        plancheck.verify_plan(plan)
+        plan.verified = True
+    return plan
 
 
 # --------------------------------------------------------------------- #
@@ -277,7 +304,8 @@ class PatternPlan:
     slots unbound).
     """
 
-    __slots__ = ("pattern", "ops", "root", "width", "slots", "variables")
+    __slots__ = ("pattern", "ops", "root", "width", "slots", "variables",
+                 "verified")
 
     def __init__(self, pattern: TreePattern, ops: Tuple[tuple, ...],
                  root: int, width: int, slots: Dict[str, int]) -> None:
@@ -288,6 +316,10 @@ class PatternPlan:
         self.slots = slots
         self.variables: Tuple[str, ...] = tuple(
             v.name for v in pattern.variables())
+        #: True once :func:`repro.analysis.plancheck.verify_plan` accepted
+        #: this plan (stamped at compile time under ``REPRO_PLAN_VERIFY``;
+        #: travels through pickle so workers skip re-verification).
+        self.verified = False
 
     def slot_of(self, name: str) -> int:
         """The slot index of a pattern variable."""
@@ -336,12 +368,17 @@ class PatternPlan:
 
 
 def compile_pattern(pattern: TreePattern) -> PatternPlan:
-    """Lower a single tree-pattern formula into a standalone plan."""
+    """Lower a single tree-pattern formula into a standalone plan.
+
+    Under ``REPRO_PLAN_VERIFY=1`` the lowered plan is statically verified
+    (:func:`repro.analysis.plancheck.verify_plan`) before it is returned.
+    """
     slots = _SlotTable()
     env: Dict[str, int] = {}
     ops: List[tuple] = []
     root = _lower_pattern(pattern, env, slots, ops)
-    return PatternPlan(pattern, tuple(ops), root, len(slots.names), env)
+    return _maybe_verify(
+        PatternPlan(pattern, tuple(ops), root, len(slots.names), env))
 
 
 # --------------------------------------------------------------------- #
@@ -462,7 +499,8 @@ class QueryPlan:
     """
 
     __slots__ = ("query", "node", "width", "slot_names",
-                 "free_variables", "free_slots", "_slot_by_name")
+                 "free_variables", "free_slots", "_slot_by_name",
+                 "verified")
 
     def __init__(self, query: Query, node: Any, width: int,
                  slot_names: Tuple[str, ...],
@@ -475,6 +513,9 @@ class QueryPlan:
         self.free_variables = free_variables
         self.free_slots = free_slots
         self._slot_by_name = dict(zip(free_variables, free_slots))
+        #: See :attr:`PatternPlan.verified` — stamped once at compile time,
+        #: never re-checked on unpickle.
+        self.verified = False
 
     def rows(self, frozen: FrozenTree) -> Tuple[Row, ...]:
         """All satisfying assignments as slot rows (deduplicated)."""
@@ -510,7 +551,12 @@ class QueryPlan:
 
 
 def compile_query(query: Query) -> QueryPlan:
-    """Lower a query into a :class:`QueryPlan` (one shared slot table)."""
+    """Lower a query into a :class:`QueryPlan` (one shared slot table).
+
+    Under ``REPRO_PLAN_VERIFY=1`` the lowered plan — atoms included — is
+    statically verified before it is returned (see
+    :func:`repro.analysis.plancheck.verify_plan`).
+    """
     slots = _SlotTable()
     env: Dict[str, int] = {}
     node = _lower_query(query, env, slots)
@@ -518,8 +564,9 @@ def compile_query(query: Query) -> QueryPlan:
     _fix_widths(node, width)
     free = tuple(query.free_variables())
     free_slots = tuple(env[name] for name in free)
-    return QueryPlan(query, node, width, tuple(slots.names), free,
-                     free_slots)
+    return _maybe_verify(
+        QueryPlan(query, node, width, tuple(slots.names), free,
+                  free_slots))
 
 
 # --------------------------------------------------------------------- #
@@ -537,11 +584,13 @@ class PlanCache:
     queries share one plan.  ``stats`` is any hit/miss/evict recorder with
     the :class:`~repro.engine.stats.CacheStats` interface (the compiled
     setting passes its own, which is how ``plan_cache_*`` counters reach
-    every ``EngineResult.cache`` snapshot); the cache also keeps plain
-    integer counters for standalone use.  Two threads racing past the
-    lookup may both compile — the counters then truthfully report two
-    misses, and the first stored plan wins (mirroring the engine's result
-    cache).
+    every ``EngineResult.cache`` snapshot); standalone counters live in a
+    private ``CacheStats`` of their own and are read through the
+    ``hits``/``misses``/``evictions`` properties — counters only ever move
+    through ``CacheStats`` methods (rule RL004), so every snapshot stays
+    balanced.  Two threads racing past the lookup may both compile — the
+    counters then truthfully report two misses, and the first stored plan
+    wins (mirroring the engine's result cache).
     """
 
     def __init__(self, maxsize: Optional[int] = None,
@@ -554,9 +603,10 @@ class PlanCache:
                              f"(unbounded), got {maxsize!r}")
         self.maxsize = maxsize
         self.name = name
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Created lazily on first movement: importing engine.stats here
+        # would cycle through engine.__init__ back into this module while
+        # the module-level fallback caches below are being constructed.
+        self._counters: Optional[Any] = None
         self._stats = stats
         #: Cache key and compile functions — query plans by default; the
         #: module-level pattern fallback reuses the same machinery with
@@ -570,6 +620,25 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
+    def _own_counters(self) -> Any:
+        if self._counters is None:
+            from ..engine.stats import CacheStats
+            self._counters = CacheStats()
+        return self._counters
+
+    @property
+    def hits(self) -> int:
+        return 0 if self._counters is None else self._counters.hits(self.name)
+
+    @property
+    def misses(self) -> int:
+        return 0 if self._counters is None else self._counters.misses(self.name)
+
+    @property
+    def evictions(self) -> int:
+        return (0 if self._counters is None
+                else self._counters.evictions(self.name))
+
     def get(self, query: Any) -> Any:
         """The plan for ``query``, compiling (and caching) on first use."""
         key = self._key(query)
@@ -577,11 +646,11 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
-                self.hits += 1
+                self._own_counters().hit(self.name)
                 if self._stats is not None:
                     self._stats.hit(self.name)
                 return plan
-            self.misses += 1
+            self._own_counters().miss(self.name)
             if self._stats is not None:
                 self._stats.miss(self.name)
         compiled = self._compiler(query)
@@ -593,7 +662,7 @@ class PlanCache:
             if self.maxsize is not None:
                 while len(self._plans) > self.maxsize:
                     self._plans.popitem(last=False)
-                    self.evictions += 1
+                    self._own_counters().evict(self.name)
                     if self._stats is not None:
                         self._stats.evict(self.name)
         return compiled

@@ -107,6 +107,8 @@ class ExchangeServer:
         if self._server is None:
             await self.start()
         if announce:
+            # repro-lint: disable=RL001 -- startup banner: the CI smoke test
+            # and example clients block on this exact line to learn the port
             print(f"listening on {self.host}:{self.port}", flush=True)
         await self._shutdown.wait()
         await self.aclose()
@@ -266,8 +268,14 @@ class ExchangeServer:
             # aclose() against our own reply.
             return {"ok": True, "op": op, "bye": True}
         if op == "register":
-            fingerprint = self.service.register(
-                setting_from_wire(message["setting"]))
+            # A big register line means a big setting: rebuild it off-loop
+            # like trees, so DTD parsing cannot stall other connections.
+            if big:
+                setting = await self.service.offload(
+                    lambda: setting_from_wire(message["setting"]))
+            else:
+                setting = setting_from_wire(message["setting"])
+            fingerprint = self.service.register(setting)
             if message.get("prewarm"):
                 self._spawn_prewarm(fingerprint)
             return {"ok": True, "op": op, "fingerprint": fingerprint}
@@ -307,8 +315,15 @@ class ExchangeServer:
                 message["fingerprint"], await wire_tree(message["tree"]),
                 query_from_wire(message["query"]), order)
             raw = result.raw
+            payload = result.payload
+            # Answer sets scale with the (big) source tree: render off-loop.
+            if big:
+                answers = await self.service.offload(
+                    lambda: answers_to_wire(payload))
+            else:
+                answers = answers_to_wire(payload)
             return {"ok": True, "op": op, "result_ok": result.ok,
-                    "answers": answers_to_wire(result.payload),
+                    "answers": answers,
                     "variables": list(raw.variable_order),
                     "detail": result.detail, "elapsed": result.elapsed}
         raise ValueError(f"unknown operation {op!r}")

@@ -108,6 +108,9 @@ class DTD:
     def _rule_cache(self, element: str) -> _RuleCache:
         cached = self._cache.get(element)
         if cached is None:
+            # repro-lint: disable=RL004 -- plain counts by design: xmlmodel
+            # cannot import engine.stats (circular); the compiled setting
+            # re-publishes these via CacheStats.set_counts
             self._cache_misses += 1
             model = self.content_model(element)
             cached = _RuleCache(
@@ -117,6 +120,7 @@ class DTD:
             )
             self._cache[element] = cached
         else:
+            # repro-lint: disable=RL004 -- plain counts by design, see above
             self._cache_hits += 1
         return cached
 

@@ -1,10 +1,23 @@
-"""Shared fixtures: the paper's running examples."""
+"""Shared fixtures: the paper's running examples.
+
+The whole suite runs with ``REPRO_PLAN_VERIFY=1`` (unless the environment
+says otherwise): every plan compiled anywhere in the tests passes through
+:func:`repro.analysis.plancheck.verify_plan` at compile time, so a lowering
+bug surfaces as a ``PlanVerificationError`` at the compile site instead of
+as a wrong answer three layers later.
+"""
+
+import os
 
 import pytest
 
 from repro.workloads import library, nested_relational
 from repro.xmlmodel import DTD, XMLTree
 from repro.exchange import DataExchangeSetting, std
+
+
+def pytest_configure(config):
+    os.environ.setdefault("REPRO_PLAN_VERIFY", "1")
 
 
 @pytest.fixture

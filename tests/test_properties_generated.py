@@ -32,6 +32,7 @@ import os
 import pytest
 
 from repro import ExchangeEngine, certain_answers, check_consistency
+from repro.analysis import verify_plan
 from repro.generators import scenario_batch
 from repro.patterns import assignment_key, compile_query
 from repro.xmlmodel.values import is_constant
@@ -136,6 +137,12 @@ def test_plan_interpreter_parity(scenarios):
                 context = (f"{scenario.describe()} tree={tree.fingerprint()} "
                            f"query={query.fingerprint()}")
                 plan = compile_query(query)
+                # Every swept plan is structurally sound (and, with
+                # REPRO_PLAN_VERIFY=1 from conftest, was already verified
+                # and stamped at compile time).
+                verify_plan(plan)
+                if os.environ.get("REPRO_PLAN_VERIFY") == "1":
+                    assert plan.verified, context
                 # Same satisfying assignments over the source tree itself.
                 planned = sorted(map(assignment_key, plan.evaluate(frozen)))
                 interpreted = sorted(map(assignment_key,
