@@ -30,33 +30,45 @@ Two further traffic modes exercise the governed-serving guarantees:
   submission order), rejected slots carry ``QuotaExceededError`` and
   nothing else, admitted neighbours match direct engine results, and all
   in-flight slots drain back to zero.
+* ``--workers K`` — the shard-host mode: the same mixed traffic through
+  ``executor="host"`` at 1 and at K worker processes, result caches off so
+  every repeat pays real compute.  Gates: both passes are **bit-identical**
+  to the single-process serial oracle (the parity check compares the exact
+  ``(ok, payload)`` views, not summaries), every worker owns at least one
+  fingerprint (a scaling claim over an idle worker would be vacuous), no
+  worker restarted mid-bench, and — on machines with >= 2 cores — the
+  K-worker pass clears ``--scale-min`` (default 1.6x) the 1-worker
+  throughput.  On a single-core machine the scaling gate prints a skip
+  note and does not fail: there is no parallel hardware to measure.
 
 Usage::
 
     python benchmarks/bench_service.py --generated 8 --seed 7 \\
         [--settings 3] [--executor thread] [--parallel 4] \\
-        [--maxsize 2] [--pipeline] [--quota] [--json PATH]
+        [--maxsize 2] [--pipeline] [--quota] [--workers 2] [--json PATH]
 
 ``--generated N`` sizes the per-setting request stream (N certain-answers
 requests plus one consistency request per setting, interleaved across
 settings into one mixed batch).  ``--json PATH`` writes the full report as
 machine-readable JSON — the ``BENCH_*.json`` perf-trajectory artifact
 (``benchmarks/compare_bench.py`` diffs fresh runs against the committed
-baseline; ``--pipeline``/``--quota`` sections are informational, not
-baselined).
+baseline; ``--pipeline``/``--quota``/``--workers`` sections are
+informational, not baselined — the workers mode gates in-run instead,
+because its scaling ratio is relative to the same machine and run).
 """
 
 import argparse
 import asyncio
 import json
 import math
+import os
 import sys
 import time
 
 from repro import ExchangeEngine
 from repro.service import (AsyncExchangeService, QuotaExceededError,
-                           QuotaPolicy, certain_answers_request,
-                           consistency_request)
+                           QuotaPolicy, SettingRegistry,
+                           certain_answers_request, consistency_request)
 from repro.service.client import ServiceClient
 from repro.service.protocol import tree_to_wire
 from repro.service.server import serve_in_background
@@ -339,6 +351,101 @@ def run_quota_mode(args):
             total - limit, "deterministic": not failures}, failures
 
 
+def _owning_worker(fingerprint, workers):
+    """Mirror of ``ShardHost.worker_for``: the stable fingerprint route."""
+    return int(fingerprint[:16], 16) % workers
+
+
+def run_workers_mode(args):
+    """The --workers gate: host-executor scaling with a single-process
+    parity oracle (see module docs)."""
+    workers = args.workers
+    # A scaling claim needs every worker busy: grow the scenario count
+    # deterministically (same seed, longer prefix) until the fingerprints
+    # cover all K workers.  Routing is a stable hash, so this terminates
+    # almost immediately in practice.
+    scenarios = list(args.scenarios)
+    count = len(scenarios)
+    while len({_owning_worker(s.setting.fingerprint(), workers)
+               for s in scenarios}) < workers and count < workers + 16:
+        count += 1
+        scenarios = generated_scenarios(count, args.seed)
+    assignment = {}
+    for scenario in scenarios:
+        fingerprint = scenario.setting.fingerprint()
+        assignment.setdefault(_owning_worker(fingerprint, workers),
+                              []).append(fingerprint[:12])
+    requests = build_traffic(scenarios, args.generated)
+    reference = serial_reference(scenarios, requests)
+
+    async def host_pass(worker_count):
+        """One measured pass: caches off, plans prewarmed, R timed repeats
+        of the mixed stream through ``worker_count`` worker processes."""
+        service = AsyncExchangeService(
+            registry=SettingRegistry(result_cache=False),
+            executor="host", parallel=args.parallel, workers=worker_count)
+        async with service:
+            for scenario in scenarios:
+                service.register(scenario.setting, prewarm=True)
+            await service.batch(requests)       # warm plans and pipes
+            begun = time.perf_counter()
+            for _ in range(args.worker_repeats):
+                slots = await service.batch(requests)
+            elapsed = time.perf_counter() - begun
+            stats = service.stats()
+        view = [(slot.ok, slot.result.payload if slot.result else None)
+                for slot in slots]
+        return view, elapsed, stats
+
+    failures = []
+    results = {}
+    for worker_count in (1, workers):
+        view, elapsed, stats = asyncio.run(host_pass(worker_count))
+        throughput = (len(requests) * args.worker_repeats
+                      / max(elapsed, 1e-9))
+        results[worker_count] = (view, throughput, stats)
+        restarts = stats["host"]["worker_restarts"]
+        print(f"host x{worker_count:<2d} workers   : "
+              f"{throughput:8.1f} req/s ({elapsed * 1e3:.1f} ms for "
+              f"{args.worker_repeats}x{len(requests)} requests, "
+              f"{restarts} restarts)")
+        # Parity oracle: the multi-process serving layer may never change
+        # a payload — the views must be *bit-identical* to the serial,
+        # single-process, per-setting engines.
+        if view != reference:
+            mismatches = sum(1 for ours, theirs in zip(view, reference)
+                             if ours != theirs)
+            failures.append(f"workers: {worker_count}-worker pass differs "
+                            f"from the single-process oracle on "
+                            f"{mismatches} request(s)")
+        if restarts:
+            failures.append(f"workers: {restarts} worker restart(s) during "
+                            f"the {worker_count}-worker pass")
+    if len(assignment) < workers:
+        failures.append(f"workers: only {len(assignment)} of {workers} "
+                        f"workers own a fingerprint — the workload never "
+                        f"balanced, the scaling number is meaningless")
+
+    scaling = results[workers][1] / max(results[1][1], 1e-9)
+    cores = os.cpu_count() or 1
+    gate = "enforced" if (workers >= 2 and cores >= 2) else "skipped"
+    print(f"  scaling 1->{workers}      : {scaling:.2f}x "
+          f"(gate >= {args.scale_min:.2f}x {gate}; {cores} core(s))")
+    if gate == "enforced" and scaling < args.scale_min:
+        failures.append(f"workers: 1->{workers} scaling {scaling:.2f}x is "
+                        f"below the {args.scale_min:.2f}x gate")
+    elif gate == "skipped":
+        print(f"  note              : single-core machine — the scaling "
+              f"gate needs parallel hardware and is skipped here; it runs "
+              f"on multi-core CI")
+    return {"workers": workers, "repeats": args.worker_repeats,
+            "requests": len(requests), "settings": len(scenarios),
+            "assignment": {str(k): v for k, v in sorted(assignment.items())},
+            "throughput_rps": {str(k): results[k][1] for k in results},
+            "scaling_x": scaling, "scale_min": args.scale_min,
+            "scale_gate": gate, "cores": cores}, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--generated", type=int, default=8, metavar="N",
@@ -347,7 +454,7 @@ def main(argv=None) -> int:
     parser.add_argument("--settings", type=int, default=3,
                         help="number of distinct generated settings")
     parser.add_argument("--executor", default="thread",
-                        choices=("serial", "thread", "process"))
+                        choices=("serial", "thread", "process", "host"))
     parser.add_argument("--parallel", type=int, default=4)
     parser.add_argument("--maxsize", type=int, default=2,
                         help="per-setting result-cache bound for the "
@@ -369,6 +476,16 @@ def main(argv=None) -> int:
                         help="same-setting batch size for --quota")
     parser.add_argument("--quota-repeats", type=int, default=3,
                         help="how often --quota replays the batch")
+    parser.add_argument("--workers", type=int, default=None, metavar="K",
+                        help="also run the shard-host scaling gate: 1 vs K "
+                             "worker processes with a single-process "
+                             "parity oracle")
+    parser.add_argument("--worker-repeats", type=int, default=3,
+                        help="timed replays of the stream per --workers "
+                             "pass (caches are off, every repeat computes)")
+    parser.add_argument("--scale-min", type=float, default=1.6,
+                        help="minimum 1->K throughput ratio for --workers "
+                             "on multi-core machines")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable report here")
     args = parser.parse_args(argv)
@@ -380,6 +497,9 @@ def main(argv=None) -> int:
                      "(otherwise nothing is ever rejected)")
     if args.settings < 2:
         parser.error("--settings must be >= 2 (the point is mixed traffic)")
+    if args.workers is not None and args.workers < 2:
+        parser.error("--workers must be >= 2 (scaling from 1 to 1 worker "
+                     "measures nothing)")
 
     begun = time.perf_counter()
     args.scenarios = generated_scenarios(args.settings, args.seed)
@@ -475,13 +595,16 @@ def main(argv=None) -> int:
         failures.append("eviction: bounded cache changed payloads vs "
                         "unbounded service")
 
-    pipeline_report = quota_report = None
+    pipeline_report = quota_report = workers_report = None
     if args.pipeline:
         pipeline_report, pipeline_failures = run_pipeline_mode(args)
         failures.extend(pipeline_failures)
     if args.quota:
         quota_report, quota_failures = run_quota_mode(args)
         failures.extend(quota_failures)
+    if args.workers is not None:
+        workers_report, workers_failures = run_workers_mode(args)
+        failures.extend(workers_failures)
 
     report = {
         "bench": "service",
@@ -509,6 +632,8 @@ def main(argv=None) -> int:
         report["pipeline"] = pipeline_report
     if quota_report is not None:
         report["quota"] = quota_report
+    if workers_report is not None:
+        report["workers"] = workers_report
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

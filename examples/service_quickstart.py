@@ -116,6 +116,28 @@ async def quota_demo() -> None:
                   f"(kind={error.kind}, limit={error.limit})")
 
 
+async def shard_host_demo() -> None:
+    """Multi-process serving: ``executor="host"`` spawns one long-lived
+    worker process per requested slot (default: one per core — here two,
+    to keep the demo cheap).  Each worker owns a full registry slice, so
+    compiled settings and caches stay warm *in the worker* across
+    requests; the supervisor routes by fingerprint and restarts crashed
+    workers transparently.  The same flag reaches the JSON-lines server
+    as ``python -m repro.service.server --workers K``."""
+    bib = library.library_setting()
+    tree = library.generate_source(4, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+    async with AsyncExchangeService(executor="host", workers=2) as service:
+        bib_key = service.register(bib, prewarm=True)
+        answers = await service.certain_answers(bib_key, tree, query)
+        print("host-mode answers    :", sorted(answers.payload))
+        stats = service.stats()
+        pids = [worker["pid"] for worker in stats["host"]["per_worker"]]
+        print(f"host workers         : {stats['host']['workers']} "
+              f"processes (pids {pids}), "
+              f"{stats['host']['worker_restarts']} restarts")
+
+
 def pipelined_client_demo() -> None:
     """The wire-level view: a pipelined client sends a burst of requests
     down one connection and collects replies in completion order."""
@@ -149,4 +171,5 @@ def pipelined_client_demo() -> None:
 if __name__ == "__main__":
     asyncio.run(main())
     asyncio.run(quota_demo())
+    asyncio.run(shard_host_demo())
     pipelined_client_demo()

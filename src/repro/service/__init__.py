@@ -12,8 +12,13 @@ lifetime:
   sub-batches and re-assembles results in submission order;
 * :class:`AsyncExchangeService` — the awaitable facade
   (``await consistency/solve/certain_answers/batch``) running work on a
-  configurable serial/thread/process executor without blocking the event
-  loop;
+  configurable serial/thread/process/host executor without blocking the
+  event loop;
+* :class:`ShardHost` — the multi-process shape behind ``executor="host"``:
+  one long-lived worker process per core, each owning a full registry
+  slice (compiled settings, plan caches, result caches stay warm across
+  requests), routed by fingerprint over length-prefixed pickle frames,
+  with crashed workers restarted and re-registered transparently;
 * :class:`QuotaPolicy` — admission control: per-setting ``max_in_flight``
   and registry-wide ``max_registered`` ceilings; over-quota work is
   rejected immediately with a typed :class:`QuotaExceededError` (await-side
@@ -42,6 +47,7 @@ Quickstart::
                                      for t in trees])
 """
 
+from .host import ShardHost, WorkerCrashError
 from .quota import QuotaExceededError, QuotaPolicy
 from .registry import SettingRegistry, UnknownSettingError
 from .requests import (OPERATIONS, ExchangeRequest, ServiceResult,
@@ -54,6 +60,7 @@ from .shard import Shard
 __all__ = [
     "AsyncExchangeService", "SERVICE_EXECUTORS",
     "SettingRegistry", "UnknownSettingError", "Router", "Shard",
+    "ShardHost", "WorkerCrashError",
     "QuotaPolicy", "QuotaExceededError",
     "ExchangeRequest", "ServiceResult", "OPERATIONS",
     "consistency_request", "classify_request", "solve_request",

@@ -1,0 +1,576 @@
+"""Multi-process serving: one long-lived shard worker per core.
+
+A :class:`ShardHost` promotes the :class:`~repro.service.shard.Shard`
+boundary from a thread to a **process** boundary.  It spawns ``workers``
+long-lived worker processes (default ``os.cpu_count()``), each owning a
+full :class:`~repro.service.registry.SettingRegistry` slice: compiled
+settings, plan caches and result caches live *in the worker* and stay warm
+across requests — unlike the per-request ``ProcessPoolExecutor`` tasks of
+``executor="process"``, nothing per-setting is ever re-shipped per call.
+
+Routing is by ``DataExchangeSetting.fingerprint()``: the first 16 hex
+digits of the (SHA-256) fingerprint, taken modulo the worker count — a
+stable, cross-process hash, so every request for a setting lands on the
+same worker and the shared-nothing caches it warmed.  ``register`` and
+``prewarm`` are forwarded to the owning worker; :meth:`stats` fans out to
+every worker and aggregates.
+
+Transport is stdlib only: one duplex :func:`multiprocessing.Pipe` per
+worker carrying **length-prefixed pickle frames** (an 8-byte big-endian
+payload length followed by the pickle bytes).  The prefix is verified on
+receipt, so a frame truncated by a dying worker surfaces as a typed
+:class:`FrameError` instead of a half-deserialized object.  Frames are
+``(request_id, op, payload)`` tuples; each worker serves its pipe serially
+(shared-nothing, one process per core) while the supervisor demultiplexes
+replies to concurrent callers by ``request_id``.
+
+**Crash containment**: a worker that segfaults, gets OOM-killed or is
+fault-injected (:meth:`inject_crash`) is detected by its reader thread
+(pipe EOF), restarted, and re-registered from the supervisor's
+authoritative setting map — prewarming again whatever was prewarmed.  The
+event is counted as ``worker_restarts`` in :meth:`stats`.  Requests that
+were in flight on the dead worker are resubmitted once to its replacement
+(exchange requests are pure compute, so the retry is safe and no reply is
+lost); a request whose *retry* also dies fails with
+:class:`WorkerCrashError` rather than crash-looping the worker.  A crash
+therefore degrades one shard slice's cache warmth — never the service.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import struct
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine import CacheStats, EngineResult
+from ..engine.compiled import CompiledSetting
+from ..exchange.setting import DataExchangeSetting
+from .registry import SettingRegistry, UnknownSettingError
+from .requests import ExchangeRequest, ServiceResult
+
+__all__ = ["ShardHost", "WorkerCrashError", "FrameError"]
+
+
+class WorkerCrashError(RuntimeError):
+    """A request was lost to a crashing worker twice (original + retry)."""
+
+
+class FrameError(RuntimeError):
+    """A pipe frame failed its length-prefix integrity check."""
+
+
+# --------------------------------------------------------------------- #
+# Length-prefixed pickle frames
+# --------------------------------------------------------------------- #
+
+_HEADER = struct.Struct("!Q")
+
+
+def _encode_frame(obj: Any) -> bytes:
+    """``obj`` as one frame: 8-byte big-endian payload length + pickle."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload)) + payload
+
+
+def _decode_frame(frame: bytes) -> Any:
+    """The object a frame carries; :class:`FrameError` on a bad prefix."""
+    if len(frame) < _HEADER.size:
+        raise FrameError(f"short frame: {len(frame)} byte(s), "
+                         f"no {_HEADER.size}-byte length prefix")
+    (length,) = _HEADER.unpack_from(frame)
+    if length != len(frame) - _HEADER.size:
+        raise FrameError(f"frame length prefix says {length} byte(s) but "
+                         f"{len(frame) - _HEADER.size} arrived (truncated "
+                         f"write from a dying peer?)")
+    return pickle.loads(frame[_HEADER.size:])
+
+
+# --------------------------------------------------------------------- #
+# The worker process
+# --------------------------------------------------------------------- #
+
+def _worker_main(conn, registry_config: Dict[str, Any]) -> None:
+    """One worker: a private registry slice served serially off one pipe.
+
+    Runs until the supervisor sends ``shutdown`` or closes the pipe.  Every
+    failure is a *reply*, never a worker exit: exceptions (``ChaseError``,
+    ``UnknownSettingError``, …) travel back pickled and re-raise in the
+    supervisor, exactly like the in-process executors.
+    """
+    # The supervisor owns lifecycle; a terminal Ctrl-C goes to it, and this
+    # worker exits on pipe EOF rather than on a racing KeyboardInterrupt.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    registry = SettingRegistry(**registry_config)
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # supervisor gone: exit quietly
+        try:
+            request_id, op, payload = _decode_frame(frame)
+        except Exception:
+            break  # unframeable garbage: the pipe is beyond recovery
+        if op == "shutdown":
+            try:
+                conn.send_bytes(_encode_frame((request_id, True, True)))
+            except (OSError, ValueError):
+                pass
+            break
+        if op == "crash":
+            # Fault injection for lifecycle tests and chaos drills: die
+            # exactly as a segfault would — mid-stream, without replying.
+            os._exit(int(payload or 2))
+        try:
+            outcome: Any = _serve_worker_op(registry, op, payload)
+            reply = (request_id, True, outcome)
+        except BaseException as error:
+            reply = (request_id, False, error)
+        try:
+            conn.send_bytes(_encode_frame(reply))
+        except (OSError, ValueError):
+            if not reply[1]:
+                break  # cannot even report the failure: exit, get restarted
+            # The outcome itself would not pickle/send: report that instead
+            # of dying with the request unanswered.
+            fallback = (request_id, False, RuntimeError(
+                f"worker could not ship the {op!r} outcome back: "
+                f"{type(reply[2]).__name__} did not serialize"))
+            try:
+                conn.send_bytes(_encode_frame(fallback))
+            except (OSError, ValueError):
+                break
+    registry.close()
+    conn.close()
+
+
+def _serve_worker_op(registry: SettingRegistry, op: str, payload: Any) -> Any:
+    if op == "request":
+        return registry.shard(payload.fingerprint).execute(payload)
+    if op == "register":
+        setting, prewarm = payload
+        return registry.register(setting, prewarm=prewarm)
+    if op == "prewarm":
+        return registry.prewarm(payload)
+    if op == "stats":
+        return {"pid": os.getpid(), "registry": registry.stats(),
+                "shards": registry.shard_stats()}
+    if op == "ping":
+        return True
+    raise ValueError(f"unknown shard-host worker operation {op!r}")
+
+
+# --------------------------------------------------------------------- #
+# Supervisor-side plumbing
+# --------------------------------------------------------------------- #
+
+class _PendingCall:
+    """One in-flight frame: what to resend on a crash, where to wait."""
+
+    __slots__ = ("op", "payload", "event", "ok", "outcome", "retries")
+
+    def __init__(self, op: str, payload: Any) -> None:
+        self.op = op
+        self.payload = payload
+        self.event = threading.Event()
+        self.ok = False
+        self.outcome: Any = None
+        self.retries = 0
+
+    def resolve(self, ok: bool, outcome: Any) -> None:
+        self.ok = ok
+        self.outcome = outcome
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.resolve(False, error)
+
+    def wait(self) -> Any:
+        self.event.wait()
+        if not self.ok:
+            raise self.outcome
+        return self.outcome
+
+
+class _WorkerHandle:
+    """One live worker process plus its pipe, pending map and reader."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        #: Guards ``pending``/``next_id``/``dead`` *and* serializes frame
+        #: writes — concurrent senders must never interleave frame bytes.
+        self.lock = threading.Lock()
+        self.pending: Dict[int, _PendingCall] = {}
+        self.next_id = 0
+        self.dead = False
+        self.reader: Optional[threading.Thread] = None
+
+    def submit(self, call: _PendingCall) -> bool:
+        """Enqueue ``call`` on this worker; ``False`` if it is already dead
+        (the caller re-routes to the replacement handle).
+
+        The frame is encoded *before* the pending map is touched, so an
+        unpicklable payload raises to the caller without leaking an entry.
+        A send that fails because the worker just died leaves the entry
+        pending on purpose: the restart sweep resubmits it.
+        """
+        frame = _encode_frame((0, call.op, call.payload))  # probe early
+        with self.lock:
+            if self.dead:
+                return False
+            self.next_id += 1
+            request_id = self.next_id
+            self.pending[request_id] = call
+            frame = _encode_frame((request_id, call.op, call.payload))
+            try:
+                self.conn.send_bytes(frame)
+            except (OSError, ValueError):
+                # Broken pipe: the reader thread is about to observe EOF
+                # and restart this worker; the entry rides the resubmit.
+                pass
+        return True
+
+    def send_raw(self, op: str, payload: Any = None) -> None:
+        """Fire-and-forget control frame (``shutdown``/``crash``)."""
+        with self.lock:
+            self.dead = True
+            try:
+                self.conn.send_bytes(_encode_frame((0, op, payload)))
+            except (OSError, ValueError):
+                pass
+
+    def take_pending(self) -> List[_PendingCall]:
+        """Mark dead and drain the pending map (restart/close sweep)."""
+        with self.lock:
+            self.dead = True
+            orphans = list(self.pending.values())
+            self.pending.clear()
+        return orphans
+
+
+class ShardHost:
+    """Supervisor of one worker process per core (see module docs)."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 max_compiled: Optional[int] = None,
+                 result_cache: bool = True,
+                 result_cache_maxsize: Optional[int] = None,
+                 shutdown_timeout: float = 10.0) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers!r}")
+        self.workers = workers
+        self.shutdown_timeout = shutdown_timeout
+        #: Every worker builds its registry slice from this exact config.
+        self._registry_config: Dict[str, Any] = {
+            "max_compiled": max_compiled,
+            "result_cache": result_cache,
+            "result_cache_maxsize": result_cache_maxsize,
+        }
+        #: Authoritative setting map: what `register` admitted (compiled
+        #: settings kept compiled, so a restarted worker re-seeds
+        #: plan-warm), replayed into a replacement worker on restart.
+        self._settings: Dict[str, Union[DataExchangeSetting,
+                                        CompiledSetting]] = {}
+        self._prewarmed: set = set()
+        self._stats = CacheStats()
+        self._closing = False
+        self._lock = threading.RLock()
+        self._mp = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        self._handles: List[_WorkerHandle] = [
+            self._spawn(index) for index in range(workers)]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        supervisor_end, worker_end = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=_worker_main, args=(worker_end, self._registry_config),
+            name=f"shard-host-worker-{index}", daemon=True)
+        process.start()
+        worker_end.close()  # the child's end lives in the child only
+        handle = _WorkerHandle(index, process, supervisor_end)
+        handle.reader = threading.Thread(
+            target=self._read_replies, args=(handle,),
+            name=f"shard-host-reader-{index}", daemon=True)
+        handle.reader.start()
+        return handle
+
+    def _read_replies(self, handle: _WorkerHandle) -> None:
+        """Per-worker reader: demux replies by id; restart on pipe EOF."""
+        while True:
+            try:
+                reply = _decode_frame(handle.conn.recv_bytes())
+                request_id, ok, outcome = reply
+            except (EOFError, OSError, FrameError, pickle.UnpicklingError,
+                    TypeError, ValueError):
+                break  # pipe closed or worker died mid-frame
+            with handle.lock:
+                call = handle.pending.pop(request_id, None)
+            if call is not None:  # an unknown id is a stale duplicate: drop
+                call.resolve(ok, outcome)
+        if handle.dead or self._closing:
+            return  # expected: shutdown or a restart already in progress
+        self._restart(handle)
+
+    def _restart(self, handle: _WorkerHandle) -> None:
+        """Replace a crashed worker; re-register its slice; retry its
+        in-flight requests once each."""
+        with self._lock:
+            orphans = handle.take_pending()
+            if self._closing or self._handles[handle.index] is not handle:
+                replacement = None  # closed, or another path restarted it
+            else:
+                handle.process.join(timeout=self.shutdown_timeout)
+                self._stats.count("worker_restarts")
+                replacement = self._spawn(handle.index)
+                self._handles[handle.index] = replacement
+                for fingerprint, setting in self._settings.items():
+                    if self.worker_for(fingerprint) == handle.index:
+                        replacement.submit(_PendingCall(
+                            "register",
+                            (setting, fingerprint in self._prewarmed)))
+        for call in orphans:
+            if replacement is None:
+                call.fail(WorkerCrashError(
+                    "shard-host worker died while the host was closing"))
+            elif call.retries >= 1:
+                call.fail(WorkerCrashError(
+                    f"request {call.op!r} crashed shard-host worker "
+                    f"{handle.index} twice (original + retry); not "
+                    f"resubmitting a poison request"))
+            else:
+                call.retries += 1
+                if not replacement.submit(call):
+                    call.fail(WorkerCrashError(
+                        f"shard-host worker {handle.index} died again "
+                        f"before the retry could be submitted"))
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent).  Workers get
+        ``shutdown_timeout`` seconds to finish their current request, then
+        are terminated; still-pending calls fail with a closed-host error.
+        """
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            handles = list(self._handles)
+        for handle in handles:
+            handle.send_raw("shutdown")
+        for handle in handles:
+            handle.process.join(timeout=self.shutdown_timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+                if handle.process.is_alive():  # pragma: no cover - stuck
+                    handle.process.kill()
+                    handle.process.join(timeout=1.0)
+            handle.conn.close()
+            for call in handle.take_pending():
+                call.fail(RuntimeError("shard host closed with the request "
+                                       "still in flight"))
+        for handle in handles:
+            if handle.reader is not None:
+                handle.reader.join(timeout=self.shutdown_timeout)
+
+    def __enter__(self) -> "ShardHost":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def worker_for(self, fingerprint: str) -> int:
+        """The worker index owning ``fingerprint``: a stable hash of the
+        hex digest, identical across processes and ``PYTHONHASHSEED``\\ s."""
+        return int(fingerprint[:16], 16) % self.workers
+
+    def _call(self, index: int, op: str, payload: Any = None) -> Any:
+        """One frame to worker ``index``; blocks for (and returns) the
+        reply, re-raising whatever the worker raised."""
+        call = _PendingCall(op, payload)
+        while True:
+            with self._lock:
+                if self._closing:
+                    raise RuntimeError("shard host is closed")
+                handle = self._handles[index]
+            if handle.submit(call):
+                return call.wait()
+            # The handle died between routing and submission; the restart
+            # path has (or will have) swapped in a replacement — re-route.
+
+    # ------------------------------------------------------------------ #
+    # Serving API (mirrors SettingRegistry / Router)
+    # ------------------------------------------------------------------ #
+
+    def register(self, setting: Union[DataExchangeSetting, CompiledSetting],
+                 prewarm: bool = False) -> str:
+        """Admit a setting on its owning worker; returns the fingerprint.
+
+        The supervisor keeps the authoritative copy for crash recovery; a
+        :class:`~repro.engine.compiled.CompiledSetting` is forwarded (and
+        replayed on restart) compiled, so the worker arrives plan-warm.
+        ``prewarm=True`` compiles in the worker before returning and is
+        re-applied when a crashed worker is re-registered.
+        """
+        plain = setting.setting if isinstance(setting, CompiledSetting) \
+            else setting
+        if not isinstance(plain, DataExchangeSetting):
+            raise TypeError(f"expected a DataExchangeSetting or "
+                            f"CompiledSetting, got {type(setting).__name__}")
+        fingerprint = plain.fingerprint()
+        with self._lock:
+            self._settings[fingerprint] = setting
+            if prewarm:
+                self._prewarmed.add(fingerprint)
+        return self._call(self.worker_for(fingerprint), "register",
+                          (setting, prewarm))
+
+    def prewarm(self, fingerprint: str) -> bool:
+        """Compile ``fingerprint`` in its owning worker ahead of traffic;
+        restarts re-prewarm it.  ``True`` when this call did the compile."""
+        with self._lock:
+            if fingerprint not in self._settings:
+                raise UnknownSettingError(fingerprint)
+            self._prewarmed.add(fingerprint)
+        return self._call(self.worker_for(fingerprint), "prewarm",
+                          fingerprint)
+
+    def execute(self, request: ExchangeRequest) -> EngineResult:
+        """Serve one request on the owning worker; worker-side exceptions
+        re-raise here unchanged (same contract as ``Router.execute``)."""
+        with self._lock:
+            if request.fingerprint not in self._settings:
+                raise UnknownSettingError(request.fingerprint)
+        return self._call(self.worker_for(request.fingerprint), "request",
+                          request)
+
+    def execute_group(self, fingerprint: str,
+                      group: Sequence[Tuple[int, ExchangeRequest]],
+                      on_done=None) -> List[ServiceResult]:
+        """One per-fingerprint sub-batch, pipelined down the owning
+        worker's pipe (submitted back-to-back, collected in order), with
+        failures isolated per slot — the process-boundary analogue of
+        ``Router.execute_group``."""
+        pairs = list(group)
+        calls: List[Optional[_PendingCall]] = []
+        results: List[ServiceResult] = []
+        for index, request in pairs:
+            try:
+                with self._lock:
+                    if self._closing:
+                        raise RuntimeError("shard host is closed")
+                    known = request.fingerprint in self._settings
+                if not known:
+                    raise UnknownSettingError(request.fingerprint)
+                call = _PendingCall("request", request)
+                while True:
+                    with self._lock:
+                        handle = self._handles[
+                            self.worker_for(request.fingerprint)]
+                    if handle.submit(call):
+                        break
+                calls.append(call)
+            except Exception as error:
+                calls.append(None)
+                results.append(ServiceResult(index, fingerprint,
+                                             error=error))
+                if on_done is not None:
+                    on_done(index, request)
+                continue
+            results.append(ServiceResult(index, fingerprint))
+        for slot, call, (index, request) in zip(results, calls, pairs):
+            if call is None:
+                continue  # already failed at submission
+            try:
+                slot.result = call.wait()
+            except Exception as error:
+                slot.error = error
+            finally:
+                if on_done is not None:
+                    on_done(index, request)
+        return results
+
+    def ping(self) -> List[bool]:
+        """Round-trip every worker's pipe (liveness probe)."""
+        return [bool(self._call(index, "ping"))
+                for index in range(self.workers)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def fingerprints(self) -> List[str]:
+        with self._lock:
+            return list(self._settings)
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current worker process ids (for lifecycle tests and ops)."""
+        with self._lock:
+            return [handle.process.pid for handle in self._handles]
+
+    def inject_crash(self, index: int, exit_code: int = 2) -> None:
+        """Fault injection: make worker ``index`` die mid-stream without
+        replying, exactly as a segfault would.  The reader thread restarts
+        it; use :meth:`stats`' ``worker_restarts`` to observe."""
+        with self._lock:
+            handle = self._handles[index]
+        with handle.lock:
+            try:
+                handle.conn.send_bytes(_encode_frame((0, "crash",
+                                                      exit_code)))
+            except (OSError, ValueError):
+                pass  # already dead — which is what was asked for
+
+    def stats(self) -> Dict[str, Any]:
+        """Supervisor counters plus every worker's registry aggregated.
+
+        ``registry`` sums each numeric counter over all worker slices (so
+        ``compiled_hits``/``plan_cache_*``/… read exactly like a
+        single-process registry); ``shards`` merges the per-fingerprint
+        shard views (disjoint by construction — each fingerprint lives on
+        exactly one worker); ``per_worker`` keeps the unmerged slices.
+        """
+        with self._lock:
+            handles = list(self._handles)
+            flat = self._stats.snapshot()
+            registered = len(self._settings)
+        flat.setdefault("worker_restarts", 0)
+        per_worker: List[Dict[str, Any]] = []
+        for handle in handles:
+            try:
+                per_worker.append(self._call(handle.index, "stats"))
+            except (WorkerCrashError, RuntimeError):
+                per_worker.append({"pid": None, "registry": {},
+                                   "shards": {}})
+        merged: Dict[str, int] = {}
+        shards: Dict[str, Any] = {}
+        for view in per_worker:
+            for name, value in view["registry"].items():
+                if isinstance(value, (int, float)):
+                    merged[name] = merged.get(name, 0) + value
+            shards.update(view["shards"])
+        merged["settings_registered"] = registered
+        return {"workers": self.workers,
+                "worker_restarts": flat["worker_restarts"],
+                "registry": merged, "shards": shards,
+                "per_worker": per_worker}
+
+    def __repr__(self) -> str:
+        return (f"<ShardHost workers={self.workers} "
+                f"settings={len(self._settings)} "
+                f"restarts={self._stats.counts('worker_restarts')}>")

@@ -155,14 +155,26 @@ class SettingRegistry:
             self._in_flight[fingerprint] = current + 1
 
     def quota_release(self, fingerprint: str) -> None:
-        """Return one in-flight slot claimed by :meth:`quota_acquire`."""
+        """Return one in-flight slot claimed by :meth:`quota_acquire`.
+
+        Releasing a slot that was never acquired is an acquire/release
+        imbalance in the caller — a bug that used to be silently absorbed
+        and is now loud: it counts a ``quota_release_underflow`` event and
+        raises ``RuntimeError`` (the quota itself stays consistent either
+        way; nothing goes negative).
+        """
         quota = self.quota
         if quota is None or quota.max_in_flight is None:
             return
         with self._lock:
             current = self._in_flight.get(fingerprint, 0)
-            if current <= 1:
-                self._in_flight.pop(fingerprint, None)
+            if current <= 0:
+                self._stats.count("quota_release_underflow")
+                raise RuntimeError(
+                    f"quota_release without a matching quota_acquire for "
+                    f"{fingerprint[:16]}… (in-flight count is already 0)")
+            if current == 1:
+                self._in_flight.pop(fingerprint)
             else:
                 self._in_flight[fingerprint] = current - 1
 
@@ -207,18 +219,27 @@ class SettingRegistry:
                 latch = self._compiling.get(fingerprint)
                 if latch is None:
                     self._compiling[fingerprint] = threading.Event()
-                    if prewarm:
-                        self._stats.count("prewarm_compiles")
-                    else:
-                        self._stats.miss("compiled")
                     break
             # Someone else is compiling this very setting: wait on its
             # latch (not the registry lock) and re-check — if the owner's
             # compile failed, the retry elects a new owner.
             latch.wait()
         try:
-            compiled = compile_setting(setting)
+            try:
+                compiled = compile_setting(setting)
+            except BaseException:
+                with self._lock:
+                    self._stats.count("compile_failures")
+                raise
             with self._lock:
+                # Counted only on success: a raising compile admits no
+                # shard, so charging compiled_misses/prewarm_compiles up
+                # front would permanently skew those counters against the
+                # shards actually admitted.  Failures get their own event.
+                if prewarm:
+                    self._stats.count("prewarm_compiles")
+                else:
+                    self._stats.miss("compiled")
                 return self._admit_shard(fingerprint, compiled,
                                          prewarmed=prewarm), True
         finally:
@@ -278,10 +299,12 @@ class SettingRegistry:
             return list(self._shards)
 
     def __len__(self) -> int:
-        return len(self._settings)
+        with self._lock:
+            return len(self._settings)
 
     def __contains__(self, fingerprint: object) -> bool:
-        return fingerprint in self._settings
+        with self._lock:
+            return fingerprint in self._settings
 
     def stats(self) -> Dict[str, int]:
         """Registry-level counters: registrations, the compiled LRU,
@@ -297,7 +320,9 @@ class SettingRegistry:
             flat.setdefault("compiled_evictions", 0)
             flat.setdefault("prewarm_compiles", 0)
             flat.setdefault("prewarm_hits", 0)
+            flat.setdefault("compile_failures", 0)
             flat.setdefault("quota_rejections", 0)
+            flat.setdefault("quota_release_underflow", 0)
             flat["settings_registered"] = len(self._settings)
             flat["compiled_entries"] = len(self._shards)
             flat["in_flight"] = sum(self._in_flight.values())

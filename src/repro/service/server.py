@@ -5,13 +5,24 @@ holding one :class:`~repro.service.AsyncExchangeService`, speaking
 newline-delimited JSON (see :mod:`repro.service.protocol`).  Run it with::
 
     python -m repro.service.server [--host 127.0.0.1] [--port 8421]
-        [--executor thread] [--parallel 4]
+        [--executor thread] [--parallel 4] [--workers N]
         [--max-compiled N] [--result-cache-maxsize N]
         [--max-in-flight N] [--max-registered N]
 
 ``--port 0`` picks a free port; the server always announces
 ``listening on HOST:PORT`` on stdout once it accepts connections, which is
 what the client helper's ``--smoke`` mode (and CI) wait for.
+
+**Multi-process serving**: ``--workers N`` selects the ``host`` executor —
+``N`` long-lived worker processes (default ``os.cpu_count()`` with
+``--executor host`` alone), each owning the compiled settings, plan caches
+and result caches of the fingerprints routed to it by
+``DataExchangeSetting.fingerprint()``.  Workers stay warm across requests
+(nothing per-setting is re-pickled per call, unlike ``--executor
+process``), escape the GIL on multi-core machines, and are restarted and
+re-registered transparently if they crash (``worker_restarts`` under
+``stats()["host"]``).  This is the production shape for heavy multi-core
+traffic; ``--executor thread`` remains the single-process default.
 
 **Connections are pipelined**: every request line starts its own asyncio
 task the moment it is read, and replies are written as the requests
@@ -311,9 +322,16 @@ class ExchangeServer:
                     "elapsed": result.elapsed}
         if op == "certain_answers":
             order = message.get("variable_order")
+            # The query parse rides the same rule as the tree: a big
+            # request line must not decode any of its payload on the loop.
+            if big:
+                query = await self.service.offload(
+                    lambda: query_from_wire(message["query"]))
+            else:
+                query = query_from_wire(message["query"])
             result = await self.service.certain_answers(
                 message["fingerprint"], await wire_tree(message["tree"]),
-                query_from_wire(message["query"]), order)
+                query, order)
             raw = result.raw
             payload = result.payload
             # Answer sets scale with the (big) source tree: render off-loop.
@@ -411,9 +429,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8421,
                         help="TCP port (0 picks a free one)")
-    parser.add_argument("--executor", default="thread",
-                        choices=SERVICE_EXECUTORS)
+    parser.add_argument("--executor", default=None,
+                        choices=SERVICE_EXECUTORS,
+                        help="request executor (default: thread, or host "
+                             "when --workers is given)")
     parser.add_argument("--parallel", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the host executor "
+                             "(implies --executor host; --executor host "
+                             "alone defaults to os.cpu_count())")
     parser.add_argument("--max-compiled", type=int, default=None,
                         help="LRU bound on concurrently compiled settings")
     parser.add_argument("--result-cache-maxsize", type=int, default=None,
@@ -426,6 +450,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="quota on distinct registered settings")
     args = parser.parse_args(argv)
 
+    if args.workers is not None and args.executor not in (None, "host"):
+        parser.error(f"--workers selects the host executor; it cannot be "
+                     f"combined with --executor {args.executor}")
+    executor = args.executor or ("host" if args.workers is not None
+                                 else "thread")
+
     quota: Optional[QuotaPolicy] = None
     if args.max_in_flight is not None or args.max_registered is not None:
         quota = QuotaPolicy(max_in_flight=args.max_in_flight,
@@ -433,7 +463,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     async def run() -> None:
         service = AsyncExchangeService(
-            executor=args.executor, parallel=args.parallel,
+            executor=executor, parallel=args.parallel,
+            workers=args.workers,
             max_compiled=args.max_compiled,
             result_cache_maxsize=args.result_cache_maxsize,
             quota=quota)

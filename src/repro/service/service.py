@@ -42,6 +42,16 @@ Executors
     Everything runs inline on the loop thread — deterministic and
     dependency-free, for tests and debugging; the loop *does* block while a
     request computes.
+``executor="host"``
+    Requests are forwarded to a :class:`~repro.service.host.ShardHost` —
+    ``workers`` long-lived worker processes (default ``os.cpu_count()``),
+    each owning the compiled settings, plan caches and result caches of the
+    fingerprints routed to it.  Unlike ``"process"``, nothing per-setting is
+    re-pickled per call: workers stay warm across requests, and a crashed
+    worker is restarted and re-registered transparently (counted as
+    ``worker_restarts`` in ``stats()["host"]``).  The thread pool merely
+    coordinates pipe round-trips; quota admission stays loop-side in the
+    local registry, which never compiles in this mode.
 """
 
 from __future__ import annotations
@@ -58,6 +68,7 @@ from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
+from .host import ShardHost
 from .quota import QuotaExceededError, QuotaPolicy
 from .registry import SettingRegistry
 from .requests import (ExchangeRequest, ServiceResult,
@@ -68,7 +79,7 @@ from .router import Router
 __all__ = ["AsyncExchangeService", "SERVICE_EXECUTORS"]
 
 #: Executor names accepted by :class:`AsyncExchangeService`.
-SERVICE_EXECUTORS = ("serial", "thread", "process")
+SERVICE_EXECUTORS = ("serial", "thread", "process", "host")
 
 _T = TypeVar("_T")
 
@@ -80,13 +91,17 @@ class AsyncExchangeService:
                  executor: str = "thread", parallel: int = 4,
                  max_compiled: Optional[int] = None,
                  result_cache_maxsize: Optional[int] = None,
-                 quota: Optional[QuotaPolicy] = None) -> None:
+                 quota: Optional[QuotaPolicy] = None,
+                 workers: Optional[int] = None) -> None:
         if executor not in SERVICE_EXECUTORS:
             raise ValueError(
                 f"unknown service executor {executor!r}; "
                 f"expected one of {', '.join(SERVICE_EXECUTORS)}")
         if parallel < 1:
             raise ValueError(f"parallel must be >= 1, got {parallel!r}")
+        if workers is not None and executor != "host":
+            raise ValueError("workers is the shard-host worker-process "
+                             "count; it requires executor='host'")
         if registry is None:
             registry = SettingRegistry(
                 max_compiled=max_compiled,
@@ -105,10 +120,24 @@ class AsyncExchangeService:
         #: Per-tree work is sent to the owning shard's process pool only in
         #: process mode; the thread pool then merely coordinates.
         self._process_parallel = parallel if executor == "process" else None
+        self._host: Optional[ShardHost] = None
+        if executor == "host":
+            # Worker registries mirror the local registry's cache bounds;
+            # quota stays local — admission happens before the pipe.
+            self._host = ShardHost(
+                workers=workers,
+                max_compiled=registry.max_compiled,
+                result_cache=registry.result_cache,
+                result_cache_maxsize=registry.result_cache_maxsize)
         self._pool: Optional[ThreadPoolExecutor] = None
         if executor != "serial":
+            # In host mode every in-flight pipe round-trip parks a thread,
+            # so the coordinating pool must at least match the worker count
+            # or it would serialise the workers it is supposed to saturate.
+            pool_size = parallel if self._host is None \
+                else max(parallel, self._host.workers)
             self._pool = ThreadPoolExecutor(
-                max_workers=parallel,
+                max_workers=pool_size,
                 thread_name_prefix="exchange-service")
         self._closed = False
 
@@ -126,13 +155,26 @@ class AsyncExchangeService:
         the loop — from a coroutine prefer ``register()`` followed by
         ``await prewarm(fingerprint)``), so the first request never pays
         compile latency.
+
+        In host mode the local registry only *admits* (quota enforcement,
+        routing keys — it never compiles); the setting is then forwarded to
+        its owning worker process, which compiles on ``prewarm=True``.
         """
-        return self.registry.register(setting, prewarm=prewarm)
+        if self._host is None:
+            return self.registry.register(setting, prewarm=prewarm)
+        plain = setting.setting if isinstance(setting, CompiledSetting) \
+            else setting
+        fingerprint = self.registry.register(plain)
+        self._host.register(setting, prewarm=prewarm)
+        return fingerprint
 
     async def prewarm(self, fingerprint: str) -> bool:
         """Compile a registered setting off the event loop, ahead of its
         first request.  Returns ``True`` when this call did the compile,
         ``False`` when the setting was already warm."""
+        if self._host is not None:
+            return await self._offload(
+                partial(self._host.prewarm, fingerprint))
         return await self._offload(
             partial(self.registry.prewarm, fingerprint))
 
@@ -149,6 +191,9 @@ class AsyncExchangeService:
         """
         self.registry.quota_acquire(request.fingerprint)
         try:
+            if self._host is not None:
+                return await self._offload(
+                    partial(self._host.execute, request))
             return await self._offload(
                 partial(self.router.execute, request,
                         process_parallel=self._process_parallel))
@@ -223,12 +268,19 @@ class AsyncExchangeService:
 
         try:
             groups = self.router.partition_pairs(admitted)
-            group_runs = [
-                self._offload(partial(self.router.execute_group, fingerprint,
-                                      group,
-                                      process_parallel=self._process_parallel,
-                                      on_done=release))
-                for fingerprint, group in groups.items()]
+            if self._host is not None:
+                group_runs = [
+                    self._offload(partial(self._host.execute_group,
+                                          fingerprint, group,
+                                          on_done=release))
+                    for fingerprint, group in groups.items()]
+            else:
+                group_runs = [
+                    self._offload(partial(self.router.execute_group,
+                                          fingerprint, group,
+                                          process_parallel=self._process_parallel,
+                                          on_done=release))
+                    for fingerprint, group in groups.items()]
             outcomes = list(await asyncio.gather(*group_runs))
         finally:
             for index, request in admitted:
@@ -247,9 +299,17 @@ class AsyncExchangeService:
     # ------------------------------------------------------------------ #
 
     def stats(self) -> Dict[str, Any]:
-        """Registry counters plus per-shard accounting."""
+        """Registry counters plus per-shard accounting.
+
+        In host mode the ``registry``/``shards`` views are the worker
+        registries' counters aggregated across processes (so they read
+        exactly like a single-process run), with the quota counters — which
+        live loop-side — overlaid from the local registry; the raw
+        per-worker slices and the ``worker_restarts`` count are under
+        ``host``.
+        """
         quota = self.registry.quota
-        return {
+        view = {
             "executor": self.executor,
             "parallel": self.parallel,
             "quota": None if quota is None else {
@@ -260,6 +320,21 @@ class AsyncExchangeService:
             "registry": self.registry.stats(),
             "shards": self.registry.shard_stats(),
         }
+        if self._host is not None:
+            host_stats = self._host.stats()
+            local = view["registry"]
+            merged = dict(host_stats["registry"])
+            for name in ("settings_registered", "in_flight",
+                         "quota_rejections", "quota_release_underflow"):
+                merged[name] = local.get(name, 0)
+            view["registry"] = merged
+            view["shards"] = host_stats["shards"]
+            view["host"] = {
+                "workers": host_stats["workers"],
+                "worker_restarts": host_stats["worker_restarts"],
+                "per_worker": host_stats["per_worker"],
+            }
+        return view
 
     async def aclose(self) -> None:
         """Shut the service down: worker pools drained, settings kept."""
@@ -270,6 +345,8 @@ class AsyncExchangeService:
             return
         self._closed = True
         self.registry.close()
+        if self._host is not None:
+            self._host.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
 

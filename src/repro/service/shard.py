@@ -23,6 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Optional, Tuple
 
 from ..engine import EngineResult, ExchangeEngine
@@ -47,6 +48,9 @@ class Shard:
         self.prewarmed = prewarmed
         self.requests = 0
         self.errors = 0
+        #: Process pools discarded after a worker died mid-task (see
+        #: ``_run_task``); the next request builds a fresh pool.
+        self.pool_restarts = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_closed = False
         self._lock = threading.Lock()
@@ -145,6 +149,17 @@ class Shard:
         if pool is not None:
             try:
                 return pool.submit(_shard_worker_run, task).result()
+            except BrokenProcessPool:
+                # A pool worker died mid-task (segfault, OOM kill, …),
+                # which poisons the whole executor.  Discard it — the next
+                # request builds a fresh pool — and answer this request
+                # inline: a dead worker is a performance event, never a
+                # correctness event (and never a raised BrokenProcessPool).
+                with self._lock:
+                    if self._pool is pool:
+                        self._pool = None
+                        self.pool_restarts += 1
+                pool.shutdown(wait=False)
             except RuntimeError as error:
                 if "shutdown" not in str(error):
                     raise
@@ -171,6 +186,7 @@ class Shard:
         return {
             "requests": served,
             "errors": errors,
+            "pool_restarts": self.pool_restarts,
             "prewarmed": self.prewarmed,
             "engine_requests": summary.requests,
             "result_cache_hits": summary.result_cache_hits,

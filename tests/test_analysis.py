@@ -73,6 +73,42 @@ def test_rl001_ignores_sync_defs_nested_defs_and_other_layers():
     assert findings_for(blocking_elsewhere, module="repro.engine.engine") == []
 
 
+def test_rl001_flags_unawaited_host_forwarding_calls():
+    # ShardHost.execute / execute_group block on a worker pipe round-trip;
+    # a coroutine must reach them through offload, never by direct call.
+    found = findings_for("""
+        async def submit(self, request):
+            return self._host.execute(request)
+    """, module="repro.service.service")
+    assert codes(found) == ["RL001"]
+    assert ".execute" in found[0].message
+    found = findings_for("""
+        async def batch(self, fingerprint, group):
+            return self._host.execute_group(fingerprint, group)
+    """, module="repro.service.service")
+    assert codes(found) == ["RL001"]
+    assert ".execute_group" in found[0].message
+
+
+def test_rl001_host_forwarding_behind_offload_is_clean():
+    clean = """
+        from functools import partial
+
+        async def submit(self, request):
+            return await self._offload(partial(self._host.execute, request))
+    """
+    assert findings_for(clean, module="repro.service.service") == []
+
+
+def test_rl001_host_forwarding_suppressed_with_reason():
+    found = findings_for("""
+        async def drain(self, request):
+            # repro-lint: disable=RL001 -- test shim: loop has no traffic
+            return self._host.execute(request)
+    """, module="repro.service.service", strict=True)
+    assert found == []
+
+
 def test_rl001_suppressed_with_reason():
     found = findings_for("""
         async def serve(self):

@@ -8,10 +8,11 @@ file, ``test_service_errors.py``; the JSON-lines server has
 """
 
 import asyncio
+import threading
 
 import pytest
 
-from repro import ExchangeEngine
+from repro import DTD, DataExchangeSetting, ExchangeEngine, std
 from repro.service import (AsyncExchangeService, ExchangeRequest, Router,
                            SettingRegistry, UnknownSettingError,
                            certain_answers_request, classify_request,
@@ -101,6 +102,83 @@ class TestSettingRegistry:
         shard = registry.shard(keys[1])
         assert shard.fingerprint == keys[1]
         assert registry.stats()["compiled_misses"] == misses + 1
+
+    def test_len_and_contains_under_concurrent_register(self):
+        """Regression: __len__/__contains__ read the settings map without
+        the registry lock.  Hammer both while registrations mutate the map
+        and assert nothing raises and the final view is exact."""
+        def tiny(i):
+            source = DTD("db", {"db": f"r{i}*", f"r{i}": ""},
+                         {f"r{i}": ["v"]})
+            target = DTD("t", {"t": f"a{i}*", f"a{i}": ""}, {f"a{i}": ["v"]})
+            return DataExchangeSetting(
+                source, target, [std(f"t[a{i}(@v=x)]", f"db[r{i}(@v=x)]")])
+
+        registry = SettingRegistry()
+        settings = [tiny(i) for i in range(24)]
+        errors = []
+
+        def register_chunk(chunk):
+            try:
+                for setting in chunk:
+                    registry.register(setting)
+            except BaseException as error:  # pragma: no cover - regression
+                errors.append(error)
+
+        def poll():
+            try:
+                for _ in range(400):
+                    count = len(registry)
+                    assert 0 <= count <= len(settings)
+                    ("f" * 64) in registry
+            except BaseException as error:  # pragma: no cover - regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=register_chunk,
+                                    args=(settings[i::4],))
+                   for i in range(4)]
+        threads += [threading.Thread(target=poll) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(registry) == len(settings)
+        for setting in settings:
+            assert setting.fingerprint() in registry
+
+    def test_failing_compile_counts_failures_not_misses(self,
+                                                        library_setting,
+                                                        monkeypatch):
+        """Regression: _obtain charged compiled_misses/prewarm_compiles
+        *before* compile_setting ran, so a raising compile permanently
+        skewed those counters against shards that were never admitted."""
+        from repro.service import registry as registry_module
+        real = registry_module.compile_setting
+        registry = SettingRegistry()
+        fingerprint = registry.register(library_setting)
+
+        def failing(setting):
+            raise RuntimeError("compile exploded")
+
+        monkeypatch.setattr(registry_module, "compile_setting", failing)
+        with pytest.raises(RuntimeError, match="compile exploded"):
+            registry.shard(fingerprint)
+        with pytest.raises(RuntimeError, match="compile exploded"):
+            registry.prewarm(fingerprint)
+        stats = registry.stats()
+        assert stats["compile_failures"] == 2
+        assert stats["compiled_misses"] == 0
+        assert stats["prewarm_compiles"] == 0
+        assert stats["compiled_entries"] == 0
+        # Recovery: the next request elects a new compile owner and the
+        # success is counted exactly once.
+        monkeypatch.setattr(registry_module, "compile_setting", real)
+        registry.shard(fingerprint)
+        stats = registry.stats()
+        assert stats["compiled_misses"] == 1
+        assert stats["compiled_entries"] == 1
+        assert stats["compile_failures"] == 2  # unchanged
 
     def test_register_compiled_preseeds_the_shard(self, library_setting):
         from repro import compile_setting

@@ -1,0 +1,354 @@
+"""ShardHost: one worker process per core, supervised.
+
+Covers the pipe frame codec, fingerprint routing, single-request and
+group parity against a direct engine, worker-crash lifecycle (restart,
+re-registration, ``worker_restarts`` accounting, no lost or duplicated
+replies), cross-process stats aggregation and the service facade's
+``executor="host"`` wiring.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import ExchangeEngine, compile_setting
+from repro.service import (AsyncExchangeService, ShardHost,
+                           UnknownSettingError, certain_answers_request,
+                           classify_request, consistency_request,
+                           solve_request)
+from repro.service.host import FrameError, _decode_frame, _encode_frame
+from repro.service.protocol import answers_to_wire, tree_to_wire
+from repro.workloads import library
+
+import asyncio
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture
+def host():
+    with ShardHost(workers=2) as running:
+        yield running
+
+
+@pytest.fixture
+def library_pair(library_setting):
+    tree = library.generate_source(4, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+    return library_setting, tree, query
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        payload = (7, "request", {"nested": ["anything", b"picklable"]})
+        assert _decode_frame(_encode_frame(payload)) == payload
+
+    def test_truncated_frame_is_a_typed_error(self):
+        frame = _encode_frame((1, "request", "x" * 100))
+        with pytest.raises(FrameError, match="truncated"):
+            _decode_frame(frame[:-3])
+
+    def test_short_frame_without_prefix(self):
+        with pytest.raises(FrameError, match="length prefix"):
+            _decode_frame(b"\x00\x01")
+
+
+class TestRoutingAndParity:
+    def test_worker_for_is_stable_and_in_range(self, host, library_setting,
+                                               company_setting):
+        for setting in (library_setting, company_setting):
+            fingerprint = setting.fingerprint()
+            index = host.worker_for(fingerprint)
+            assert 0 <= index < host.workers
+            assert host.worker_for(fingerprint) == index
+
+    def test_register_returns_fingerprint(self, host, library_setting):
+        fingerprint = host.register(library_setting)
+        assert fingerprint == library_setting.fingerprint()
+        assert fingerprint in host.fingerprints()
+
+    def test_unknown_fingerprint_raises_without_a_round_trip(self, host):
+        with pytest.raises(UnknownSettingError):
+            host.execute(consistency_request("f" * 64))
+        with pytest.raises(UnknownSettingError):
+            host.prewarm("f" * 64)
+
+    def test_single_request_parity_with_direct_engine(self, host,
+                                                      library_pair):
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting)
+        engine = ExchangeEngine(compile_setting(setting))
+
+        got = host.execute(consistency_request(fingerprint))
+        want = engine.check_consistency()
+        assert (got.ok, bool(got.payload)) == (want.ok, bool(want.payload))
+
+        got = host.execute(classify_request(fingerprint))
+        want = engine.classify()
+        assert got.payload.tractable == want.payload.tractable
+
+        got = host.execute(solve_request(fingerprint, tree))
+        want = engine.solve(tree)
+        assert got.ok and want.ok
+        assert tree_to_wire(got.payload) == tree_to_wire(want.payload)
+
+        got = host.execute(certain_answers_request(fingerprint, tree, query))
+        want = engine.certain_answers(tree, query)
+        assert got.ok and want.ok
+        assert answers_to_wire(got.payload) == answers_to_wire(want.payload)
+
+    def test_registering_compiled_setting_arrives_plan_warm(
+            self, host, library_setting):
+        fingerprint = host.register(compile_setting(library_setting))
+        view = host.stats()["per_worker"][host.worker_for(fingerprint)]
+        assert view["registry"]["compiled_entries"] == 1
+        assert view["registry"]["compiled_misses"] == 0
+
+    def test_worker_exceptions_reraise_in_the_supervisor(self, host):
+        # A non-univocal chase raises *in the worker process*; the pickled
+        # exception must re-raise here with its type and message intact —
+        # and the worker must survive to serve the next request.
+        from repro import ChaseError, DataExchangeSetting, DTD, XMLTree, std
+        from repro.patterns.parse import parse_pattern
+        from repro.patterns.queries import pattern_query
+        setting = DataExchangeSetting(
+            DTD("db", {"db": "rec*", "rec": ""}, {"rec": ["v"]}),
+            DTD("r", {"r": "a a", "a": ""}, {"a": ["v"]}),
+            [std("r[a(@v=x)]", "db[rec(@v=x)]")])
+        tree = XMLTree.build(("db", [("rec", {"v": "1"}), ("rec", {"v": "2"}),
+                                     ("rec", {"v": "3"})]))
+        query = pattern_query(parse_pattern("r[a(@v=w)]"))
+        fingerprint = host.register(setting)
+        with pytest.raises(ChaseError, match="not univocal"):
+            host.execute(certain_answers_request(fingerprint, tree, query))
+        assert host.execute(consistency_request(fingerprint)).ok
+        assert host.stats()["worker_restarts"] == 0
+
+    def test_results_stay_cached_in_the_worker(self, host, library_pair):
+        """The point of long-lived workers: repeat traffic hits the
+        worker-resident result cache instead of re-computing."""
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting)
+        request = certain_answers_request(fingerprint, tree, query)
+        host.execute(request)
+        before = host.stats()["shards"][fingerprint]["result_cache_hits"]
+        host.execute(request)
+        after = host.stats()["shards"][fingerprint]["result_cache_hits"]
+        assert after == before + 1
+
+
+class TestGroups:
+    def test_group_keeps_indices_and_isolates_failures(self, host,
+                                                       library_pair):
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting)
+        unknown = "e" * 64
+        group = [(0, certain_answers_request(fingerprint, tree, query)),
+                 (3, consistency_request(unknown)),
+                 (5, certain_answers_request(fingerprint, tree, query))]
+        done = []
+        results = host.execute_group(fingerprint, group,
+                                     on_done=lambda i, r: done.append(i))
+        assert [slot.index for slot in results] == [0, 3, 5]
+        assert results[0].ok and results[2].ok
+        assert isinstance(results[1].error, UnknownSettingError)
+        assert sorted(done) == [0, 3, 5]
+
+    def test_group_results_match_singles(self, host, library_pair):
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting)
+        single = host.execute(certain_answers_request(fingerprint, tree,
+                                                      query))
+        group = host.execute_group(
+            fingerprint,
+            [(0, certain_answers_request(fingerprint, tree, query))])
+        assert answers_to_wire(group[0].result.payload) == \
+            answers_to_wire(single.payload)
+
+
+class TestWorkerLifecycle:
+    def test_injected_crash_restarts_and_re_registers(self, host,
+                                                      library_pair):
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting, prewarm=True)
+        victim = host.worker_for(fingerprint)
+        old_pid = host.worker_pids()[victim]
+        host.inject_crash(victim)
+        wait_until(lambda: host.worker_pids()[victim] != old_pid
+                   and host.stats()["worker_restarts"] == 1,
+                   message="worker restart")
+        # The replacement was re-registered (and re-prewarmed) from the
+        # supervisor's authoritative map: traffic flows without help.
+        view = host.stats()["per_worker"][victim]
+        assert view["registry"]["settings_registered"] == 1
+        assert view["registry"]["compiled_entries"] == 1  # re-prewarmed
+        result = host.execute(certain_answers_request(fingerprint, tree,
+                                                      query))
+        assert result.ok
+
+    def test_sigkill_mid_stream_loses_no_replies(self, host, library_pair):
+        """Kill a worker while requests are in flight: every request gets
+        exactly one reply (orphans are resubmitted to the replacement)."""
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting)
+        host.execute(consistency_request(fingerprint))  # warm the worker
+        victim = host.worker_for(fingerprint)
+        replies = []
+        errors = []
+        replies_lock = threading.Lock()
+
+        def drive(worker_id):
+            for _ in range(4):
+                try:
+                    outcome = host.execute(
+                        certain_answers_request(fingerprint, tree, query))
+                except Exception as error:  # pragma: no cover - flake trap
+                    with replies_lock:
+                        errors.append(error)
+                else:
+                    with replies_lock:
+                        replies.append(answers_to_wire(outcome.payload))
+
+        threads = [threading.Thread(target=drive, args=(n,))
+                   for n in range(6)]
+        for thread in threads:
+            thread.start()
+        os.kill(host.worker_pids()[victim], signal.SIGKILL)
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(replies) == 24  # one reply per request, none lost
+        assert len(set(map(str, replies))) == 1  # ... and all identical
+        wait_until(lambda: host.stats()["worker_restarts"] >= 1,
+                   message="restart accounting")
+
+    def test_unaffected_workers_keep_their_pids(self, host, library_setting,
+                                                company_setting,
+                                                figure_6_setting):
+        keys = [host.register(setting) for setting in
+                (library_setting, company_setting, figure_6_setting)]
+        owners = {host.worker_for(key) for key in keys}
+        victim = host.worker_for(keys[0])
+        pids_before = host.worker_pids()
+        host.inject_crash(victim)
+        wait_until(lambda: host.worker_pids()[victim] != pids_before[victim],
+                   message="victim pid change")
+        pids_after = host.worker_pids()
+        for index in range(host.workers):
+            if index != victim:
+                assert pids_after[index] == pids_before[index]
+        # Every setting still serves, whichever worker owns it.
+        for key in keys:
+            assert host.execute(consistency_request(key)).ok
+        assert owners  # routing stayed meaningful
+
+    def test_closed_host_refuses_work(self, library_setting):
+        host = ShardHost(workers=1)
+        fingerprint = host.register(library_setting)
+        host.close()
+        host.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            host.execute(consistency_request(fingerprint))
+
+
+class TestStatsAggregation:
+    def test_merged_registry_reads_like_a_single_process(self, host,
+                                                         library_pair):
+        setting, tree, query = library_pair
+        fingerprint = host.register(setting)
+        host.execute(certain_answers_request(fingerprint, tree, query))
+        host.execute(certain_answers_request(fingerprint, tree, query))
+        stats = host.stats()
+        assert stats["workers"] == 2
+        assert stats["worker_restarts"] == 0
+        assert len(stats["per_worker"]) == 2
+        merged = stats["registry"]
+        assert merged["settings_registered"] == 1
+        assert merged["compiled_entries"] == 1
+        assert fingerprint in stats["shards"]
+        assert stats["shards"][fingerprint]["requests"] == 2
+
+    def test_shards_merge_is_disjoint_across_workers(self, host,
+                                                     library_setting,
+                                                     company_setting):
+        keys = [host.register(setting, prewarm=True)
+                for setting in (library_setting, company_setting)]
+        shards = host.stats()["shards"]
+        assert sorted(shards) == sorted(keys)
+
+
+class TestServiceHostMode:
+    def test_workers_require_host_executor(self):
+        with pytest.raises(ValueError, match="executor='host'"):
+            AsyncExchangeService(executor="thread", workers=2)
+
+    def test_batch_parity_with_serial_executor(self, library_pair):
+        setting, tree, query = library_pair
+
+        async def run(**kwargs):
+            async with AsyncExchangeService(**kwargs) as service:
+                fingerprint = service.register(setting)
+                slots = await service.batch([
+                    consistency_request(fingerprint),
+                    certain_answers_request(fingerprint, tree, query),
+                    solve_request(fingerprint, tree),
+                ])
+                assert all(slot.ok for slot in slots)
+                return [
+                    bool(slots[0].result.payload),
+                    answers_to_wire(slots[1].result.payload),
+                    tree_to_wire(slots[2].result.payload),
+                ]
+
+        serial = asyncio.run(run(executor="serial"))
+        hosted = asyncio.run(run(executor="host", workers=2))
+        assert hosted == serial
+
+    def test_stats_shape_and_quota_stay_loop_side(self, library_pair):
+        from repro.service import QuotaPolicy
+        setting, tree, query = library_pair
+
+        async def run():
+            async with AsyncExchangeService(
+                    executor="host", workers=2,
+                    quota=QuotaPolicy(max_in_flight=4)) as service:
+                fingerprint = service.register(setting, prewarm=True)
+                await service.certain_answers(fingerprint, tree, query)
+                stats = service.stats()
+                assert stats["executor"] == "host"
+                assert stats["host"]["workers"] == 2
+                assert stats["host"]["worker_restarts"] == 0
+                registry = stats["registry"]
+                assert registry["settings_registered"] == 1
+                assert registry["in_flight"] == 0  # balanced acquire/release
+                assert registry["quota_rejections"] == 0
+                assert fingerprint in stats["shards"]
+                # The local registry never compiled anything in host mode.
+                assert len(service.registry.compiled_fingerprints()) == 0
+
+        asyncio.run(run())
+
+    def test_prewarm_reaches_the_owning_worker(self, library_pair):
+        setting, _, _ = library_pair
+
+        async def run():
+            async with AsyncExchangeService(executor="host",
+                                            workers=2) as service:
+                fingerprint = service.register(setting)
+                assert await service.prewarm(fingerprint) is True
+                assert await service.prewarm(fingerprint) is False
+                merged = service.stats()["registry"]
+                assert merged["prewarm_compiles"] == 1
+                assert merged["prewarm_hits"] == 1
+
+        asyncio.run(run())

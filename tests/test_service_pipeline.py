@@ -277,6 +277,26 @@ class TestQuota:
             assert slots[1].result.payload is True
         assert stats["registry"]["quota_rejections"] == 6
         assert stats["registry"]["in_flight"] == 0  # all slots released
+        # ... released exactly once each: an over-release would raise (and
+        # count) in quota_release rather than silently absorb.
+        assert stats["registry"]["quota_release_underflow"] == 0
+
+    def test_unbalanced_quota_release_is_loud(self, library_setting):
+        """Regression: quota_release used to absorb over-release silently
+        (popping an absent entry), masking acquire/release imbalance bugs
+        in callers.  It now raises and counts the underflow."""
+        registry = SettingRegistry(quota=QuotaPolicy(max_in_flight=2))
+        fingerprint = registry.register(library_setting)
+        registry.quota_acquire(fingerprint)
+        registry.quota_release(fingerprint)
+        with pytest.raises(RuntimeError, match="without a matching"):
+            registry.quota_release(fingerprint)
+        assert registry.stats()["quota_release_underflow"] == 1
+        # The count itself never went negative: balance still works.
+        registry.quota_acquire(fingerprint)
+        assert registry.in_flight(fingerprint) == 1
+        registry.quota_release(fingerprint)
+        assert registry.in_flight(fingerprint) == 0
 
     def test_await_side_rejection_under_concurrency(self, library_pair):
         """Two concurrent submits under max_in_flight=1: exactly one is

@@ -225,6 +225,40 @@ class TestInProcessServer:
             idle.close()
 
 
+def test_big_line_decodes_the_query_off_loop(monkeypatch):
+    """Regression: a big ``certain_answers`` line offloaded its tree decode
+    and answer encode but parsed the *query* on the event loop — every
+    payload decode of a big line must run on the service pool."""
+    from repro.service import server as server_module
+    from repro.service.server import ExchangeServer, serve_in_background
+
+    seen = []
+    real = server_module.query_from_wire
+
+    def recording(wire):
+        seen.append(threading.current_thread().name)
+        return real(wire)
+
+    monkeypatch.setattr(server_module, "query_from_wire", recording)
+    port, server, join = serve_in_background(executor="thread", parallel=2)
+    setting = library.library_setting()
+    tree = library.generate_source(2, authors_per_book=1, seed=3)
+    with ServiceClient("127.0.0.1", port) as client:
+        fingerprint = client.register(setting)
+        # Padding pushes the line over OFFLOAD_CODEC_BYTES without needing
+        # a multi-megabyte tree; unknown keys are ignored by dispatch.
+        reply = client.request({
+            "op": "certain_answers", "fingerprint": fingerprint,
+            "tree": tree_to_wire(tree), "query": "bib[writer(@name=w)]",
+            "pad": "x" * (ExchangeServer.OFFLOAD_CODEC_BYTES + 1024)})
+        assert reply["ok"] and reply["result_ok"]
+        assert client.shutdown()
+    join()
+    assert seen, "query_from_wire was never reached"
+    assert all(name.startswith("exchange-service") for name in seen), \
+        f"big-line query parse ran on thread(s) {seen!r}, not the pool"
+
+
 def test_smoke_entry_point_passes():
     """The exact command CI runs: client --smoke boots its own server."""
     completed = subprocess.run(
