@@ -488,6 +488,10 @@ def main(argv=None) -> int:
                              "on multi-core machines")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write the machine-readable report here")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="enable tracing and append every finished "
+                             "span to PATH as JSON lines (render with "
+                             "python -m repro.obs.report PATH)")
     args = parser.parse_args(argv)
     if args.pipeline and args.fast < 100:
         parser.error("--fast must be >= 100 so the p99 reflects the fast "
@@ -500,6 +504,11 @@ def main(argv=None) -> int:
     if args.workers is not None and args.workers < 2:
         parser.error("--workers must be >= 2 (scaling from 1 to 1 worker "
                      "measures nothing)")
+
+    if args.trace is not None:
+        from repro.obs.trace import configure as obs_configure
+        obs_configure(trace_path=args.trace)
+        print(f"tracing enabled     : spans -> {args.trace}")
 
     begun = time.perf_counter()
     args.scenarios = generated_scenarios(args.settings, args.seed)

@@ -138,6 +138,40 @@ async def shard_host_demo() -> None:
               f"{stats['host']['worker_restarts']} restarts")
 
 
+async def traced_request_demo() -> None:
+    """Observability: switch tracing on, serve one host-mode request, and
+    read the request back as a single span tree crossing the process
+    boundary — supervisor spans (admission, executor queueing, the pipe
+    round-trip) and worker spans (the chase, the freeze, the compiled-plan
+    run) re-parented into one tree.  The same spans drive ``--trace PATH``
+    on the server and ``bench_service.py``, the ``trace_dump`` wire op and
+    ``python -m repro.obs.report``."""
+    from repro.obs import trace
+    from repro.obs.report import phase_rows, render_table
+
+    bib = library.library_setting()
+    tree = library.generate_source(4, authors_per_book=2, seed=1)
+    query = library.query_writer_of("Book-0")
+    async with AsyncExchangeService(executor="host", workers=2) as service:
+        bib_key = service.register(bib, prewarm=True)
+        trace.configure()           # tracing on; off by default (<2% rule)
+        try:
+            await service.certain_answers(bib_key, tree, query)
+        finally:
+            trace.disable()
+    spans = trace.drain()
+    root = next(span for span in spans
+                if span["parent"] is None and span["name"] == "service.request")
+    request_spans = [span for span in spans
+                     if span["trace"] == root["trace"]]
+    pids = {span["pid"] for span in request_spans}
+    print(f"traced request       : {len(request_spans)} spans across "
+          f"{len(pids)} processes, one tree:")
+    print(trace.format_trace(request_spans))
+    print("per-phase latency    :")
+    print(render_table(phase_rows(request_spans)))
+
+
 def pipelined_client_demo() -> None:
     """The wire-level view: a pipelined client sends a burst of requests
     down one connection and collects replies in completion order."""
@@ -172,4 +206,5 @@ if __name__ == "__main__":
     asyncio.run(main())
     asyncio.run(quota_demo())
     asyncio.run(shard_host_demo())
+    asyncio.run(traced_request_demo())
     pipelined_client_demo()

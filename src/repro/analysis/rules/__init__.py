@@ -17,6 +17,7 @@ from .blocking import NoAwaitUnderLock, NoBlockingInAsync
 from .counters import CounterDisciplineRule
 from .determinism import DeterminismRule
 from .layering import LayeringRule
+from .timing import WallClockTimingRule
 
 __all__ = ["ALL_RULES"]
 
@@ -27,4 +28,5 @@ ALL_RULES: List[Rule] = [
     LayeringRule(),
     CounterDisciplineRule(),
     DeterminismRule(),
+    WallClockTimingRule(),
 ]

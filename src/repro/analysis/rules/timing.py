@@ -1,0 +1,69 @@
+"""RL006 — latency is measured on the monotonic clock.
+
+Every latency and duration number the repo reports — ``EngineResult.
+elapsed``, span durations, histogram observations — must come from
+``time.perf_counter()`` (directly or through the ``repro.obs`` span/timer
+API), never from ``time.time()`` deltas.  The wall clock steps under NTP
+corrections and jumps across DST changes; one stepped sample silently
+corrupts a latency histogram or a span tree, and the corruption is
+unreproducible by construction.
+
+This rule flags calls to ``time.time``/``time.time_ns`` and
+``datetime.now``/``datetime.utcnow`` anywhere under ``repro.*`` *except*
+``repro.generators`` and ``repro.workloads``, whose wall-clock discipline
+is owned by RL005 (one finding per sin, not two).  Legitimate wall-clock
+uses — timestamps in logs or artifacts, not durations — carry a
+``# repro-lint: disable=RL006 -- reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..core import Finding, ModuleContext, Rule
+
+__all__ = ["WallClockTimingRule"]
+
+#: RL005 owns wall-clock reads in these packages (seed-reproducibility);
+#: flagging them here too would double-report every finding.
+_RL005_SCOPES = ("repro.generators", "repro.workloads")
+_WALL_CLOCK = {"time.time", "time.time_ns", "datetime.now",
+               "datetime.utcnow", "datetime.datetime.now",
+               "datetime.datetime.utcnow"}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class WallClockTimingRule(Rule):
+    id = "RL006"
+    title = "latency is measured on the monotonic clock"
+    rationale = ("time.time() steps under NTP/DST; durations built from it "
+                 "corrupt histograms and span trees — use "
+                 "time.perf_counter() or the repro.obs span/timer API.")
+
+    def check(self, module: ModuleContext) -> Iterable[Finding]:
+        if not module.module.startswith("repro."):
+            return
+        if module.module.startswith(_RL005_SCOPES):
+            return  # RL005 territory
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in _WALL_CLOCK:
+                yield module.finding(
+                    self.id, node,
+                    f"wall-clock read {dotted}(): durations must come from "
+                    "time.perf_counter() (or the repro.obs span/timer API); "
+                    "a genuine timestamp use takes a "
+                    "`# repro-lint: disable=RL006 -- reason` suppression")

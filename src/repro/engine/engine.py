@@ -36,7 +36,6 @@ budget but can never evict another setting's entries.
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -48,6 +47,7 @@ from ..exchange.consistency import ConsistencyResult, check_consistency
 from ..exchange.dichotomy import DichotomyReport
 from ..exchange.errors import NoSolutionError
 from ..exchange.setting import DataExchangeSetting
+from ..obs.trace import span as obs_span, timer as obs_timer
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import NullFactory
@@ -203,10 +203,10 @@ class ExchangeEngine:
         """The dichotomy routing decision (Theorem 6.2): is this setting in
         the tractable class?  ``ok`` is always true; ``payload.tractable``
         carries the verdict."""
-        started = time.perf_counter()
-        report: DichotomyReport = self.compiled.dichotomy
-        return self._result(True, report, "dichotomy", started,
-                            detail=report.summary(), raw=report)
+        with obs_timer("engine.classify") as clock:
+            report: DichotomyReport = self.compiled.dichotomy
+            return self._result(True, report, "dichotomy", clock,
+                                detail=report.summary(), raw=report)
 
     def check_consistency(self, strategy: str = "auto",
                           **kwargs: Any) -> EngineResult:
@@ -216,18 +216,18 @@ class ExchangeEngine:
         DTDs qualify), ``"nested_relational"`` (Theorem 4.5) or
         ``"general"`` (Theorem 4.1); extra keyword arguments reach the
         general procedure (e.g. ``max_source_trees``)."""
-        started = time.perf_counter()
         normalised = strategy.replace("-", "_")
         if normalised not in CONSISTENCY_STRATEGIES:
             raise ValueError(
                 f"unknown consistency strategy {strategy!r}; "
                 f"expected one of {', '.join(CONSISTENCY_STRATEGIES)}")
-        outcome: ConsistencyResult = check_consistency(
-            self.setting, method=normalised.replace("_", "-"),
-            compiled=self.compiled, **kwargs)
-        return self._result(outcome.consistent, outcome.consistent,
-                            outcome.method, started,
-                            detail=outcome.detail, raw=outcome)
+        with obs_timer("engine.consistency") as clock:
+            outcome: ConsistencyResult = check_consistency(
+                self.setting, method=normalised.replace("_", "-"),
+                compiled=self.compiled, **kwargs)
+            return self._result(outcome.consistent, outcome.consistent,
+                                outcome.method, clock,
+                                detail=outcome.detail, raw=outcome)
 
     # ------------------------------------------------------------------ #
     # Per-tree operations
@@ -239,12 +239,12 @@ class ExchangeEngine:
 
         ``ok`` is false — with the chase's failure reason in ``detail`` —
         when the source tree has no solution (Lemma 6.15 b)."""
-        started = time.perf_counter()
-        outcome: ChaseResult = canonical_solution(self.setting, source_tree,
-                                                  nulls,
-                                                  compiled=self.compiled)
-        return self._result(outcome.success, outcome.tree, "chase", started,
-                            detail=outcome.failure or "", raw=outcome)
+        with obs_timer("engine.solve") as clock:
+            outcome: ChaseResult = canonical_solution(
+                self.setting, source_tree, nulls, compiled=self.compiled)
+            return self._result(outcome.success, outcome.tree, "chase",
+                                clock, detail=outcome.failure or "",
+                                raw=outcome)
 
     def certain_answers(self, source_tree: XMLTree, query: Query,
                         variable_order: Optional[Sequence[str]] = None,
@@ -260,19 +260,20 @@ class ExchangeEngine:
         factory bypasses the cache: the caller is asking for the canonical
         solution to be built from *that* factory, which a cached outcome
         would silently ignore."""
-        started = time.perf_counter()
-        key = (None if nulls is not None
-               else self._result_key(source_tree, query, variable_order))
-        if key is not None:
-            cached = self._cache_lookup(key)
-            if cached is not None:
-                return self._certain_result(cached, started)
-        outcome: CertainAnswers = certain_answers(
-            self.setting, source_tree, query, variable_order, nulls,
-            compiled=self.compiled)
-        if key is not None:
-            self._cache_store(key, outcome)
-        return self._certain_result(outcome, started)
+        with obs_timer("engine.certain_answers") as clock:
+            key = (None if nulls is not None
+                   else self._result_key(source_tree, query, variable_order))
+            if key is not None:
+                with obs_span("engine.cache_lookup"):
+                    cached = self._cache_lookup(key)
+                if cached is not None:
+                    return self._certain_result(cached, clock)
+            outcome: CertainAnswers = certain_answers(
+                self.setting, source_tree, query, variable_order, nulls,
+                compiled=self.compiled)
+            if key is not None:
+                self._cache_store(key, outcome)
+            return self._certain_result(outcome, clock)
 
     def _result_key(self, source_tree: XMLTree, query: Query,
                     variable_order: Optional[Sequence[str]]
@@ -306,10 +307,10 @@ class ExchangeEngine:
                     self._engine_stats.evict("result_cache")
 
     def _certain_result(self, outcome: CertainAnswers,
-                        started: float) -> EngineResult:
+                        clock: Any) -> EngineResult:
         detail = "" if outcome.has_solution else "the source tree has no solution"
         return self._result(outcome.has_solution, outcome.answers,
-                            "canonical-solution", started,
+                            "canonical-solution", clock,
                             detail=detail, raw=outcome)
 
     def certain_answer_boolean(self, source_tree: XMLTree,
@@ -432,8 +433,9 @@ class ExchangeEngine:
                         else:
                             self._engine_stats.miss("result_cache")
                     if cached is not None:
-                        started = time.perf_counter()
-                        results[index] = self._certain_result(cached, started)
+                        with obs_timer("engine.certain_answers") as clock:
+                            results[index] = self._certain_result(cached,
+                                                                  clock)
                         continue
                     pending = task_of_key.get(key)
                     if pending is not None:
@@ -469,12 +471,14 @@ class ExchangeEngine:
         assert all(result is not None for result in results)
         return results  # type: ignore[return-value]
 
-    def _result(self, ok: bool, payload: Any, strategy: str, started: float,
+    def _result(self, ok: bool, payload: Any, strategy: str, clock: Any,
                 detail: str = "", raw: Any = None) -> EngineResult:
+        """Wrap an outcome; ``clock`` is the request's
+        :func:`repro.obs.trace.timer` — the one code path every
+        ``EngineResult.elapsed`` flows through."""
         with self._lock:
             self.requests += 1
-        return EngineResult(ok, payload, strategy,
-                            time.perf_counter() - started,
+        return EngineResult(ok, payload, strategy, clock.elapsed,
                             self.stats, detail, raw)
 
     def __repr__(self) -> str:
@@ -504,21 +508,21 @@ def _process_worker_run(task: Tuple[str, Any]) -> EngineResult:
     compiled = _WORKER_COMPILED
     assert compiled is not None, "worker used before initialisation"
     operation_name, item = task
-    started = time.perf_counter()
     if operation_name == "solve":
-        outcome = canonical_solution(compiled.setting, item,
-                                     compiled=compiled)
-        return EngineResult(outcome.success, outcome.tree, "chase",
-                            time.perf_counter() - started,
-                            compiled.cache_stats(),
-                            outcome.failure or "", outcome)
+        with obs_timer("engine.solve") as clock:
+            outcome = canonical_solution(compiled.setting, item,
+                                         compiled=compiled)
+            return EngineResult(outcome.success, outcome.tree, "chase",
+                                clock.elapsed, compiled.cache_stats(),
+                                outcome.failure or "", outcome)
     if operation_name == "certain_answers":
         tree, query = item
-        result = certain_answers(compiled.setting, tree, query,
-                                 compiled=compiled)
-        detail = "" if result.has_solution else "the source tree has no solution"
-        return EngineResult(result.has_solution, result.answers,
-                            "canonical-solution",
-                            time.perf_counter() - started,
-                            compiled.cache_stats(), detail, result)
+        with obs_timer("engine.certain_answers") as clock:
+            result = certain_answers(compiled.setting, tree, query,
+                                     compiled=compiled)
+            detail = ("" if result.has_solution
+                      else "the source tree has no solution")
+            return EngineResult(result.has_solution, result.answers,
+                                "canonical-solution", clock.elapsed,
+                                compiled.cache_stats(), detail, result)
     raise ValueError(f"unknown worker operation {operation_name!r}")

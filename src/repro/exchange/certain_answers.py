@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence, Set, Tuple
 
+from ..obs.trace import span as _span
 from ..patterns.plan import shared_query_plan
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
@@ -97,13 +98,18 @@ def certain_answers(setting: DataExchangeSetting, source_tree: XMLTree,
     result = canonical_solution(setting, source_tree, nulls, compiled=compiled)
     if not result.success:
         return CertainAnswers(False, None, order, None, result)
-    plan = (compiled.query_plan(query) if compiled is not None
-            else shared_query_plan(query))
-    frozen = result.tree.freeze()
-    answers = {
-        tup for tup in plan.answers(frozen, order)
-        if all(is_constant(value) for value in tup)
-    }
+    with _span("engine.plan_compile"):
+        # Compile-or-fetch: a warm plan cache makes this span ~free, which
+        # is exactly what it is there to show.
+        plan = (compiled.query_plan(query) if compiled is not None
+                else shared_query_plan(query))
+    with _span("engine.freeze"):
+        frozen = result.tree.freeze()
+    with _span("engine.plan_run"):
+        answers = {
+            tup for tup in plan.answers(frozen, order)
+            if all(is_constant(value) for value in tup)
+        }
     return CertainAnswers(True, answers, order, result.tree, result)
 
 

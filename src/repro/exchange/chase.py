@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..obs.trace import span as _span
 from ..regexlang.parikh import parikh_vector
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
@@ -105,10 +106,11 @@ def canonical_solution(setting: DataExchangeSetting, source_tree: XMLTree,
     """
     if compiled is not None:
         compiled.check_owns(setting)
-    factory = nulls or NullFactory()
-    pre_solution = canonical_pre_solution(setting, source_tree, factory,
-                                          compiled=compiled)
-    return chase(setting.target_dtd, pre_solution, factory)
+    with _span("engine.chase"):
+        factory = nulls or NullFactory()
+        pre_solution = canonical_pre_solution(setting, source_tree, factory,
+                                              compiled=compiled)
+        return chase(setting.target_dtd, pre_solution, factory)
 
 
 # --------------------------------------------------------------------- #

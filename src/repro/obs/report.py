@@ -1,0 +1,179 @@
+"""Render a span dump: per-phase latency table + collapsed flamegraph stacks.
+
+Consumes the JSON-lines span records written by ``--trace PATH`` (server or
+``bench_service.py``) or returned by the ``trace_dump`` wire op::
+
+    python -m repro.obs.report span_dump.jsonl
+    python -m repro.obs.report span_dump.jsonl --markdown report.md \\
+        --collapsed spans.collapsed
+
+The table groups spans by name — count, total, mean, p50/p90/p99 — computed
+exactly from the dump's raw durations (offline, the samples are all here; the
+in-process :class:`~repro.obs.metrics.Histogram` is for live estimates).
+``--collapsed`` writes the standard semicolon-separated stack format
+(``root;child;leaf <value>``, value = self-time in microseconds), consumable
+by ``flamegraph.pl``, speedscope, inferno and friends.  Parent links are the
+only cross-record relation used, so dumps mixing supervisor and worker pids
+render as single trees.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .trace import format_trace
+
+__all__ = ["load_records", "phase_rows", "render_table",
+           "collapsed_stacks", "main"]
+
+#: How deep a parent chain may go before it is declared cyclic/corrupt.
+_MAX_DEPTH = 256
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines span dump, skipping unparseable lines."""
+    records: List[Dict[str, Any]] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "span" in record \
+                    and "name" in record and "dur" in record:
+                records.append(record)
+    return records
+
+
+def _sample_quantile(ordered: Sequence[float], q: float) -> float:
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def phase_rows(records: Sequence[Dict[str, Any]]
+               ) -> List[Tuple[str, int, float, float, float, float, float]]:
+    """``(name, count, total_ms, mean_ms, p50_ms, p90_ms, p99_ms)`` per
+    span name, heaviest total first."""
+    by_name: Dict[str, List[float]] = {}
+    for record in records:
+        by_name.setdefault(record["name"], []).append(float(record["dur"]))
+    rows = []
+    for name, durations in by_name.items():
+        durations.sort()
+        total = sum(durations)
+        rows.append((name, len(durations), total * 1000,
+                     total / len(durations) * 1000,
+                     _sample_quantile(durations, 0.50) * 1000,
+                     _sample_quantile(durations, 0.90) * 1000,
+                     _sample_quantile(durations, 0.99) * 1000))
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows
+
+
+def render_table(rows: Sequence[Tuple[str, int, float, float, float, float,
+                                      float]],
+                 markdown: bool = False) -> str:
+    """The phase table as aligned text or a GitHub-flavoured markdown
+    table (all latencies in milliseconds)."""
+    header = ("phase", "count", "total ms", "mean ms", "p50 ms", "p90 ms",
+              "p99 ms")
+    body = [(name, str(count), f"{total:.3f}", f"{mean:.3f}", f"{p50:.3f}",
+             f"{p90:.3f}", f"{p99:.3f}")
+            for name, count, total, mean, p50, p90, p99 in rows]
+    if markdown:
+        lines = ["| " + " | ".join(header) + " |",
+                 "| " + " | ".join(["---"] * len(header)) + " |"]
+        lines += ["| " + " | ".join(row) + " |" for row in body]
+        return "\n".join(lines)
+    widths = [max(len(header[col]), *(len(row[col]) for row in body))
+              if body else len(header[col]) for col in range(len(header))]
+    lines = ["  ".join(header[col].ljust(widths[col])
+                       for col in range(len(header)))]
+    for row in body:
+        lines.append("  ".join(
+            row[col].ljust(widths[col]) if col == 0
+            else row[col].rjust(widths[col]) for col in range(len(row))))
+    return "\n".join(lines)
+
+
+def collapsed_stacks(records: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Aggregate ``root;child;leaf -> self-time µs`` flamegraph stacks.
+
+    Self-time is a span's duration minus its children's (clamped at zero:
+    concurrent children can legitimately overlap their parent).  A record
+    whose parent is missing from the dump roots its own stack — the ring
+    buffer may have evicted an old parent — so no sample is dropped."""
+    by_id = {record["span"]: record for record in records}
+    child_time: Dict[str, float] = {}
+    for record in records:
+        parent = record.get("parent")
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + record["dur"]
+    stacks: Dict[str, int] = {}
+    for record in records:
+        names = [record["name"]]
+        cursor = record
+        for _ in range(_MAX_DEPTH):
+            parent = by_id.get(cursor.get("parent"))
+            if parent is None:
+                break
+            names.append(parent["name"])
+            cursor = parent
+        stack = ";".join(reversed(names))
+        self_time = max(0.0, record["dur"]
+                        - child_time.get(record["span"], 0.0))
+        stacks[stack] = stacks.get(stack, 0) + int(round(self_time * 1e6))
+    return stacks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("dump", help="JSON-lines span dump (--trace output)")
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="also write the table as a markdown file")
+    parser.add_argument("--collapsed", metavar="PATH", default=None,
+                        help="write collapsed flamegraph stacks to PATH")
+    parser.add_argument("--tree", action="store_true",
+                        help="also print every trace as an indented tree")
+    args = parser.parse_args(argv)
+
+    try:
+        records = load_records(args.dump)
+    except OSError as error:
+        print(f"cannot read {args.dump}: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no span records in {args.dump}", file=sys.stderr)
+        return 2
+
+    rows = phase_rows(records)
+    print(render_table(rows))
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(render_table(rows, markdown=True) + "\n")
+    if args.collapsed:
+        stacks = collapsed_stacks(records)
+        with open(args.collapsed, "w") as handle:
+            for stack, value in sorted(stacks.items()):
+                handle.write(f"{stack} {value}\n")
+    if args.tree:
+        traces: Dict[str, List[Dict[str, Any]]] = {}
+        for record in records:
+            traces.setdefault(record.get("trace", "?"), []).append(record)
+        for trace_id, trace_records in traces.items():
+            print(f"\ntrace {trace_id}")
+            print(format_trace(trace_records))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

@@ -1,0 +1,452 @@
+"""Zero-dependency spans with cross-thread and cross-process propagation.
+
+A **span** is one timed phase of one request: it has a ``trace_id`` shared
+by every span of the request, its own ``span_id``, its parent's id (so the
+request reconstructs as a tree), a name from the taxonomy in ROADMAP
+"Observability", and a duration measured on ``time.perf_counter()`` —
+never the wall clock (RL006): monotonic durations plus parent links are
+exactly the representation that survives process boundaries, where
+absolute ``perf_counter`` readings are not comparable.
+
+The active span travels in a :mod:`contextvars` variable, so ``async``
+code inherits it for free (``create_task`` copies the context).  Executor
+threads and worker processes do **not** inherit it — the caller captures
+:func:`current_context` and re-parents with :func:`activate` on the other
+side; the shard host ships the context inside its pickle frames and the
+worker replies with the spans it captured (:func:`capture`), which the
+supervisor :func:`ingest`\\ s into one tree.
+
+Pay-for-what-you-use: while tracing is disabled (the default),
+:func:`span` returns a shared no-op after one boolean check and
+:func:`timer` returns a bare two-``perf_counter`` stopwatch — the always-on
+clock behind ``EngineResult.elapsed``.  :func:`configure` turns recording
+on: finished spans land in a bounded ring buffer (served by the server's
+``trace_dump`` op), optionally in a JSON-lines file (``--trace PATH``),
+optionally in a per-span latency histogram, and a request slower than
+``slow_threshold`` seconds logs its full span tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+__all__ = [
+    "Span", "Tracer", "activate", "capture", "configure", "current_context",
+    "disable", "drain", "emit", "enabled", "format_trace", "ingest",
+    "records", "span", "timer",
+]
+
+#: A serializable handle to the active span: ``(trace_id, span_id)``.
+SpanContext = Tuple[str, str]
+
+#: The active span of the calling task/thread (task-local under asyncio).
+_CURRENT: "ContextVar[Optional[SpanContext]]" = ContextVar(
+    "repro_obs_span", default=None)
+
+_LOCAL = threading.local()
+
+_IDS = itertools.count(1)
+
+
+def _new_id() -> str:
+    """Process-unique span/trace id; the pid prefix keeps ids unique across
+    the fork boundary (a worker's counter restarts, its pid differs)."""
+    return f"{os.getpid():x}-{next(_IDS):x}"
+
+
+# --------------------------------------------------------------------- #
+# Span objects
+# --------------------------------------------------------------------- #
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Timer:
+    """The always-on stopwatch behind :func:`timer` when tracing is off:
+    two ``perf_counter`` reads and an ``elapsed`` property, nothing else."""
+
+    __slots__ = ("started", "ended")
+
+    def __init__(self) -> None:
+        self.started = 0.0
+        self.ended: Optional[float] = None
+
+    def __enter__(self) -> "_Timer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.ended = time.perf_counter()
+
+    def annotate(self, **attrs: Any) -> "_Timer":
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+
+class Span:
+    """One recording span; use as a context manager.
+
+    On ``__enter__`` it parents itself under the calling context's active
+    span (or starts a new trace) and becomes the active span; on
+    ``__exit__`` it restores its parent and hands its record to the tracer.
+    """
+
+    __slots__ = ("name", "attrs", "trace_id", "span_id", "parent_id",
+                 "started", "ended", "_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self.started = 0.0
+        self.ended: Optional[float] = None
+        self._tracer = tracer
+        self._token: Any = None
+
+    def __enter__(self) -> "Span":
+        parent = _CURRENT.get()
+        if parent is None:
+            self.trace_id = _new_id()
+            self.parent_id = None
+        else:
+            self.trace_id, self.parent_id = parent
+        self.span_id = _new_id()
+        self._token = _CURRENT.set((self.trace_id, self.span_id))
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        self.ended = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        try:
+            _CURRENT.reset(self._token)
+        except ValueError:  # pragma: no cover - exited in a foreign context
+            _CURRENT.set(None if self.parent_id is None
+                         else (self.trace_id, self.parent_id))
+        self._tracer._finish(self)
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value attributes to the span record."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def elapsed(self) -> float:
+        end = self.ended if self.ended is not None else time.perf_counter()
+        return end - self.started
+
+
+# --------------------------------------------------------------------- #
+# The tracer
+# --------------------------------------------------------------------- #
+
+class Tracer:
+    """Collects finished span records: ring buffer, optional JSON-lines
+    file, optional metrics hook, optional slow-request tree log."""
+
+    def __init__(self, buffer_size: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._buffer: "deque[Dict[str, Any]]" = deque(maxlen=buffer_size)
+        self._file: Any = None
+        self._metrics_hook: Optional[Callable[[Dict[str, Any]], None]] = None
+        self._slow_threshold: Optional[float] = None
+        self._slow_sink: Optional[Callable[[str], None]] = None
+
+    # -- record intake ------------------------------------------------- #
+
+    def _finish(self, span: Span) -> None:
+        record: Dict[str, Any] = {
+            "trace": span.trace_id, "span": span.span_id,
+            "parent": span.parent_id, "name": span.name,
+            "start": span.started,
+            "dur": (span.ended or span.started) - span.started,
+            "pid": os.getpid(),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._store(record)
+
+    def _store(self, record: Dict[str, Any]) -> None:
+        captured = getattr(_LOCAL, "capture", None)
+        if captured is not None:
+            # Worker-side request capture: the record ships back over the
+            # pipe instead of landing in this process's buffer.
+            captured.append(record)
+            return
+        slow_tree: Optional[str] = None
+        with self._lock:
+            self._buffer.append(record)
+            if self._file is not None:
+                try:
+                    self._file.write(json.dumps(record) + "\n")
+                except (OSError, ValueError):  # pragma: no cover - sink gone
+                    self._file = None
+            if (self._slow_threshold is not None
+                    and record["parent"] is None
+                    and record["dur"] >= self._slow_threshold):
+                related = [item for item in self._buffer
+                           if item["trace"] == record["trace"]]
+                slow_tree = format_trace(related)
+        if self._metrics_hook is not None:
+            self._metrics_hook(record)
+        if slow_tree is not None:
+            sink = self._slow_sink or _default_slow_sink
+            sink(f"slow request ({record['dur'] * 1000:.1f} ms "
+                 f">= {self._slow_threshold * 1000:.1f} ms):\n{slow_tree}")
+
+    def ingest(self, items: Iterable[Dict[str, Any]]) -> None:
+        """Adopt span records produced elsewhere (a worker process)."""
+        for record in items:
+            if isinstance(record, dict) and "span" in record:
+                self._store(record)
+
+    # -- record egress ------------------------------------------------- #
+
+    def records(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """A snapshot of the ring buffer (most recent ``limit`` records)."""
+        with self._lock:
+            items = list(self._buffer)
+        if limit is not None and limit >= 0:
+            items = items[-limit:]
+        return items
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Return and clear the ring buffer."""
+        with self._lock:
+            items = list(self._buffer)
+            self._buffer.clear()
+        return items
+
+    # -- configuration ------------------------------------------------- #
+
+    def reconfigure(self, buffer_size: int, trace_path: Optional[str],
+                    slow_threshold: Optional[float],
+                    slow_sink: Optional[Callable[[str], None]],
+                    metrics_hook: Optional[Callable[[Dict[str, Any]], None]]
+                    ) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:  # pragma: no cover - sink gone
+                    pass
+            self._file = (open(trace_path, "a", buffering=1)
+                          if trace_path else None)
+            self._buffer = deque(self._buffer, maxlen=buffer_size)
+            self._slow_threshold = slow_threshold
+            self._slow_sink = slow_sink
+            self._metrics_hook = metrics_hook
+
+
+def _default_slow_sink(text: str) -> None:
+    sys.stderr.write(text + "\n")
+
+
+_TRACER = Tracer()
+_ENABLED = False
+
+
+# --------------------------------------------------------------------- #
+# Module-level API
+# --------------------------------------------------------------------- #
+
+def enabled() -> bool:
+    """Is span recording on?"""
+    return _ENABLED
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """A recording span while tracing is enabled; a shared no-op
+    otherwise.  The disabled path is one boolean check — put these freely
+    on hot paths (the <2% engine-bench budget assumes exactly that)."""
+    if not _ENABLED:
+        return _NULL_SPAN
+    return Span(_TRACER, name, attrs)
+
+
+def timer(name: str, **attrs: Any) -> Union[Span, _Timer]:
+    """An **always-timing** context manager with an ``elapsed`` property.
+
+    This is the one clock behind ``EngineResult.elapsed``: disabled, it is
+    a bare perf-counter stopwatch; enabled, the same timing is additionally
+    recorded as a span under the active trace."""
+    if not _ENABLED:
+        return _Timer()
+    return Span(_TRACER, name, attrs)
+
+
+def emit(name: str, started: float, ended: float, **attrs: Any) -> None:
+    """Record a span retroactively from explicit ``perf_counter`` readings
+    (e.g. executor queueing: the wait is only measurable once it is over).
+    Parents under the calling context's active span."""
+    if not _ENABLED:
+        return
+    parent = _CURRENT.get()
+    if parent is None:
+        trace_id, parent_id = _new_id(), None
+    else:
+        trace_id, parent_id = parent
+    record: Dict[str, Any] = {
+        "trace": trace_id, "span": _new_id(), "parent": parent_id,
+        "name": name, "start": started, "dur": max(0.0, ended - started),
+        "pid": os.getpid(),
+    }
+    if attrs:
+        record["attrs"] = attrs
+    _TRACER._store(record)
+
+
+def current_context() -> Optional[SpanContext]:
+    """The active span as a picklable ``(trace_id, span_id)`` — capture it
+    before handing work to another thread or process.  ``None`` while
+    tracing is disabled or no span is open."""
+    if not _ENABLED:
+        return None
+    return _CURRENT.get()
+
+
+@contextmanager
+def activate(context: Optional[Sequence[str]]) -> Iterator[None]:
+    """Re-parent the calling thread under a captured span context: spans
+    opened inside the block join that trace as children."""
+    if context is None:
+        yield
+        return
+    token = _CURRENT.set((context[0], context[1]))
+    try:
+        yield
+    finally:
+        try:
+            _CURRENT.reset(token)
+        except ValueError:  # pragma: no cover - crossed contexts
+            _CURRENT.set(None)
+
+
+@contextmanager
+def capture() -> Iterator[List[Dict[str, Any]]]:
+    """Worker-side request capture: force tracing on for the block and
+    divert the calling thread's span records into the yielded list instead
+    of the process-local buffer — the shard host ships that list back to
+    the supervisor, which :func:`ingest`\\ s it.
+
+    Toggles the process-wide enable flag, so it belongs in the serial
+    worker loop (where the request owns the process), not next to
+    concurrent request threads."""
+    global _ENABLED
+    captured: List[Dict[str, Any]] = []
+    previous = getattr(_LOCAL, "capture", None)
+    was_enabled = _ENABLED
+    _LOCAL.capture = captured
+    _ENABLED = True
+    try:
+        yield captured
+    finally:
+        _ENABLED = was_enabled
+        _LOCAL.capture = previous
+
+
+def configure(enabled: bool = True, *, buffer_size: int = 4096,
+              trace_path: Optional[str] = None,
+              slow_threshold: Optional[float] = None,
+              slow_sink: Optional[Callable[[str], None]] = None,
+              observe_metrics: bool = True) -> None:
+    """Turn span recording on (or off) and wire the sinks.
+
+    ``trace_path`` appends every finished span as one JSON line;
+    ``slow_threshold`` (seconds) logs the full span tree of any root span
+    at least that slow to ``slow_sink`` (default: stderr);
+    ``observe_metrics`` feeds every span duration into the
+    ``span.<name>`` histogram of the global metrics registry."""
+    global _ENABLED
+    metrics_hook: Optional[Callable[[Dict[str, Any]], None]] = None
+    if enabled and observe_metrics:
+        from .metrics import registry as metrics_registry
+        metrics_hook = metrics_registry.observe_span
+    _TRACER.reconfigure(buffer_size, trace_path if enabled else None,
+                        slow_threshold if enabled else None,
+                        slow_sink, metrics_hook)
+    _ENABLED = enabled
+
+
+def disable() -> None:
+    """Turn tracing off and close the file sink (buffer survives until the
+    next :func:`configure`; :func:`drain` empties it)."""
+    configure(enabled=False)
+
+
+def records(limit: Optional[int] = None) -> List[Dict[str, Any]]:
+    return _TRACER.records(limit)
+
+
+def drain() -> List[Dict[str, Any]]:
+    return _TRACER.drain()
+
+
+def ingest(items: Iterable[Dict[str, Any]]) -> None:
+    _TRACER.ingest(items)
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+def format_trace(trace_records: Sequence[Dict[str, Any]]) -> str:
+    """One trace's records as an indented tree with per-span durations.
+
+    Cross-process traces are ordered by the parent links (and, between
+    siblings of the same process, by start time) — absolute ``start``
+    values are never compared across pids."""
+    by_id = {record["span"]: record for record in trace_records}
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for record in trace_records:
+        parent = record["parent"] if record["parent"] in by_id else None
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda item: (item["pid"], item["start"]))
+    lines: List[str] = []
+
+    def render(record: Dict[str, Any], depth: int) -> None:
+        attrs = record.get("attrs") or {}
+        suffix = "".join(f" {key}={value}" for key, value in attrs.items())
+        lines.append(f"{'  ' * depth}{record['name']} "
+                     f"{record['dur'] * 1000:.3f} ms "
+                     f"[pid {record['pid']}]{suffix}")
+        for child in children.get(record["span"], ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)

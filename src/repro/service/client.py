@@ -243,6 +243,18 @@ class ServiceClient:
     def stats(self) -> Dict[str, Any]:
         return self.request({"op": "stats"})["stats"]
 
+    def trace_dump(self, limit: Optional[int] = None) -> Dict[str, Any]:
+        """The server's span ring buffer: ``{"enabled": bool, "spans":
+        [...]}``, newest spans last (``limit`` keeps only the newest N).
+        Feed the spans to :func:`repro.obs.trace.format_trace` or dump
+        them for ``python -m repro.obs.report``."""
+        message: Dict[str, Any] = {"op": "trace_dump"}
+        if limit is not None:
+            message["limit"] = limit
+        reply = self.request(message)
+        return {"enabled": reply.get("enabled", False),
+                "spans": reply.get("spans", [])}
+
     def shutdown(self) -> bool:
         """Ask the server to exit; returns its acknowledgement."""
         return bool(self.request({"op": "shutdown"}).get("bye"))

@@ -44,11 +44,15 @@ import pickle
 import signal
 import struct
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..engine import CacheStats, EngineResult
 from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
+from ..obs.metrics import registry as obs_metrics
+from ..obs.trace import (activate, capture, current_context, emit,
+                         ingest, span as obs_span)
 from .registry import SettingRegistry, UnknownSettingError
 from .requests import ExchangeRequest, ServiceResult
 
@@ -111,12 +115,14 @@ def _worker_main(conn, registry_config: Dict[str, Any]) -> None:
         except (EOFError, OSError):
             break  # supervisor gone: exit quietly
         try:
-            request_id, op, payload = _decode_frame(frame)
+            decoded = _decode_frame(frame)
+            request_id, op, payload = decoded[:3]
+            context = decoded[3] if len(decoded) > 3 else None
         except Exception:
             break  # unframeable garbage: the pipe is beyond recovery
         if op == "shutdown":
             try:
-                conn.send_bytes(_encode_frame((request_id, True, True)))
+                conn.send_bytes(_encode_frame((request_id, True, True, ())))
             except (OSError, ValueError):
                 pass
             break
@@ -124,11 +130,23 @@ def _worker_main(conn, registry_config: Dict[str, Any]) -> None:
             # Fault injection for lifecycle tests and chaos drills: die
             # exactly as a segfault would — mid-stream, without replying.
             os._exit(int(payload or 2))
+        captured: List[Dict[str, Any]] = []
         try:
-            outcome: Any = _serve_worker_op(registry, op, payload)
-            reply = (request_id, True, outcome)
+            if context is not None:
+                # The supervisor shipped a span context: run under it and
+                # capture whatever spans the op opens, so the reply carries
+                # them home and the request's trace stays one rooted tree
+                # across the process boundary.  perf_counter values are not
+                # comparable across processes — reconstruction leans on the
+                # parent ids and durations only, never on the clocks.
+                with capture() as captured, activate(tuple(context)):
+                    with obs_span("host.worker", op=op, pid=os.getpid()):
+                        outcome: Any = _serve_worker_op(registry, op, payload)
+            else:
+                outcome = _serve_worker_op(registry, op, payload)
+            reply = (request_id, True, outcome, tuple(captured))
         except BaseException as error:
-            reply = (request_id, False, error)
+            reply = (request_id, False, error, tuple(captured))
         try:
             conn.send_bytes(_encode_frame(reply))
         except (OSError, ValueError):
@@ -138,7 +156,8 @@ def _worker_main(conn, registry_config: Dict[str, Any]) -> None:
             # of dying with the request unanswered.
             fallback = (request_id, False, RuntimeError(
                 f"worker could not ship the {op!r} outcome back: "
-                f"{type(reply[2]).__name__} did not serialize"))
+                f"{type(reply[2]).__name__} did not serialize"),
+                tuple(captured))
             try:
                 conn.send_bytes(_encode_frame(fallback))
             except (OSError, ValueError):
@@ -170,11 +189,16 @@ def _serve_worker_op(registry: SettingRegistry, op: str, payload: Any) -> Any:
 class _PendingCall:
     """One in-flight frame: what to resend on a crash, where to wait."""
 
-    __slots__ = ("op", "payload", "event", "ok", "outcome", "retries")
+    __slots__ = ("op", "payload", "ctx", "event", "ok", "outcome", "retries")
 
     def __init__(self, op: str, payload: Any) -> None:
         self.op = op
         self.payload = payload
+        #: Span context captured at submission time, shipped in the frame so
+        #: worker spans parent under the supervisor's request span.  A retry
+        #: after a crash reuses it — the retried work still belongs to the
+        #: original request's trace.
+        self.ctx = current_context()
         self.event = threading.Event()
         self.ok = False
         self.outcome: Any = None
@@ -198,10 +222,16 @@ class _PendingCall:
 class _WorkerHandle:
     """One live worker process plus its pipe, pending map and reader."""
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(self, index: int, process, conn,
+                 generation: int = 1) -> None:
         self.index = index
         self.process = process
         self.conn = conn
+        #: Monotonic per-slot spawn count: generation 1 is the original
+        #: worker, each restart increments it.  Stats views are tagged with
+        #: it so aggregation never mixes a dead worker's counters with its
+        #: replacement's.
+        self.generation = generation
         #: Guards ``pending``/``next_id``/``dead`` *and* serializes frame
         #: writes — concurrent senders must never interleave frame bytes.
         self.lock = threading.Lock()
@@ -209,6 +239,7 @@ class _WorkerHandle:
         self.next_id = 0
         self.dead = False
         self.reader: Optional[threading.Thread] = None
+        self.in_flight = obs_metrics.gauge(f"host.worker{index}.in_flight")
 
     def submit(self, call: _PendingCall) -> bool:
         """Enqueue ``call`` on this worker; ``False`` if it is already dead
@@ -219,14 +250,16 @@ class _WorkerHandle:
         A send that fails because the worker just died leaves the entry
         pending on purpose: the restart sweep resubmits it.
         """
-        frame = _encode_frame((0, call.op, call.payload))  # probe early
+        frame = _encode_frame((0, call.op, call.payload, call.ctx))  # probe
         with self.lock:
             if self.dead:
                 return False
             self.next_id += 1
             request_id = self.next_id
             self.pending[request_id] = call
-            frame = _encode_frame((request_id, call.op, call.payload))
+            self.in_flight.set(len(self.pending))
+            frame = _encode_frame((request_id, call.op, call.payload,
+                                   call.ctx))
             try:
                 self.conn.send_bytes(frame)
             except (OSError, ValueError):
@@ -250,6 +283,7 @@ class _WorkerHandle:
             self.dead = True
             orphans = list(self.pending.values())
             self.pending.clear()
+            self.in_flight.set(0)
         return orphans
 
 
@@ -285,6 +319,9 @@ class ShardHost:
         self._mp = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else None)
+        #: Per-slot spawn counts; ``_spawn`` increments before starting the
+        #: process, so the first worker in every slot is generation 1.
+        self._generations: List[int] = [0] * workers
         self._handles: List[_WorkerHandle] = [
             self._spawn(index) for index in range(workers)]
 
@@ -299,7 +336,9 @@ class ShardHost:
             name=f"shard-host-worker-{index}", daemon=True)
         process.start()
         worker_end.close()  # the child's end lives in the child only
-        handle = _WorkerHandle(index, process, supervisor_end)
+        self._generations[index] += 1
+        handle = _WorkerHandle(index, process, supervisor_end,
+                               generation=self._generations[index])
         handle.reader = threading.Thread(
             target=self._read_replies, args=(handle,),
             name=f"shard-host-reader-{index}", daemon=True)
@@ -311,13 +350,17 @@ class ShardHost:
         while True:
             try:
                 reply = _decode_frame(handle.conn.recv_bytes())
-                request_id, ok, outcome = reply
+                request_id, ok, outcome = reply[:3]
+                spans = reply[3] if len(reply) > 3 else ()
             except (EOFError, OSError, FrameError, pickle.UnpicklingError,
                     TypeError, ValueError):
                 break  # pipe closed or worker died mid-frame
             with handle.lock:
                 call = handle.pending.pop(request_id, None)
+                handle.in_flight.set(len(handle.pending))
             if call is not None:  # an unknown id is a stale duplicate: drop
+                if spans:
+                    ingest(spans)
                 call.resolve(ok, outcome)
         if handle.dead or self._closing:
             return  # expected: shutdown or a restart already in progress
@@ -413,6 +456,22 @@ class ShardHost:
             # The handle died between routing and submission; the restart
             # path has (or will have) swapped in a replacement — re-route.
 
+    def _call_handle(self, handle: _WorkerHandle, op: str,
+                     payload: Any = None) -> Any:
+        """One frame to *this specific* handle — never its replacement.
+
+        Used by :meth:`stats`, where answers must stay attributable to the
+        exact process (pid, generation) they were snapshotted from; a dead
+        handle raises :class:`WorkerCrashError` instead of silently asking
+        whichever worker now occupies the slot.
+        """
+        call = _PendingCall(op, payload)
+        if not handle.submit(call):
+            raise WorkerCrashError(
+                f"shard-host worker {handle.index} "
+                f"(generation {handle.generation}) is dead")
+        return call.wait()
+
     # ------------------------------------------------------------------ #
     # Serving API (mirrors SettingRegistry / Router)
     # ------------------------------------------------------------------ #
@@ -456,8 +515,12 @@ class ShardHost:
         with self._lock:
             if request.fingerprint not in self._settings:
                 raise UnknownSettingError(request.fingerprint)
-        return self._call(self.worker_for(request.fingerprint), "request",
-                          request)
+        index = self.worker_for(request.fingerprint)
+        # host.pipe is the supervisor's view of the round-trip; the gap
+        # between it and the worker's host.worker span is pure transport
+        # (pickling + pipe + the worker's queue).
+        with obs_span("host.pipe", worker=index):
+            return self._call(index, "request", request)
 
     def execute_group(self, fingerprint: str,
                       group: Sequence[Tuple[int, ExchangeRequest]],
@@ -468,6 +531,7 @@ class ShardHost:
         ``Router.execute_group``."""
         pairs = list(group)
         calls: List[Optional[_PendingCall]] = []
+        submitted: List[float] = []
         results: List[ServiceResult] = []
         for index, request in pairs:
             try:
@@ -485,15 +549,18 @@ class ShardHost:
                     if handle.submit(call):
                         break
                 calls.append(call)
+                submitted.append(time.perf_counter())
             except Exception as error:
                 calls.append(None)
+                submitted.append(0.0)
                 results.append(ServiceResult(index, fingerprint,
                                              error=error))
                 if on_done is not None:
                     on_done(index, request)
                 continue
             results.append(ServiceResult(index, fingerprint))
-        for slot, call, (index, request) in zip(results, calls, pairs):
+        for slot, call, started, (index, request) in zip(
+                results, calls, submitted, pairs):
             if call is None:
                 continue  # already failed at submission
             try:
@@ -501,6 +568,11 @@ class ShardHost:
             except Exception as error:
                 slot.error = error
             finally:
+                # Pipelined calls cannot nest a ``with`` per round-trip
+                # (submissions overlap), so the pipe span is emitted
+                # retroactively from the recorded submission time.
+                emit("host.pipe", started, time.perf_counter(),
+                     worker=self.worker_for(request.fingerprint))
                 if on_done is not None:
                     on_done(index, request)
         return results
@@ -539,11 +611,22 @@ class ShardHost:
     def stats(self) -> Dict[str, Any]:
         """Supervisor counters plus every worker's registry aggregated.
 
-        ``registry`` sums each numeric counter over all worker slices (so
+        The handle list is snapshotted *once* under the supervisor's lock,
+        and every per-worker view is tagged with the pid and generation of
+        the exact handle it was fetched from.  A view is marked ``stale``
+        — and excluded from the merged aggregates — when its worker died
+        mid-snapshot, answered from a different pid (a replacement raced
+        in), or was replaced in the handle table before the snapshot
+        finished.  Aggregation therefore never mixes a dead worker's
+        counters with its replacement's: restart-survivors show up in the
+        *next* snapshot, attributed to their new generation.
+
+        ``registry`` sums each numeric counter over the fresh slices (so
         ``compiled_hits``/``plan_cache_*``/… read exactly like a
         single-process registry); ``shards`` merges the per-fingerprint
         shard views (disjoint by construction — each fingerprint lives on
-        exactly one worker); ``per_worker`` keeps the unmerged slices.
+        exactly one worker); ``per_worker`` keeps the unmerged, tagged
+        slices, stale ones included.
         """
         with self._lock:
             handles = list(self._handles)
@@ -552,14 +635,32 @@ class ShardHost:
         flat.setdefault("worker_restarts", 0)
         per_worker: List[Dict[str, Any]] = []
         for handle in handles:
+            view: Dict[str, Any] = {"pid": handle.process.pid,
+                                    "generation": handle.generation,
+                                    "stale": False,
+                                    "registry": {}, "shards": {}}
             try:
-                per_worker.append(self._call(handle.index, "stats"))
+                reply = self._call_handle(handle, "stats")
             except (WorkerCrashError, RuntimeError):
-                per_worker.append({"pid": None, "registry": {},
-                                   "shards": {}})
+                view["stale"] = True
+            else:
+                view["registry"] = reply.get("registry", {})
+                view["shards"] = reply.get("shards", {})
+                if reply.get("pid") != handle.process.pid:
+                    # A replacement answered a resubmitted frame: counters
+                    # belong to a different incarnation than the tag says.
+                    view["stale"] = True
+            with self._lock:
+                if self._handles[handle.index] is not handle or handle.dead:
+                    view["stale"] = True
+            with handle.lock:
+                view["in_flight"] = len(handle.pending)
+            per_worker.append(view)
         merged: Dict[str, int] = {}
         shards: Dict[str, Any] = {}
         for view in per_worker:
+            if view["stale"]:
+                continue
             for name, value in view["registry"].items():
                 if isinstance(value, (int, float)):
                     merged[name] = merged.get(name, 0) + value

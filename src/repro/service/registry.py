@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..engine import CacheStats, ExchangeEngine, compile_setting
 from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
+from ..obs.trace import span as obs_span
 from .quota import QuotaPolicy
 from .shard import Shard
 
@@ -226,7 +227,9 @@ class SettingRegistry:
             latch.wait()
         try:
             try:
-                compiled = compile_setting(setting)
+                with obs_span("service.compile", setting=fingerprint[:12],
+                              prewarm=prewarm):
+                    compiled = compile_setting(setting)
             except BaseException:
                 with self._lock:
                     self._stats.count("compile_failures")

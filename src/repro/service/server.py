@@ -49,7 +49,10 @@ request ``op``       reply (all carry ``"ok"``; errors add ``error``/
 ``solve``            ``{"result_ok": bool, "solution": tree|null, …}``
 ``certain_answers``  ``{"result_ok": bool, "answers": […]|null,``
                      ``"variables": […], …}``
-``stats``            ``{"stats": {…}}`` — registry + per-shard counters
+``stats``            ``{"stats": {…}, "obs": {…}}`` — registry + per-shard
+                     counters, plus the metrics-registry snapshot
+``trace_dump``       ``{"enabled": bool, "spans": […]}`` — the span ring
+                     buffer (optional ``"limit"`` keeps the newest N)
 ``ping``             ``{"pong": true}``
 ``shutdown``         ``{"bye": true}``, then the server exits cleanly
                      (in-flight requests on the connection reply first)
@@ -69,6 +72,12 @@ import sys
 import threading
 from typing import Any, Dict, List, Optional, Set
 
+from ..obs.metrics import loop_lag_probe
+from ..obs.metrics import registry as obs_metrics
+from ..obs.trace import configure as obs_configure
+from ..obs.trace import enabled as obs_enabled
+from ..obs.trace import records as obs_records
+from ..obs.trace import span as obs_span
 from .protocol import (answers_to_wire, decode_line, encode_line,
                        error_to_wire, query_from_wire, setting_from_wire,
                        tree_from_wire, tree_to_wire)
@@ -121,8 +130,19 @@ class ExchangeServer:
             # repro-lint: disable=RL001 -- startup banner: the CI smoke test
             # and example clients block on this exact line to learn the port
             print(f"listening on {self.host}:{self.port}", flush=True)
-        await self._shutdown.wait()
-        await self.aclose()
+        probe: Optional[asyncio.Task] = None
+        if obs_enabled():
+            # The event-loop lag probe only runs when observability is on:
+            # it feeds the ``loop.lag`` gauge the extended ``stats`` op
+            # reports, surfacing loop stalls (big codec work that escaped
+            # the offload threshold, GC pauses) as a number.
+            probe = asyncio.create_task(loop_lag_probe())
+        try:
+            await self._shutdown.wait()
+        finally:
+            if probe is not None:
+                probe.cancel()
+            await self.aclose()
 
     async def aclose(self) -> None:
         for task in list(self._warm_tasks):
@@ -239,16 +259,21 @@ class ExchangeServer:
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         request_id: Any = None
         big = len(line) > self.OFFLOAD_CODEC_BYTES
-        try:
-            if big:
-                message = await self.service.offload(
-                    lambda: decode_line(line))
-            else:
-                message = decode_line(line)
-            request_id = message.get("id")
-            reply = await self._dispatch(message, big)
-        except Exception as error:
-            reply = error_to_wire(error)
+        # server.request is the outermost span of a request's trace: every
+        # codec, service and (host-mode) worker span parents under it.
+        with obs_span("server.request", bytes=len(line)) as root:
+            try:
+                if big:
+                    with obs_span("server.codec", kind="decode"):
+                        message = await self.service.offload(
+                            lambda: decode_line(line))
+                else:
+                    message = decode_line(line)
+                request_id = message.get("id")
+                root.annotate(op=message.get("op"))
+                reply = await self._dispatch(message, big)
+            except Exception as error:
+                reply = error_to_wire(error)
         if request_id is not None:
             reply["id"] = request_id
         return reply
@@ -262,8 +287,9 @@ class ExchangeServer:
             """Deserialize the request tree — off-loop when the request
             line was big, so a huge source tree cannot stall the loop."""
             if big:
-                return await self.service.offload(
-                    lambda: tree_from_wire(wire))
+                with obs_span("server.codec", kind="tree"):
+                    return await self.service.offload(
+                        lambda: tree_from_wire(wire))
             return tree_from_wire(wire)
 
         if op == "ping":
@@ -271,7 +297,14 @@ class ExchangeServer:
         if op == "stats":
             return {"ok": True, "op": op, "stats": self.service.stats(),
                     "server": {"connections": self.connections,
-                               "requests": self.requests}}
+                               "requests": self.requests},
+                    "obs": {"tracing": obs_enabled(),
+                            "metrics": obs_metrics.snapshot()}}
+        if op == "trace_dump":
+            # The live tracing surface: the ring buffer of finished spans,
+            # newest last (``limit`` keeps only the most recent N).
+            return {"ok": True, "op": op, "enabled": obs_enabled(),
+                    "spans": obs_records(message.get("limit"))}
         if op == "shutdown":
             # The shutdown event is set by _serve_line *after* the "bye"
             # reply is on the wire (and after the connection's other
@@ -282,8 +315,9 @@ class ExchangeServer:
             # A big register line means a big setting: rebuild it off-loop
             # like trees, so DTD parsing cannot stall other connections.
             if big:
-                setting = await self.service.offload(
-                    lambda: setting_from_wire(message["setting"]))
+                with obs_span("server.codec", kind="setting"):
+                    setting = await self.service.offload(
+                        lambda: setting_from_wire(message["setting"]))
             else:
                 setting = setting_from_wire(message["setting"])
             fingerprint = self.service.register(setting)
@@ -311,8 +345,9 @@ class ExchangeServer:
                 # Solutions are at least source-sized: render big ones
                 # off-loop too.
                 if big:
-                    solution = await self.service.offload(
-                        lambda: tree_to_wire(payload))
+                    with obs_span("server.codec", kind="solution"):
+                        solution = await self.service.offload(
+                            lambda: tree_to_wire(payload))
                 else:
                     solution = tree_to_wire(payload)
             else:
@@ -325,8 +360,9 @@ class ExchangeServer:
             # The query parse rides the same rule as the tree: a big
             # request line must not decode any of its payload on the loop.
             if big:
-                query = await self.service.offload(
-                    lambda: query_from_wire(message["query"]))
+                with obs_span("server.codec", kind="query"):
+                    query = await self.service.offload(
+                        lambda: query_from_wire(message["query"]))
             else:
                 query = query_from_wire(message["query"])
             result = await self.service.certain_answers(
@@ -336,8 +372,9 @@ class ExchangeServer:
             payload = result.payload
             # Answer sets scale with the (big) source tree: render off-loop.
             if big:
-                answers = await self.service.offload(
-                    lambda: answers_to_wire(payload))
+                with obs_span("server.codec", kind="answers"):
+                    answers = await self.service.offload(
+                        lambda: answers_to_wire(payload))
             else:
                 answers = answers_to_wire(payload)
             return {"ok": True, "op": op, "result_ok": result.ok,
@@ -448,6 +485,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "QuotaExceededError, not queued)")
     parser.add_argument("--max-registered", type=int, default=None,
                         help="quota on distinct registered settings")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="enable tracing and append every finished "
+                             "span to PATH as JSON lines (render with "
+                             "python -m repro.obs.report PATH)")
+    parser.add_argument("--slow-ms", type=float, default=None,
+                        help="enable tracing and log the full span tree "
+                             "of any request slower than this many "
+                             "milliseconds to stderr")
     args = parser.parse_args(argv)
 
     if args.workers is not None and args.executor not in (None, "host"):
@@ -460,6 +505,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_in_flight is not None or args.max_registered is not None:
         quota = QuotaPolicy(max_in_flight=args.max_in_flight,
                             max_registered=args.max_registered)
+
+    if args.trace is not None or args.slow_ms is not None:
+        obs_configure(trace_path=args.trace,
+                      slow_threshold=(args.slow_ms / 1000.0
+                                      if args.slow_ms is not None else None))
 
     async def run() -> None:
         service = AsyncExchangeService(

@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from functools import partial
 from typing import (Any, Callable, Dict, List, Optional, Sequence, TypeVar,
@@ -66,6 +67,8 @@ from typing import (Any, Callable, Dict, List, Optional, Sequence, TypeVar,
 from ..engine import EngineResult
 from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
+from ..obs.trace import (activate, current_context, emit,
+                         enabled as obs_enabled, span as obs_span)
 from ..patterns.queries import Query
 from ..xmlmodel.tree import XMLTree
 from .host import ShardHost
@@ -189,16 +192,19 @@ class AsyncExchangeService:
         :class:`~repro.service.quota.QuotaExceededError`) *here*, before any
         executor queueing; the slot is released when the request settles.
         """
-        self.registry.quota_acquire(request.fingerprint)
-        try:
-            if self._host is not None:
-                return await self._offload(
-                    partial(self._host.execute, request))
-            return await self._offload(
-                partial(self.router.execute, request,
-                        process_parallel=self._process_parallel))
-        finally:
-            self.registry.quota_release(request.fingerprint)
+        with obs_span("service.request", op=request.op,
+                      setting=request.fingerprint[:12]):
+            with obs_span("service.admission"):
+                self.registry.quota_acquire(request.fingerprint)
+            try:
+                if self._host is not None:
+                    return await self._traced_offload(
+                        partial(self._host.execute, request))
+                return await self._traced_offload(
+                    partial(self.router.execute, request,
+                            process_parallel=self._process_parallel))
+            finally:
+                self.registry.quota_release(request.fingerprint)
 
     async def check_consistency(self, fingerprint: str,
                                 strategy: str = "auto") -> EngineResult:
@@ -267,21 +273,24 @@ class AsyncExchangeService:
             self.registry.quota_release(request.fingerprint)
 
         try:
-            groups = self.router.partition_pairs(admitted)
-            if self._host is not None:
-                group_runs = [
-                    self._offload(partial(self._host.execute_group,
-                                          fingerprint, group,
-                                          on_done=release))
-                    for fingerprint, group in groups.items()]
-            else:
-                group_runs = [
-                    self._offload(partial(self.router.execute_group,
-                                          fingerprint, group,
-                                          process_parallel=self._process_parallel,
-                                          on_done=release))
-                    for fingerprint, group in groups.items()]
-            outcomes = list(await asyncio.gather(*group_runs))
+            with obs_span("service.batch", requests=len(requests),
+                          admitted=len(admitted)):
+                groups = self.router.partition_pairs(admitted)
+                if self._host is not None:
+                    group_runs = [
+                        self._traced_offload(
+                            partial(self._host.execute_group,
+                                    fingerprint, group, on_done=release))
+                        for fingerprint, group in groups.items()]
+                else:
+                    group_runs = [
+                        self._traced_offload(
+                            partial(self.router.execute_group,
+                                    fingerprint, group,
+                                    process_parallel=self._process_parallel,
+                                    on_done=release))
+                        for fingerprint, group in groups.items()]
+                outcomes = list(await asyncio.gather(*group_runs))
         finally:
             for index, request in admitted:
                 release(index, request)
@@ -378,3 +387,22 @@ class AsyncExchangeService:
         return await loop.run_in_executor(self._pool, fn)
 
     _offload = offload
+
+    async def _traced_offload(self, fn: Callable[[], _T]) -> _T:
+        """:meth:`offload` with queueing attributed: the span context is
+        captured on the loop (contextvars do not cross executor threads),
+        re-activated in the pool thread, the executor wait is emitted
+        retroactively as ``service.queue``, and the work itself runs under
+        ``service.execute``.  Tracing off → plain :meth:`offload`."""
+        if not obs_enabled():
+            return await self._offload(fn)
+        context = current_context()
+        submitted = time.perf_counter()
+
+        def run() -> _T:
+            with activate(context):
+                emit("service.queue", submitted, time.perf_counter())
+                with obs_span("service.execute"):
+                    return fn()
+
+        return await self._offload(run)

@@ -21,7 +21,6 @@ identical across inline and process execution.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Optional, Tuple
@@ -30,6 +29,7 @@ from ..engine import EngineResult, ExchangeEngine
 from ..engine.compiled import CompiledSetting
 from ..exchange.certain_answers import certain_answers
 from ..exchange.chase import canonical_solution
+from ..obs.trace import span as obs_span, timer as obs_timer
 from .requests import ExchangeRequest
 
 __all__ = ["Shard"]
@@ -94,32 +94,35 @@ class Shard:
                process_parallel: Optional[int]) -> EngineResult:
         if not process_parallel:
             return self.engine.solve(request.tree)
-        started = time.perf_counter()
-        outcome = self._run_task(("solve", request.tree), process_parallel)
-        return self.engine._result(outcome.success, outcome.tree, "chase",
-                                   started, detail=outcome.failure or "",
-                                   raw=outcome)
+        with obs_timer("engine.solve") as clock:
+            outcome = self._run_task(("solve", request.tree),
+                                     process_parallel)
+            return self.engine._result(outcome.success, outcome.tree,
+                                       "chase", clock,
+                                       detail=outcome.failure or "",
+                                       raw=outcome)
 
     def _certain_answers(self, request: ExchangeRequest,
                          process_parallel: Optional[int]) -> EngineResult:
         if not process_parallel:
             return self.engine.certain_answers(request.tree, request.query,
                                                request.variable_order)
-        started = time.perf_counter()
-        engine = self.engine
-        key = engine._result_key(request.tree, request.query,
-                                 request.variable_order)
-        if key is not None:
-            cached = engine._cache_lookup(key)
-            if cached is not None:
-                return engine._certain_result(cached, started)
-        outcome = self._run_task(
-            ("certain_answers",
-             (request.tree, request.query, request.variable_order)),
-            process_parallel)
-        if key is not None:
-            engine._cache_store(key, outcome)
-        return engine._certain_result(outcome, started)
+        with obs_timer("engine.certain_answers") as clock:
+            engine = self.engine
+            key = engine._result_key(request.tree, request.query,
+                                     request.variable_order)
+            if key is not None:
+                with obs_span("engine.cache_lookup"):
+                    cached = engine._cache_lookup(key)
+                if cached is not None:
+                    return engine._certain_result(cached, clock)
+            outcome = self._run_task(
+                ("certain_answers",
+                 (request.tree, request.query, request.variable_order)),
+                process_parallel)
+            if key is not None:
+                engine._cache_store(key, outcome)
+            return engine._certain_result(outcome, clock)
 
     # ------------------------------------------------------------------ #
     # Worker pool / lifecycle

@@ -295,9 +295,11 @@ def test_rl005_allows_seeded_random_and_perf_counter():
             return rng.choice("abc"), time.perf_counter() - started
     """
     assert findings_for(clean, module="repro.generators.scenarios") == []
-    # Out of scope: the engine may read clocks freely.
+    # Out of RL005's scope: engine wall-clock reads are RL006's problem,
+    # never a determinism finding.
     clocky = "import time\n\ndef now():\n    return time.time()\n"
-    assert findings_for(clocky, module="repro.engine.engine") == []
+    engine_findings = findings_for(clocky, module="repro.engine.engine")
+    assert "RL005" not in codes(engine_findings)
 
 
 def test_rl005_suppressed_with_reason():
@@ -308,6 +310,54 @@ def test_rl005_suppressed_with_reason():
             # repro-lint: disable=RL005 -- run id only, never drawn content
             return time.time()
     """, module="repro.workloads.library", strict=True)
+    assert found == []
+
+
+# --------------------------------------------------------------------- #
+# RL006 — latency is measured on the monotonic clock
+# --------------------------------------------------------------------- #
+
+def test_rl006_flags_wall_clock_latency_measurement():
+    found = findings_for("""
+        import time
+
+        def timed_call(fn):
+            started = time.time()
+            result = fn()
+            return result, time.time() - started
+    """, module="repro.service.shard")
+    assert codes(found) == ["RL006", "RL006"]
+    assert "perf_counter" in found[0].message
+
+
+def test_rl006_allows_perf_counter_and_defers_generators_to_rl005():
+    clean = """
+        import time
+
+        def timed_call(fn):
+            started = time.perf_counter()
+            result = fn()
+            return result, time.perf_counter() - started
+    """
+    assert findings_for(clean, module="repro.service.shard") == []
+    # Generator wall-clock discipline belongs to RL005 — RL006 staying out
+    # keeps it one finding per sin, not two.
+    clocky = "import time\n\ndef now():\n    return time.time()\n"
+    generator_findings = findings_for(clocky,
+                                      module="repro.generators.scenarios")
+    assert "RL006" not in codes(generator_findings)
+    # ... and modules outside repro.* are out of scope entirely.
+    assert findings_for(clocky, module="benchmarks.bench_service") == []
+
+
+def test_rl006_suppressed_with_reason():
+    found = findings_for("""
+        import time
+
+        def artifact_stamp():
+            # repro-lint: disable=RL006 -- artifact timestamp, not a duration
+            return time.time()
+    """, module="repro.service.server", strict=True)
     assert found == []
 
 
