@@ -49,6 +49,7 @@ THROUGHPUT_METRICS = {
                          "repeat_tps"),
     "service": ("throughput_rps",),
     "patterns": ("plan_eps", "plan_warm_eps"),
+    "storage": ("ingest_dps", "read_dps", "fp_eps"),
 }
 
 #: Dotted paths reported for context (no gating): latency percentiles, and
@@ -58,6 +59,7 @@ CONTEXT_METRICS = {
     "engine-generated": (),
     "service": ("latency_ms.p50", "latency_ms.p99"),
     "patterns": ("interpreter_eps",),
+    "storage": ("bytes_per_node",),
 }
 
 

@@ -31,15 +31,28 @@ bounds it to the ``N`` most recently used entries (least-recently-used
 eviction, counted as ``result_cache_evictions``); the serving layer
 (:mod:`repro.service`) sets this per shard, so each setting's tenants share a
 budget but can never evict another setting's entries.
+
+**Fingerprint-addressed requests.**  After :meth:`attach_store` the
+per-tree methods accept a document *fingerprint* (``str``) wherever they
+accept an inline :class:`XMLTree`: the engine resolves it through a small
+LRU of thawed trees and then the attached
+:class:`~repro.storage.CorpusStore`, raising the typed
+:class:`~repro.storage.UnknownDocumentError` for absent fingerprints.
+Resolutions are counted on the store's ``CacheStats`` (``store_hits`` /
+``store_misses``; ``store_bytes`` moves only when record bytes are
+actually read off the heap) and surface in every result's ``cache``
+snapshot and in :meth:`stats_summary`.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple, Union)
 
 from ..exchange.certain_answers import CertainAnswers, certain_answers
 from ..exchange.chase import ChaseResult, canonical_solution
@@ -54,7 +67,14 @@ from ..xmlmodel.values import NullFactory
 from .compiled import CompiledSetting, compile_setting
 from .stats import CacheStats, EngineStats
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..storage import CorpusStore
+
 __all__ = ["EngineResult", "EngineStats", "ExchangeEngine"]
+
+#: A per-tree operand: the document itself, or — with a store attached —
+#: its fingerprint.
+TreeRef = Union[XMLTree, str]
 
 #: Strategy names accepted by :meth:`ExchangeEngine.check_consistency`.
 CONSISTENCY_STRATEGIES = ("auto", "nested_relational", "general")
@@ -150,6 +170,11 @@ class ExchangeEngine:
         self.result_cache_maxsize = result_cache_maxsize
         self._results: "OrderedDict[Tuple[str, str, Optional[Tuple[str, ...]]], CertainAnswers]" = OrderedDict()
         self._engine_stats = CacheStats()
+        #: Attached corpus store (see :meth:`attach_store`) and the LRU of
+        #: thawed trees fronting it, keyed by fingerprint.
+        self._store: Optional["CorpusStore"] = None
+        self._store_trees: "OrderedDict[str, XMLTree]" = OrderedDict()
+        self._store_tree_maxsize = 64
         # Guards the result cache, its counters and the request counter
         # against thread-pool batches; computation happens outside the lock
         # (two threads racing past the lookup may both compute — the
@@ -161,11 +186,84 @@ class ExchangeEngine:
         return self.compiled.setting
 
     @property
+    def store(self) -> Optional["CorpusStore"]:
+        """The attached corpus store, or ``None``."""
+        return self._store
+
+    def attach_store(self, store: Union["CorpusStore", str, "os.PathLike"],
+                     *, read_only: bool = False,
+                     tree_cache_maxsize: int = 64) -> "CorpusStore":
+        """Attach a persistent corpus store (a :class:`CorpusStore` or a
+        store directory path, opened — and created, unless ``read_only`` —
+        on the spot).
+
+        Afterwards every per-tree method accepts a document fingerprint in
+        place of an inline tree; resolved trees are kept in a
+        ``tree_cache_maxsize``-bounded LRU so repeated requests against
+        the same document thaw it once.  Returns the attached store (handy
+        for ``engine.attach_store(path).put_tree(tree)``)."""
+        from ..storage import CorpusStore
+        if tree_cache_maxsize < 1:
+            raise ValueError(f"tree_cache_maxsize must be >= 1, "
+                             f"got {tree_cache_maxsize!r}")
+        if not isinstance(store, CorpusStore):
+            store = CorpusStore(store, read_only=read_only)
+        with self._lock:
+            self._store = store
+            self._store_tree_maxsize = tree_cache_maxsize
+            self._store_trees.clear()
+        return store
+
+    def resolve_tree(self, source: TreeRef) -> XMLTree:
+        """An inline tree verbatim, or a fingerprint resolved through the
+        thawed-tree LRU and the attached store.
+
+        Raises :class:`~repro.storage.StoreError` when a fingerprint is
+        used with no store attached and
+        :class:`~repro.storage.UnknownDocumentError` when the store has no
+        such document (both typed, both wire-codable)."""
+        if isinstance(source, XMLTree):
+            return source
+        store = self._store
+        if store is None:
+            from ..storage import StoreError
+            raise StoreError(
+                f"cannot resolve tree fingerprint {source[:12]}...: no "
+                f"store attached (call attach_store first)")
+        with self._lock:
+            cached = self._store_trees.get(source)
+            if cached is not None:
+                self._store_trees.move_to_end(source)
+        if cached is not None:
+            store.stats.hit("store")
+            return cached
+        tree = store.load_tree(source)
+        with self._lock:
+            self._store_trees[source] = tree
+            self._store_trees.move_to_end(source)
+            while len(self._store_trees) > self._store_tree_maxsize:
+                self._store_trees.popitem(last=False)
+        return tree
+
+    @property
     def stats(self) -> Dict[str, int]:
         """Cumulative cache statistics: the compiled setting's caches merged
-        with the engine-level result cache counters."""
+        with the engine-level result cache counters (and, with a store
+        attached, the store's resolution counters)."""
         merged = self.compiled.cache_stats()
         merged.update(self._engine_stats.snapshot())
+        if self._store is not None:
+            # Read the three store counters directly rather than through
+            # snapshot(): this runs per EngineResult on every shard engine
+            # sharing one store handle, and the full sorted/formatted
+            # snapshot is measurably slower on the warm request path.
+            # Store-less engines skip the keys entirely (readers treat the
+            # absence as zero) — the warm cached path stays as cheap as it
+            # was before the storage layer existed.
+            stats = self._store.stats
+            merged["store_hits"] = stats.hits("store")
+            merged["store_misses"] = stats.misses("store")
+            merged["store_bytes"] = stats.counts("store_bytes")
         merged.setdefault("result_cache_hits", 0)
         merged.setdefault("result_cache_misses", 0)
         merged.setdefault("result_cache_evictions", 0)
@@ -188,6 +286,9 @@ class ExchangeEngine:
             plan_cache_misses=counters["plan_cache_misses"],
             plan_cache_evictions=counters["plan_cache_evictions"],
             plan_cache_entries=len(self.compiled.plan_cache),
+            store_hits=counters.get("store_hits", 0),
+            store_misses=counters.get("store_misses", 0),
+            store_bytes=counters.get("store_bytes", 0),
             counters=counters)
 
     def clear_result_cache(self) -> None:
@@ -233,34 +334,41 @@ class ExchangeEngine:
     # Per-tree operations
     # ------------------------------------------------------------------ #
 
-    def solve(self, source_tree: XMLTree,
+    def solve(self, source_tree: TreeRef,
               nulls: Optional[NullFactory] = None) -> EngineResult:
         """Chase ``cps(T)`` into the canonical solution ``T*`` (Section 6.1).
 
-        ``ok`` is false — with the chase's failure reason in ``detail`` —
-        when the source tree has no solution (Lemma 6.15 b)."""
+        ``source_tree`` is an inline tree or — with a store attached — a
+        document fingerprint.  ``ok`` is false — with the chase's failure
+        reason in ``detail`` — when the source tree has no solution
+        (Lemma 6.15 b)."""
         with obs_timer("engine.solve") as clock:
+            source_tree = self.resolve_tree(source_tree)
             outcome: ChaseResult = canonical_solution(
                 self.setting, source_tree, nulls, compiled=self.compiled)
             return self._result(outcome.success, outcome.tree, "chase",
                                 clock, detail=outcome.failure or "",
                                 raw=outcome)
 
-    def certain_answers(self, source_tree: XMLTree, query: Query,
+    def certain_answers(self, source_tree: TreeRef, query: Query,
                         variable_order: Optional[Sequence[str]] = None,
                         nulls: Optional[NullFactory] = None) -> EngineResult:
         """``certain(Q, T)`` via the canonical solution (Theorem 6.2).
 
-        ``payload`` is the set of all-constant answer tuples; ``ok`` is
-        false when the source tree has no solution.  Repeated requests for a
-        fingerprint-identical ``(tree, query, variable_order)`` triple are
-        served from the result cache (observable only through the
-        ``result_cache_*`` counters — payload, strategy and detail are
-        identical to a fresh computation).  Passing an explicit ``nulls``
+        ``source_tree`` is an inline tree or — with a store attached — a
+        document fingerprint.  ``payload`` is the set of all-constant
+        answer tuples; ``ok`` is false when the source tree has no
+        solution.  Repeated requests for a fingerprint-identical ``(tree,
+        query, variable_order)`` triple are served from the result cache
+        (observable only through the ``result_cache_*`` counters —
+        payload, strategy and detail are identical to a fresh
+        computation), so inline and fingerprint-addressed forms of the
+        same document share cache entries.  Passing an explicit ``nulls``
         factory bypasses the cache: the caller is asking for the canonical
         solution to be built from *that* factory, which a cached outcome
         would silently ignore."""
         with obs_timer("engine.certain_answers") as clock:
+            source_tree = self.resolve_tree(source_tree)
             key = (None if nulls is not None
                    else self._result_key(source_tree, query, variable_order))
             if key is not None:
@@ -313,7 +421,7 @@ class ExchangeEngine:
                             "canonical-solution", clock,
                             detail=detail, raw=outcome)
 
-    def certain_answer_boolean(self, source_tree: XMLTree,
+    def certain_answer_boolean(self, source_tree: TreeRef,
                                query: Query) -> EngineResult:
         """Boolean certain answers; ``payload`` is ``True`` / ``False`` and
         ``ok`` is false (payload ``None``) when no solution exists."""
@@ -327,17 +435,19 @@ class ExchangeEngine:
     # Batch operations
     # ------------------------------------------------------------------ #
 
-    def solve_batch(self, source_trees: Sequence[XMLTree],
+    def solve_batch(self, source_trees: Sequence[TreeRef],
                     parallel: Optional[int] = None,
                     executor: str = "thread") -> List[EngineResult]:
         """Canonical solutions for many source trees (order-preserving).
 
+        Items may be inline trees or stored-document fingerprints.
         ``executor`` is ``"thread"`` (default), ``"process"`` or
         ``"serial"``; see :meth:`certain_answers_batch`."""
-        return self._map_batch("solve", self.solve, list(source_trees),
+        trees = [self.resolve_tree(tree) for tree in source_trees]
+        return self._map_batch("solve", self.solve, trees,
                                parallel, executor)
 
-    def certain_answers_batch(self, source_trees: Sequence[XMLTree],
+    def certain_answers_batch(self, source_trees: Sequence[TreeRef],
                               queries: Union[Query, Sequence[Query]],
                               parallel: Optional[int] = None,
                               executor: str = "thread") -> List[EngineResult]:
@@ -366,7 +476,7 @@ class ExchangeEngine:
         *concurrent* duplicates racing past the lookup may occasionally
         compute in parallel — counters then truthfully report extra misses.
         """
-        trees = list(source_trees)
+        trees = [self.resolve_tree(tree) for tree in source_trees]
         if isinstance(queries, Query):
             pairs = [(tree, queries) for tree in trees]
         else:

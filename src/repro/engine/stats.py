@@ -43,6 +43,13 @@ class EngineStats:
     plan_cache_misses: int = 0
     plan_cache_evictions: int = 0
     plan_cache_entries: int = 0
+    #: Corpus-store resolution counters (all zero with no store attached):
+    #: ``store_hits`` / ``store_misses`` count fingerprint-addressed tree
+    #: resolutions; ``store_bytes`` accumulates record bytes read off the
+    #: store heap (cache-served resolutions move hits but not bytes).
+    store_hits: int = 0
+    store_misses: int = 0
+    store_bytes: int = 0
     counters: Dict[str, int] = field(default_factory=dict)
 
 

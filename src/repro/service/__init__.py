@@ -27,6 +27,13 @@ lifetime:
   ``await service.prewarm(fp)`` compile ahead of the first request
   (``prewarm_*`` counters in registry stats), so hot settings never pay
   first-request compile latency;
+* persistence — with a :class:`~repro.storage.CorpusStore` attached
+  (``store=`` on the registry/service/host, ``--store`` on the server),
+  ``await service.put_tree(tree)`` stores documents addressable by
+  fingerprint on every per-tree call (``tree_fp`` on the wire),
+  ``register(setting, persist=True)`` pickles the *compiled* setting, and
+  ``restore_settings()`` re-admits everything plan-warm after a restart —
+  the first request of the new process is a ``compiled_hit``;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a stdlib-only
   JSON-lines TCP server (``python -m repro.service.server``) with
   **per-connection request pipelining** (replies in completion order,

@@ -42,6 +42,7 @@ from ..xmlmodel.values import Value
 from .protocol import (ServerError, decode_line, encode_line,
                        error_from_wire, setting_to_wire, tree_from_wire,
                        tree_to_wire, value_from_wire)
+from .registry import SettingRegistry
 
 __all__ = ["ServiceClient", "ServerError", "main"]
 
@@ -186,19 +187,35 @@ class ServiceClient:
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 
-    def register(self, setting: DataExchangeSetting,
-                 prewarm: bool = False) -> str:
+    def register(self, setting: DataExchangeSetting, *legacy: bool,
+                 prewarm: bool = False, persist: bool = False) -> str:
         """Register a setting; returns its fingerprint (the routing key).
 
-        ``prewarm=True`` asks the server to compile the setting in the
-        background immediately, so the first real request finds a warm
-        shard (``prewarm_*`` counters in :meth:`stats`).
+        Takes the consolidated keyword set shared with every ``register``
+        surface (:class:`~repro.service.registry.SettingRegistry`, the
+        async service, the shard host): ``prewarm=True`` asks the server to
+        compile the setting in the background immediately, so the first
+        real request finds a warm shard (``prewarm_*`` counters in
+        :meth:`stats`); ``persist=True`` makes the server compile *before
+        replying* and pickle the compiled setting into its corpus store,
+        so a restarted server restores it plan-warm.
         """
+        prewarm = SettingRegistry._consolidate_register_args(legacy, prewarm)
         message: Dict[str, Any] = {"op": "register",
                                    "setting": setting_to_wire(setting)}
         if prewarm:
             message["prewarm"] = True
+        if persist:
+            message["persist"] = True
         return self.request(message)["fingerprint"]
+
+    def put_tree(self, tree: XMLTree) -> str:
+        """Upload a source document into the server's corpus store; returns
+        its fingerprint.  Pass the fingerprint anywhere :meth:`solve` /
+        :meth:`certain_answers` take a tree and nothing tree-sized travels
+        with those requests again."""
+        return self.request({"op": "put_tree",
+                             "tree": tree_to_wire(tree)})["fingerprint"]
 
     def prewarm(self, fingerprint: str) -> bool:
         """Schedule a background compile of a registered setting."""
@@ -216,22 +233,34 @@ class ServiceClient:
         return bool(self.request({"op": "classify",
                                   "fingerprint": fingerprint})["tractable"])
 
-    def solve(self, fingerprint: str, tree: XMLTree) -> Optional[XMLTree]:
-        """The canonical solution, or ``None`` when no solution exists."""
-        reply = self.request({"op": "solve", "fingerprint": fingerprint,
-                              "tree": tree_to_wire(tree)})
+    @staticmethod
+    def _source_field(tree: Union[XMLTree, str]) -> Dict[str, Any]:
+        """``{"tree": …}`` for an inline document, ``{"tree_fp": …}`` for a
+        stored-document fingerprint (see :meth:`put_tree`)."""
+        if isinstance(tree, str):
+            return {"tree_fp": tree}
+        return {"tree": tree_to_wire(tree)}
+
+    def solve(self, fingerprint: str,
+              tree: Union[XMLTree, str]) -> Optional[XMLTree]:
+        """The canonical solution, or ``None`` when no solution exists;
+        ``tree`` is the document or its stored fingerprint."""
+        reply = self.request(dict({"op": "solve",
+                                   "fingerprint": fingerprint},
+                                  **self._source_field(tree)))
         if not reply["result_ok"] or reply["solution"] is None:
             return None
         return tree_from_wire(reply["solution"], ordered=False)
 
-    def certain_answers(self, fingerprint: str, tree: XMLTree,
+    def certain_answers(self, fingerprint: str, tree: Union[XMLTree, str],
                         query_pattern: str,
                         variable_order: Optional[Sequence[str]] = None
                         ) -> Optional[Set[Tuple[Value, ...]]]:
-        """``certain(Q, T)`` for a pattern-text query; ``None`` = no solution."""
-        message: Dict[str, Any] = {
-            "op": "certain_answers", "fingerprint": fingerprint,
-            "tree": tree_to_wire(tree), "query": query_pattern}
+        """``certain(Q, T)`` for a pattern-text query; ``None`` = no solution.
+        ``tree`` is the document or its stored fingerprint."""
+        message: Dict[str, Any] = dict(
+            {"op": "certain_answers", "fingerprint": fingerprint,
+             "query": query_pattern}, **self._source_field(tree))
         if variable_order is not None:
             message["variable_order"] = list(variable_order)
         reply = self.request(message)
@@ -326,6 +355,101 @@ def run_smoke(executor: str = "thread", verbose: bool = True) -> int:
         return 1
 
 
+def _boot_store_server(store: str, executor: str):
+    """Boot a ``--store`` server subprocess; returns ``(process, host,
+    port, restored)`` once the listening banner is out (``restored`` is the
+    count from the plan-warm boot banner)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.server", "--port", "0",
+         "--executor", executor, "--store", store],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    restored: Optional[int] = None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            raise AssertionError(
+                f"server exited ({process.returncode}) before the "
+                f"listening banner")
+        line = line.strip()
+        if line.startswith("restored "):
+            restored = int(line.split()[1])
+        elif line.startswith("listening on "):
+            host, port = line.split()[-1].rsplit(":", 1)
+            return process, host, int(port), restored
+
+
+def run_restart_smoke(executor: str = "thread", verbose: bool = True) -> int:
+    """The persistence smoke check CI runs: boot a server on a fresh
+    ``--store``, persist a setting and upload a document, shut down; boot a
+    *second* server on the same store and assert its very first request is
+    answered plan-warm — ``prewarm_hits >= 1``, ``compiled_misses == 0`` —
+    against the fingerprint-addressed document, with no re-register and no
+    re-upload.  Returns a process-style exit code."""
+    import tempfile
+
+    from ..workloads import library
+
+    def say(text: str) -> None:
+        if verbose:
+            print(text, flush=True)
+
+    setting = library.library_setting()
+    tree = library.generate_source(4, authors_per_book=2, seed=1)
+    query = "bib[writer(@name=w)[work(@title='Book-0')]]"
+    expected = {("Author-1",), ("Author-2",)}
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store:
+        process, host, port, restored = _boot_store_server(store, executor)
+        try:
+            assert restored == 0, f"fresh store restored {restored}"
+            with ServiceClient(host, port) as client:
+                fingerprint = client.register(setting, persist=True)
+                tree_fp = client.put_tree(tree)
+                answers = client.certain_answers(fingerprint, tree_fp, query)
+                assert answers == expected, answers
+                say(f"leg 1: persisted setting {fingerprint[:16]}… and "
+                    f"document {tree_fp[:16]}…, fp-addressed request ok")
+                assert client.shutdown()
+            if process.wait(timeout=30) != 0:
+                raise AssertionError(
+                    f"server exited with {process.returncode}")
+        except BaseException as error:
+            process.kill()
+            process.wait()
+            print(f"RESTART SMOKE FAIL: {error}", file=sys.stderr,
+                  flush=True)
+            return 1
+        process, host, port, restored = _boot_store_server(store, executor)
+        try:
+            assert restored == 1, f"expected 1 restored setting, " \
+                                  f"got {restored}"
+            with ServiceClient(host, port) as client:
+                # The very first request of the new process: no register,
+                # no upload — the store supplies both halves.
+                answers = client.certain_answers(fingerprint, tree_fp, query)
+                assert answers == expected, answers
+                registry = client.stats()["registry"]
+                assert registry["compiled_misses"] == 0, registry
+                assert registry["prewarm_hits"] >= 1, registry
+                assert registry["store_hits"] >= 1, registry
+                say(f"leg 2: restored boot answered its first request "
+                    f"plan-warm (prewarm_hits="
+                    f"{registry['prewarm_hits']}, compiled_misses=0, "
+                    f"store_hits={registry['store_hits']})")
+                assert client.shutdown()
+            if process.wait(timeout=30) != 0:
+                raise AssertionError(
+                    f"server exited with {process.returncode}")
+            say("RESTART SMOKE PASS")
+            return 0
+        except BaseException as error:
+            process.kill()
+            process.wait()
+            print(f"RESTART SMOKE FAIL: {error}", file=sys.stderr,
+                  flush=True)
+            return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.client", description=__doc__,
@@ -333,13 +457,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="boot a server subprocess and round-trip the "
                              "core conversation (CI smoke check)")
+    parser.add_argument("--smoke-restart", action="store_true",
+                        help="persistence smoke check: persist into a "
+                             "--store, restart the server on it, assert "
+                             "the first request is answered plan-warm")
     parser.add_argument("--executor", default="thread",
-                        help="server executor for --smoke")
+                        help="server executor for --smoke/--smoke-restart")
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke(args.executor)
-    parser.error("nothing to do: pass --smoke (or use ServiceClient "
-                 "programmatically)")
+    if args.smoke_restart:
+        return run_restart_smoke(args.executor)
+    parser.error("nothing to do: pass --smoke or --smoke-restart (or use "
+                 "ServiceClient programmatically)")
     return 2  # pragma: no cover
 
 

@@ -48,11 +48,12 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..engine import CacheStats, EngineResult
-from ..engine.compiled import CompiledSetting
+from ..engine.compiled import CompiledSetting, compile_setting
 from ..exchange.setting import DataExchangeSetting
 from ..obs.metrics import registry as obs_metrics
 from ..obs.trace import (activate, capture, current_context, emit,
                          ingest, span as obs_span)
+from ..storage import CorpusStore, StoreError
 from .registry import SettingRegistry, UnknownSettingError
 from .requests import ExchangeRequest, ServiceResult
 
@@ -294,19 +295,39 @@ class ShardHost:
                  max_compiled: Optional[int] = None,
                  result_cache: bool = True,
                  result_cache_maxsize: Optional[int] = None,
-                 shutdown_timeout: float = 10.0) -> None:
+                 shutdown_timeout: float = 10.0,
+                 store: Optional[Union[CorpusStore, str,
+                                       "os.PathLike"]] = None) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers!r}")
         self.workers = workers
         self.shutdown_timeout = shutdown_timeout
+        #: The corpus store, supervisor side.  The supervisor holds the
+        #: *writable* handle (persist / ingest / crash-replay source);
+        #: every worker opens the same directory read-only through its
+        #: registry config, so fingerprint-addressed requests resolve
+        #: in-worker and worker restarts come back warm from disk.  An
+        #: in-memory store cannot cross the process boundary, hence the
+        #: on-disk requirement.
+        if store is not None and not isinstance(store, CorpusStore):
+            store = CorpusStore(store)
+        if store is not None and store.path is None:
+            raise ValueError(
+                "a shard host needs an on-disk store (workers open it "
+                "read-only in their own processes); an in-memory "
+                "CorpusStore cannot be shared")
+        self.store: Optional[CorpusStore] = store
         #: Every worker builds its registry slice from this exact config.
         self._registry_config: Dict[str, Any] = {
             "max_compiled": max_compiled,
             "result_cache": result_cache,
             "result_cache_maxsize": result_cache_maxsize,
         }
+        if store is not None:
+            self._registry_config["store"] = store.path
+            self._registry_config["store_read_only"] = True
         #: Authoritative setting map: what `register` admitted (compiled
         #: settings kept compiled, so a restarted worker re-seeds
         #: plan-warm), replayed into a replacement worker on restart.
@@ -477,27 +498,56 @@ class ShardHost:
     # ------------------------------------------------------------------ #
 
     def register(self, setting: Union[DataExchangeSetting, CompiledSetting],
-                 prewarm: bool = False) -> str:
+                 *legacy: bool, prewarm: bool = False,
+                 persist: bool = False) -> str:
         """Admit a setting on its owning worker; returns the fingerprint.
 
-        The supervisor keeps the authoritative copy for crash recovery; a
+        Takes the consolidated keyword set shared with
+        :meth:`SettingRegistry.register`.  The supervisor keeps the
+        authoritative copy for crash recovery; a
         :class:`~repro.engine.compiled.CompiledSetting` is forwarded (and
         replayed on restart) compiled, so the worker arrives plan-warm.
         ``prewarm=True`` compiles in the worker before returning and is
         re-applied when a crashed worker is re-registered.
+        ``persist=True`` compiles *in the supervisor* (workers never write
+        the store), saves the pickle, and forwards the compiled setting —
+        so the owning worker, every restart of it, and every future boot
+        from this store all start plan-warm.
         """
+        prewarm = SettingRegistry._consolidate_register_args(legacy, prewarm)
         plain = setting.setting if isinstance(setting, CompiledSetting) \
             else setting
         if not isinstance(plain, DataExchangeSetting):
             raise TypeError(f"expected a DataExchangeSetting or "
                             f"CompiledSetting, got {type(setting).__name__}")
+        if persist:
+            if self.store is None:
+                raise StoreError(
+                    "register(persist=True) needs the shard host built "
+                    "with an on-disk store (pass store=...)")
+            if not isinstance(setting, CompiledSetting):
+                setting = compile_setting(plain)
+            self.store.put_setting(setting, prewarm=prewarm)
         fingerprint = plain.fingerprint()
         with self._lock:
             self._settings[fingerprint] = setting
-            if prewarm:
+            if prewarm or persist:
                 self._prewarmed.add(fingerprint)
         return self._call(self.worker_for(fingerprint), "register",
-                          (setting, prewarm))
+                          (setting, prewarm or persist))
+
+    def restore_from_store(self) -> List[str]:
+        """Re-admit every setting persisted in the supervisor's store,
+        forwarding the pickled compiled form to its owning worker — the
+        shard-host leg of a plan-warm boot.  Returns the fingerprints."""
+        if self.store is None:
+            return []
+        restored: List[str] = []
+        with obs_span("storage.restore"):
+            for item in self.store.settings():
+                self.register(item.compiled, prewarm=True)
+                restored.append(item.fingerprint)
+        return restored
 
     def prewarm(self, fingerprint: str) -> bool:
         """Compile ``fingerprint`` in its owning worker ahead of traffic;

@@ -38,6 +38,7 @@ from ..patterns.queries import Query, pattern_query
 from ..xmlmodel.dtd import DTD
 from ..xmlmodel.tree import XMLTree
 from ..xmlmodel.values import Null, Value, is_null
+from ..storage import UnknownDocumentError
 from .quota import QuotaExceededError
 from .registry import UnknownSettingError
 
@@ -262,6 +263,14 @@ def _rebuild_unknown_setting(message: str) -> UnknownSettingError:
     return UnknownSettingError(match.group(1) if match else message)
 
 
+def _rebuild_unknown_document(message: str) -> UnknownDocumentError:
+    """Same recovery for document fingerprints: the typed miss on a
+    fingerprint-addressed request keeps ``.fingerprint`` usable as a store
+    key on the client side too."""
+    match = re.search(r"fingerprint ([0-9a-f]{8,})", message)
+    return UnknownDocumentError(match.group(1) if match else message)
+
+
 #: Error names the server may send, mapped back to the exception the direct
 #: engine (or registry) call would have raised.
 _ERROR_TYPES: Dict[str, Callable[[str], BaseException]] = {
@@ -270,6 +279,7 @@ _ERROR_TYPES: Dict[str, Callable[[str], BaseException]] = {
     "ExchangeError": ExchangeError,
     "QuotaExceededError": QuotaExceededError,
     "UnknownSettingError": _rebuild_unknown_setting,
+    "UnknownDocumentError": _rebuild_unknown_document,
     "ValueError": ValueError,
     "TypeError": TypeError,
     "KeyError": KeyError,

@@ -33,7 +33,9 @@ so one tenant's traffic can never evict another tenant's cached results.
 
 from __future__ import annotations
 
+import os
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -41,6 +43,7 @@ from ..engine import CacheStats, ExchangeEngine, compile_setting
 from ..engine.compiled import CompiledSetting
 from ..exchange.setting import DataExchangeSetting
 from ..obs.trace import span as obs_span
+from ..storage import CorpusStore, StoreError
 from .quota import QuotaPolicy
 from .shard import Shard
 
@@ -67,7 +70,10 @@ class SettingRegistry:
     def __init__(self, max_compiled: Optional[int] = None,
                  result_cache: bool = True,
                  result_cache_maxsize: Optional[int] = None,
-                 quota: Optional[QuotaPolicy] = None) -> None:
+                 quota: Optional[QuotaPolicy] = None,
+                 store: Optional[Union[CorpusStore, str,
+                                       "os.PathLike"]] = None,
+                 store_read_only: bool = False) -> None:
         if quota is not None and quota.max_compiled is not None:
             if max_compiled is not None:
                 raise ValueError(
@@ -81,6 +87,15 @@ class SettingRegistry:
         self.result_cache = result_cache
         self.result_cache_maxsize = result_cache_maxsize
         self.quota = quota
+        #: The corpus store every shard engine resolves fingerprints
+        #: through (one shared handle — ``registry.stats()`` therefore
+        #: *overlays* its counters rather than summing per-shard views).
+        #: A path opens (and, unless ``store_read_only``, creates) an
+        #: on-disk store; shard-host workers pass ``store_read_only=True``
+        #: — the supervisor owns writes.
+        if store is not None and not isinstance(store, CorpusStore):
+            store = CorpusStore(store, read_only=store_read_only)
+        self.store: Optional[CorpusStore] = store
         self._settings: Dict[str, DataExchangeSetting] = {}
         self._shards: "OrderedDict[str, Shard]" = OrderedDict()
         self._stats = CacheStats()
@@ -96,16 +111,29 @@ class SettingRegistry:
     # ------------------------------------------------------------------ #
 
     def register(self, setting: Union[DataExchangeSetting, CompiledSetting],
-                 prewarm: bool = False) -> str:
+                 *legacy: bool, prewarm: bool = False,
+                 persist: bool = False) -> str:
         """Admit a setting and return its fingerprint (the routing key).
+
+        This is the one registration signature of the whole serving stack
+        — :class:`SettingRegistry`, ``AsyncExchangeService``,
+        ``ServiceClient`` and ``ShardHost`` all take the same keyword set:
 
         ``prewarm=True`` compiles the setting before returning (counted
         under ``prewarm_*``, not as a ``compiled_miss``), so its first
         request never pays compile latency.  Passing an already-compiled
         :class:`CompiledSetting` pre-seeds the shard the same way.
+        ``persist=True`` additionally saves the *compiled* setting into
+        the attached corpus store (compiling first when needed, under the
+        prewarm accounting — persisting implies warming), so a future
+        process restored from the store boots plan-warm.
         Re-registering an identical setting is a no-op (and is never
         rejected by the registration quota).
+
+        The pre-keyword form ``register(setting, True)`` still works but
+        is deprecated; spell it ``register(setting, prewarm=True)``.
         """
+        prewarm = self._consolidate_register_args(legacy, prewarm)
         compiled: Optional[CompiledSetting] = None
         if isinstance(setting, CompiledSetting):
             compiled, setting = setting, setting.setting
@@ -128,9 +156,54 @@ class SettingRegistry:
                 # shard, and overwriting it would discard whichever engine
                 # (and result cache) started serving first.
                 self._admit_shard(fingerprint, compiled, prewarmed=True)
-        if prewarm:
+        if persist:
+            if self.store is None:
+                raise StoreError(
+                    "register(persist=True) needs a corpus store attached "
+                    "to the registry (pass store=... at construction)")
+            # Persisting implies warming: the pickled plan state must come
+            # from a compiled shard, and a persisted setting exists so the
+            # next boot is plan-warm — so this compile counts under the
+            # prewarm accounting, never as a compiled_miss.
+            shard = self._obtain(fingerprint, prewarm=True)[0]
+            self.store.put_setting(shard.engine.compiled, prewarm=prewarm)
+        elif prewarm:
             self.prewarm(fingerprint)
         return fingerprint
+
+    @staticmethod
+    def _consolidate_register_args(legacy: Tuple[bool, ...],
+                                   prewarm: bool) -> bool:
+        """Map the deprecated positional ``register(setting, True)`` form
+        onto the consolidated keyword set (shared by every layer)."""
+        if not legacy:
+            return prewarm
+        if len(legacy) > 1:
+            raise TypeError(f"register() takes one setting argument "
+                            f"({1 + len(legacy)} positional given); "
+                            f"prewarm/persist are keyword-only")
+        warnings.warn(
+            "register(setting, prewarm) with a positional prewarm flag is "
+            "deprecated; use register(setting, prewarm=...) — the keyword "
+            "set shared by SettingRegistry, AsyncExchangeService, "
+            "ServiceClient and ShardHost",
+            DeprecationWarning, stacklevel=3)
+        return bool(legacy[0])
+
+    def restore_from_store(self) -> List[str]:
+        """Register every setting persisted in the attached store, each
+        pre-seeded from its pickled compiled form (so the first request
+        after a restart is a ``compiled_hits`` — ``compiled_misses`` stays
+        at zero — and each restoration counts a ``prewarm_hits``).
+        Returns the restored fingerprints."""
+        if self.store is None:
+            return []
+        restored: List[str] = []
+        with obs_span("storage.restore"):
+            for item in self.store.settings():
+                self.register(item.compiled, prewarm=True)
+                restored.append(item.fingerprint)
+        return restored
 
     # ------------------------------------------------------------------ #
     # In-flight quota
@@ -255,6 +328,8 @@ class SettingRegistry:
         engine = ExchangeEngine(
             compiled, result_cache=self.result_cache,
             result_cache_maxsize=self.result_cache_maxsize)
+        if self.store is not None:
+            engine.attach_store(self.store)
         shard = Shard(fingerprint, engine, prewarmed=prewarmed)
         self._shards[fingerprint] = shard
         self._shards.move_to_end(fingerprint)
@@ -343,6 +418,14 @@ class SettingRegistry:
             flat["plan_cache_misses"] += cache.misses
             flat["plan_cache_evictions"] += cache.evictions
             flat["plan_cache_entries"] += len(cache)
+        # Store counters are *overlaid*, not summed: every shard engine
+        # resolves through the registry's one store handle, so a per-shard
+        # sum would multiply the same counters.
+        if self.store is not None:
+            flat.update(self.store.stats.snapshot())
+        flat.setdefault("store_hits", 0)
+        flat.setdefault("store_misses", 0)
+        flat.setdefault("store_bytes", 0)
         return flat
 
     def shard_stats(self) -> Dict[str, Dict[str, Any]]:

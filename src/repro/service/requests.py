@@ -17,7 +17,7 @@ batch neighbours (see :meth:`repro.service.AsyncExchangeService.batch`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 from ..engine import EngineResult
 from ..patterns.queries import Query
@@ -35,7 +35,16 @@ OPERATIONS = ("consistency", "classify", "solve", "certain_answers")
 
 @dataclass(frozen=True, eq=False)
 class ExchangeRequest:
-    """One routable unit of work against a registered setting."""
+    """One routable unit of work against a registered setting.
+
+    Per-tree requests carry the source document either inline (``tree``)
+    or by reference (``tree_fp`` — the document's fingerprint in the
+    corpus store the serving side has attached).  Fingerprint-addressed
+    requests are the cheap form: nothing tree-sized travels with the
+    request, and the executing shard resolves the fingerprint through its
+    engine's store (raising the typed
+    :class:`~repro.storage.UnknownDocumentError` for absent documents).
+    """
 
     op: str
     fingerprint: str
@@ -43,15 +52,26 @@ class ExchangeRequest:
     query: Optional[Query] = None
     variable_order: Optional[Tuple[str, ...]] = None
     strategy: str = "auto"
+    tree_fp: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.op not in OPERATIONS:
             raise ValueError(f"unknown operation {self.op!r}; "
                              f"expected one of {', '.join(OPERATIONS)}")
-        if self.op in ("solve", "certain_answers") and self.tree is None:
-            raise ValueError(f"{self.op!r} requests need a source tree")
+        if self.op in ("solve", "certain_answers"):
+            if self.tree is None and self.tree_fp is None:
+                raise ValueError(f"{self.op!r} requests need a source tree "
+                                 f"(inline, or by fingerprint via tree_fp)")
+            if self.tree is not None and self.tree_fp is not None:
+                raise ValueError(f"{self.op!r} requests take an inline tree "
+                                 f"or a tree_fp, not both")
         if self.op == "certain_answers" and self.query is None:
             raise ValueError("'certain_answers' requests need a query")
+
+    @property
+    def source(self):
+        """What the engine consumes: the inline tree, or the fingerprint."""
+        return self.tree if self.tree is not None else self.tree_fp
 
     def __repr__(self) -> str:
         return (f"<ExchangeRequest {self.op} "
@@ -69,16 +89,25 @@ def classify_request(fingerprint: str) -> ExchangeRequest:
     return ExchangeRequest("classify", fingerprint)
 
 
-def solve_request(fingerprint: str, tree: XMLTree) -> ExchangeRequest:
-    """A canonical-solution request for one source tree."""
+def solve_request(fingerprint: str,
+                  tree: Union[XMLTree, str]) -> ExchangeRequest:
+    """A canonical-solution request for one source tree (inline, or a
+    stored-document fingerprint)."""
+    if isinstance(tree, str):
+        return ExchangeRequest("solve", fingerprint, tree_fp=tree)
     return ExchangeRequest("solve", fingerprint, tree=tree)
 
 
-def certain_answers_request(fingerprint: str, tree: XMLTree, query: Query,
+def certain_answers_request(fingerprint: str, tree: Union[XMLTree, str],
+                            query: Query,
                             variable_order: Optional[Sequence[str]] = None
                             ) -> ExchangeRequest:
-    """A certain-answers request for one ``(tree, query)`` pair."""
+    """A certain-answers request for one ``(tree, query)`` pair; ``tree``
+    is the document or its stored fingerprint."""
     order = tuple(variable_order) if variable_order is not None else None
+    if isinstance(tree, str):
+        return ExchangeRequest("certain_answers", fingerprint, tree_fp=tree,
+                               query=query, variable_order=order)
     return ExchangeRequest("certain_answers", fingerprint, tree=tree,
                            query=query, variable_order=order)
 

@@ -7,7 +7,18 @@ newline-delimited JSON (see :mod:`repro.service.protocol`).  Run it with::
     python -m repro.service.server [--host 127.0.0.1] [--port 8421]
         [--executor thread] [--parallel 4] [--workers N]
         [--max-compiled N] [--result-cache-maxsize N]
-        [--max-in-flight N] [--max-registered N]
+        [--max-in-flight N] [--max-registered N] [--store PATH]
+
+**Persistence**: ``--store PATH`` opens (creating if needed) an on-disk
+:class:`~repro.storage.CorpusStore` at ``PATH``.  Documents uploaded with
+the ``put_tree`` op land there and become addressable by fingerprint
+(``"tree_fp"``) on every per-tree request; settings registered with
+``"persist": true`` have their *compiled* form pickled into the store, and
+on boot the server restores every persisted setting plan-warm — the first
+request after a restart is a ``compiled_hit``, never a compile.  Without
+``--store`` the server still accepts ``put_tree`` into an ephemeral
+in-memory store (host mode excepted — worker processes can only share an
+on-disk store).
 
 ``--port 0`` picks a free port; the server always announces
 ``listening on HOST:PORT`` on stdout once it accepts connections, which is
@@ -43,7 +54,14 @@ request ``op``       reply (all carry ``"ok"``; errors add ``error``/
 ===================  ====================================================
 ``register``         ``{"fingerprint": …}`` — body: ``{"setting": …}``;
                      optional ``"prewarm": true`` schedules a background
-                     compile so the first request finds the shard warm
+                     compile so the first request finds the shard warm;
+                     ``"persist": true`` compiles off-loop and pickles the
+                     compiled setting into the store before replying
+``put_tree``         ``{"fingerprint": …}`` — body: ``{"tree": …}``; the
+                     stored fingerprint is accepted as ``"tree_fp"`` in
+                     place of an inline ``"tree"`` on ``solve`` /
+                     ``certain_answers`` (an unknown one is a typed
+                     ``UnknownDocumentError`` response)
 ``consistency``      ``{"consistent": bool, "strategy": …, "elapsed": …}``
 ``classify``         ``{"tractable": bool, "detail": …}``
 ``solve``            ``{"result_ok": bool, "solution": tree|null, …}``
@@ -292,6 +310,14 @@ class ExchangeServer:
                         lambda: tree_from_wire(wire))
             return tree_from_wire(wire)
 
+        async def wire_source(msg: Dict[str, Any]):
+            """The per-tree request's source: a stored-document fingerprint
+            (``tree_fp``, nothing tree-sized on the wire) or the inline
+            ``tree`` — the compatibility path."""
+            if msg.get("tree_fp") is not None:
+                return str(msg["tree_fp"])
+            return await wire_tree(msg["tree"])
+
         if op == "ping":
             return {"ok": True, "op": op, "pong": True}
         if op == "stats":
@@ -320,9 +346,22 @@ class ExchangeServer:
                         lambda: setting_from_wire(message["setting"]))
             else:
                 setting = setting_from_wire(message["setting"])
+            if message.get("persist"):
+                # persist compiles (under prewarm accounting) and writes
+                # the store — blocking work, so it runs off the loop; the
+                # reply only goes out once the pickle is durable.
+                service = self.service
+                fingerprint = await service.offload(
+                    lambda: service.register(setting, persist=True))
+                return {"ok": True, "op": op, "fingerprint": fingerprint,
+                        "persisted": True}
             fingerprint = self.service.register(setting)
             if message.get("prewarm"):
                 self._spawn_prewarm(fingerprint)
+            return {"ok": True, "op": op, "fingerprint": fingerprint}
+        if op == "put_tree":
+            tree = await wire_tree(message["tree"])
+            fingerprint = await self.service.put_tree(tree)
             return {"ok": True, "op": op, "fingerprint": fingerprint}
         if op == "prewarm":
             self._spawn_prewarm(message["fingerprint"])
@@ -339,7 +378,7 @@ class ExchangeServer:
                     "detail": result.detail, "elapsed": result.elapsed}
         if op == "solve":
             result = await self.service.solve(
-                message["fingerprint"], await wire_tree(message["tree"]))
+                message["fingerprint"], await wire_source(message))
             if result.ok and result.payload is not None:
                 payload = result.payload
                 # Solutions are at least source-sized: render big ones
@@ -366,7 +405,7 @@ class ExchangeServer:
             else:
                 query = query_from_wire(message["query"])
             result = await self.service.certain_answers(
-                message["fingerprint"], await wire_tree(message["tree"]),
+                message["fingerprint"], await wire_source(message),
                 query, order)
             raw = result.raw
             payload = result.payload
@@ -485,6 +524,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "QuotaExceededError, not queued)")
     parser.add_argument("--max-registered", type=int, default=None,
                         help="quota on distinct registered settings")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="open (creating if needed) an on-disk corpus "
+                             "store at PATH: put_tree documents and "
+                             "persist-registered settings survive restarts, "
+                             "and every persisted setting is restored "
+                             "plan-warm on boot")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="enable tracing and append every finished "
                              "span to PATH as JSON lines (render with "
@@ -517,7 +562,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             max_compiled=args.max_compiled,
             result_cache_maxsize=args.result_cache_maxsize,
-            quota=quota)
+            quota=quota, store=args.store)
+        if args.store is not None:
+            # Plan-warm boot: every setting persisted in the store is
+            # re-admitted compiled before the listening banner, so the
+            # first request a client can possibly send never compiles.
+            restored = await service.offload(service.restore_settings)
+            # repro-lint: disable=RL001 -- startup banner (pre-listen), the
+            # restart smoke test blocks on this exact line
+            print(f"restored {len(restored)} setting(s) from "
+                  f"{args.store}", flush=True)
         server = ExchangeServer(service, args.host, args.port)
         await server.serve_until_shutdown()
 

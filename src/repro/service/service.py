@@ -57,6 +57,7 @@ Executors
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -70,6 +71,7 @@ from ..exchange.setting import DataExchangeSetting
 from ..obs.trace import (activate, current_context, emit,
                          enabled as obs_enabled, span as obs_span)
 from ..patterns.queries import Query
+from ..storage import CorpusStore, StoreError
 from ..xmlmodel.tree import XMLTree
 from .host import ShardHost
 from .quota import QuotaExceededError, QuotaPolicy
@@ -95,7 +97,9 @@ class AsyncExchangeService:
                  max_compiled: Optional[int] = None,
                  result_cache_maxsize: Optional[int] = None,
                  quota: Optional[QuotaPolicy] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 store: Optional[Union[CorpusStore, str,
+                                       "os.PathLike"]] = None) -> None:
         if executor not in SERVICE_EXECUTORS:
             raise ValueError(
                 f"unknown service executor {executor!r}; "
@@ -105,17 +109,36 @@ class AsyncExchangeService:
         if workers is not None and executor != "host":
             raise ValueError("workers is the shard-host worker-process "
                              "count; it requires executor='host'")
+        if registry is not None and store is not None:
+            raise ValueError(
+                "pass the corpus store either on the registry or to the "
+                "service, not both: an explicit registry keeps its own "
+                "store")
+        #: The corpus store behind ``put_tree`` and fingerprint-addressed
+        #: requests.  ``store`` may be a :class:`CorpusStore` or a store
+        #: directory path; without one, non-host executors get an
+        #: ephemeral in-memory store (so ``put_tree`` works out of the
+        #: box — it just does not survive restarts), while host mode —
+        #: whose workers must reopen the store from other processes —
+        #: keeps ``None`` until given an on-disk path.
+        if store is not None and not isinstance(store, CorpusStore):
+            store = CorpusStore(store)
+        if store is None and registry is None and executor != "host":
+            store = CorpusStore(None)
         if registry is None:
             registry = SettingRegistry(
                 max_compiled=max_compiled,
                 result_cache_maxsize=result_cache_maxsize,
-                quota=quota)
+                quota=quota,
+                store=None if executor == "host" else store)
         elif (max_compiled is not None or result_cache_maxsize is not None
                 or quota is not None):
             raise ValueError(
                 "pass cache bounds and quotas either on the registry or to "
                 "the service, not both: an explicit registry keeps its own "
                 "max_compiled / result_cache_maxsize / quota")
+        self.store: Optional[CorpusStore] = \
+            store if store is not None else registry.store
         self.registry = registry
         self.router = Router(registry)
         self.executor = executor
@@ -126,12 +149,15 @@ class AsyncExchangeService:
         self._host: Optional[ShardHost] = None
         if executor == "host":
             # Worker registries mirror the local registry's cache bounds;
-            # quota stays local — admission happens before the pipe.
+            # quota stays local — admission happens before the pipe.  The
+            # store (when on-disk) is opened read-only in every worker;
+            # the supervisor keeps the writable handle.
             self._host = ShardHost(
                 workers=workers,
                 max_compiled=registry.max_compiled,
                 result_cache=registry.result_cache,
-                result_cache_maxsize=registry.result_cache_maxsize)
+                result_cache_maxsize=registry.result_cache_maxsize,
+                store=store)
         self._pool: Optional[ThreadPoolExecutor] = None
         if executor != "serial":
             # In host mode every in-flight pipe round-trip parks a thread,
@@ -149,7 +175,8 @@ class AsyncExchangeService:
     # ------------------------------------------------------------------ #
 
     def register(self, setting: Union[DataExchangeSetting, CompiledSetting],
-                 prewarm: bool = False) -> str:
+                 *legacy: bool, prewarm: bool = False,
+                 persist: bool = False) -> str:
         """Admit a setting; returns its fingerprint (the routing key).
 
         Synchronous on purpose: admission only fingerprints and stores the
@@ -157,19 +184,51 @@ class AsyncExchangeService:
         ``prewarm=True`` compiles before returning (blocking the caller, not
         the loop — from a coroutine prefer ``register()`` followed by
         ``await prewarm(fingerprint)``), so the first request never pays
-        compile latency.
+        compile latency.  ``persist=True`` additionally pickles the compiled
+        setting into the attached corpus store (compiling now if needed,
+        under prewarm accounting), so a restarted server can
+        :meth:`restore_settings` and answer its first request plan-warm.
 
         In host mode the local registry only *admits* (quota enforcement,
         routing keys — it never compiles); the setting is then forwarded to
         its owning worker process, which compiles on ``prewarm=True``.
         """
+        prewarm = SettingRegistry._consolidate_register_args(legacy, prewarm)
         if self._host is None:
-            return self.registry.register(setting, prewarm=prewarm)
+            return self.registry.register(setting, prewarm=prewarm,
+                                          persist=persist)
         plain = setting.setting if isinstance(setting, CompiledSetting) \
             else setting
         fingerprint = self.registry.register(plain)
-        self._host.register(setting, prewarm=prewarm)
+        self._host.register(setting, prewarm=prewarm, persist=persist)
         return fingerprint
+
+    def restore_settings(self) -> List[str]:
+        """Re-admit every setting persisted in the attached store, compiled
+        and prewarmed (``prewarm_hits``, zero ``compiled_misses``): the
+        plan-warm restart path.  Returns the restored fingerprints."""
+        if self._host is not None:
+            restored = self._host.restore_from_store()
+            for fingerprint in restored:
+                item = self.store.get_setting(fingerprint) \
+                    if self.store is not None else None
+                if item is not None:
+                    # Local registry handles routing/quota only; admit the
+                    # plain setting so fingerprints resolve loop-side.
+                    self.registry.register(item.compiled.setting)
+            return restored
+        return self.registry.restore_from_store()
+
+    async def put_tree(self, tree: XMLTree) -> str:
+        """Store a source document; returns its fingerprint, usable in
+        place of an inline tree on every per-tree request.  The write runs
+        off the event loop (store I/O is blocking)."""
+        store = self.store
+        if store is None:
+            raise StoreError(
+                "service has no corpus store attached; host-mode services "
+                "need an on-disk store (store=PATH) to accept documents")
+        return await self._offload(partial(store.put_tree, tree))
 
     async def prewarm(self, fingerprint: str) -> bool:
         """Compile a registered setting off the event loop, ahead of its
@@ -213,10 +272,12 @@ class AsyncExchangeService:
     async def classify(self, fingerprint: str) -> EngineResult:
         return await self.submit(classify_request(fingerprint))
 
-    async def solve(self, fingerprint: str, tree: XMLTree) -> EngineResult:
+    async def solve(self, fingerprint: str,
+                    tree: Union[XMLTree, str]) -> EngineResult:
         return await self.submit(solve_request(fingerprint, tree))
 
-    async def certain_answers(self, fingerprint: str, tree: XMLTree,
+    async def certain_answers(self, fingerprint: str,
+                              tree: Union[XMLTree, str],
                               query: Query,
                               variable_order: Optional[Sequence[str]] = None
                               ) -> EngineResult:
@@ -358,6 +419,8 @@ class AsyncExchangeService:
             self._host.close()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self.store is not None:
+            self.store.close()
 
     async def __aenter__(self) -> "AsyncExchangeService":
         return self

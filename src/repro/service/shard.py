@@ -93,10 +93,13 @@ class Shard:
     def _solve(self, request: ExchangeRequest,
                process_parallel: Optional[int]) -> EngineResult:
         if not process_parallel:
-            return self.engine.solve(request.tree)
+            return self.engine.solve(request.source)
         with obs_timer("engine.solve") as clock:
-            outcome = self._run_task(("solve", request.tree),
-                                     process_parallel)
+            # Fingerprint-addressed documents are resolved in the parent
+            # (through the engine's thawed-tree LRU and the store) before
+            # the task ships — pool workers carry no store handle.
+            tree = self.engine.resolve_tree(request.source)
+            outcome = self._run_task(("solve", tree), process_parallel)
             return self.engine._result(outcome.success, outcome.tree,
                                        "chase", clock,
                                        detail=outcome.failure or "",
@@ -105,11 +108,12 @@ class Shard:
     def _certain_answers(self, request: ExchangeRequest,
                          process_parallel: Optional[int]) -> EngineResult:
         if not process_parallel:
-            return self.engine.certain_answers(request.tree, request.query,
+            return self.engine.certain_answers(request.source, request.query,
                                                request.variable_order)
         with obs_timer("engine.certain_answers") as clock:
             engine = self.engine
-            key = engine._result_key(request.tree, request.query,
+            tree = engine.resolve_tree(request.source)
+            key = engine._result_key(tree, request.query,
                                      request.variable_order)
             if key is not None:
                 with obs_span("engine.cache_lookup"):
@@ -118,7 +122,7 @@ class Shard:
                     return engine._certain_result(cached, clock)
             outcome = self._run_task(
                 ("certain_answers",
-                 (request.tree, request.query, request.variable_order)),
+                 (tree, request.query, request.variable_order)),
                 process_parallel)
             if key is not None:
                 engine._cache_store(key, outcome)

@@ -1,0 +1,23 @@
+"""ReproStore: the persistent, fingerprint-addressed corpus plane.
+
+Everything above this package is RAM-lifetime; this package is where
+documents and compiled settings outlive the process.  See
+:mod:`repro.storage.store` for the durability contract and
+:mod:`repro.storage.encoding` for the columnar pre/post record layout.
+
+The serving layer builds on three pieces:
+
+* :class:`CorpusStore` — SQLite catalog + mmap'd record heap (or an
+  ephemeral in-memory twin), single writer / many read-only readers;
+* :class:`UnknownDocumentError` — the typed failure of
+  fingerprint-addressed requests, with a wire codec entry;
+* ``ExchangeEngine.attach_store`` / ``--store PATH`` — the attach points
+  that make ``solve`` / ``certain_answers`` accept a fingerprint wherever
+  they accept an inline tree today.
+"""
+
+from .errors import StoreError, StoreReadOnlyError, UnknownDocumentError
+from .store import CorpusStore, StoredSetting
+
+__all__ = ["CorpusStore", "StoredSetting", "StoreError",
+           "StoreReadOnlyError", "UnknownDocumentError"]

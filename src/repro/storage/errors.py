@@ -1,0 +1,43 @@
+"""Typed failures of the persistent corpus store.
+
+:class:`UnknownDocumentError` is the storage twin of
+:class:`~repro.service.registry.UnknownSettingError`: it subclasses
+``KeyError`` (lookup by an absent key), carries the offending fingerprint
+as an attribute, and renders it in a stable message the wire codec can
+parse back on the client side (see :mod:`repro.service.protocol`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["StoreError", "StoreReadOnlyError", "UnknownDocumentError"]
+
+
+class StoreError(RuntimeError):
+    """A corpus-store invariant was violated (corrupt record, wrong
+    format version, writes without a store attached, ...)."""
+
+
+class StoreReadOnlyError(StoreError):
+    """A write was attempted through a read-only store handle.
+
+    Shard-host workers open the store read-only by design — the supervisor
+    owns all writes — so this surfacing in a worker means a write slipped
+    onto the wrong side of that contract.
+    """
+
+
+class UnknownDocumentError(KeyError):
+    """No document with the requested fingerprint exists in the store.
+
+    Raised by fingerprint-addressed ``solve`` / ``certain_answers`` when
+    the client skipped ``put_tree`` (or addressed the wrong store).  The
+    fingerprint is available as ``.fingerprint``.
+    """
+
+    def __init__(self, fingerprint: str) -> None:
+        super().__init__(fingerprint)
+        self.fingerprint = fingerprint
+
+    def __str__(self) -> str:
+        return (f"no document with fingerprint {self.fingerprint} in the "
+                f"store; register it first with put_tree")

@@ -212,6 +212,38 @@ class FrozenTree:
         return result
 
     # ------------------------------------------------------------------ #
+    # Thawing
+    # ------------------------------------------------------------------ #
+
+    def thaw(self) -> "XMLTree":
+        """Rebuild a mutable :class:`XMLTree` equal to the snapshotted
+        document (fresh node idents, identical structure, labels,
+        attributes and fingerprint).
+
+        This is the load path of the persistent corpus store: the chase
+        consumes ``XMLTree`` sources, so a fingerprint-addressed request
+        thaws the stored snapshot once and caches the result.  When this
+        snapshot's fingerprint is already known it is pre-seeded into the
+        thawed tree's cache — addressing a stored document never re-hashes
+        it.  BFS positions map onto idents in index order: every parent
+        precedes its children and sibling spans are contiguous, so one
+        forward pass re-creates the exact sibling order.
+        """
+        from .tree import XMLTree
+        tree = XMLTree(self.label(0), ordered=self.ordered)
+        idents: List[int] = [tree.root]
+        for pos in range(1, self.n):
+            idents.append(tree.add_child(idents[self.parents[pos]],
+                                         self.label(pos)))
+        for aid, table in enumerate(self.attr_tables):
+            name = self.attr_names[aid]
+            for pos, value in table.items():
+                tree.set_attribute(idents[pos], name, value)
+        if self._fingerprint is not None:
+            tree._fp_cache[self.ordered] = self._fingerprint
+        return tree
+
+    # ------------------------------------------------------------------ #
     # Fingerprint
     # ------------------------------------------------------------------ #
 

@@ -266,3 +266,49 @@ def test_smoke_entry_point_passes():
         capture_output=True, text=True, timeout=120)
     assert completed.returncode == 0, completed.stderr + completed.stdout
     assert "SMOKE PASS" in completed.stdout
+
+
+class TestWireStore:
+    """The fingerprint-first wire surface: ``put_tree``, ``tree_fp`` in
+    place of inline trees, the typed ``UnknownDocumentError`` response, and
+    the client's consolidated ``register`` keywords."""
+
+    def test_put_tree_and_fp_round_trip(self):
+        from repro.service.server import serve_in_background
+        from repro.storage import UnknownDocumentError
+
+        port, _server, join = serve_in_background(parallel=2)
+        setting = library.library_setting()
+        tree = library.generate_source(3, authors_per_book=2, seed=2)
+        query = "bib[writer(@name=w)]"
+        with ServiceClient("127.0.0.1", port) as client:
+            fingerprint = client.register(setting)
+            tree_fp = client.put_tree(tree)
+            assert tree_fp == tree.fingerprint()
+            assert client.certain_answers(fingerprint, tree_fp, query) == \
+                client.certain_answers(fingerprint, tree, query)
+            solution = client.solve(fingerprint, tree_fp)
+            assert solution is not None
+            assert setting.is_unordered_solution(tree, solution)
+
+            # An unknown document fingerprint is a typed error *response*
+            # carrying the fingerprint, never a connection drop.
+            with pytest.raises(UnknownDocumentError) as info:
+                client.solve(fingerprint, "ab" * 32)
+            assert info.value.fingerprint == "ab" * 32
+            assert client.ping()  # connection survived
+
+            with pytest.warns(DeprecationWarning, match="prewarm="):
+                client.register(setting, True)
+            assert client.shutdown()
+        join()
+
+    def test_restart_smoke_entry_point_passes(self):
+        """The persistence leg CI runs: --smoke-restart persists into a
+        --store, restarts the server on it and asserts the first request
+        of the new process is answered plan-warm."""
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.service.client", "--smoke-restart"],
+            capture_output=True, text=True, timeout=180)
+        assert completed.returncode == 0, completed.stderr + completed.stdout
+        assert "RESTART SMOKE PASS" in completed.stdout
