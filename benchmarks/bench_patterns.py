@@ -19,20 +19,193 @@ fingerprint across repeated passes).  Raw speedups are reported and fed to
 ``compare_bench.py`` (bench kind ``"patterns"``) against the committed
 ``benchmarks/BENCH_patterns.json``.
 
+``--selective`` switches to the structural-join bench: synthetic *wide*
+trees (thousands of filler nodes, a handful of rare ``shelf → book →
+author`` chains) against label-selective and ``//`` queries — the shape
+where the sorted-interval join over the pre/post plane seeded from
+``nodes_by_label`` should dominate.  Both evaluation strategies are
+forced in turn via ``REPRO_EVAL_STRATEGY``; the gates are three-way
+bit-identical answers (join / recurrence / interpreter), exact
+``plan_join_runs`` / ``plan_recurrence_runs`` accounting, and a ≥10×
+join-vs-interpreter speedup (bench kind ``"patterns-selective"``,
+committed baseline ``benchmarks/BENCH_patterns_selective.json``).
+
 Run standalone::
 
     python benchmarks/bench_patterns.py --generated 30 --seed 7 \\
         [--repeat 3] [--json PATH]
+    python benchmarks/bench_patterns.py --selective --seed 7 [--json PATH]
 """
 
 import argparse
 import json
+import os
+import random
 import sys
 import time
 
+from repro import XMLTree
+from repro.engine.stats import CacheStats
 from repro.generators import scenario_batch
-from repro.patterns import PlanCache, compile_query
+from repro.patterns import (PlanCache, compile_query, descendant, node,
+                            pattern_query, union_query)
 from repro.workloads.generated import benchmark_workload
+
+
+def _selective_tree(rng, width):
+    """One wide tree: ``width`` filler rows under the root (some with a
+    child and attributes, so the interpreter really pays per node) plus a
+    few rare shelf → book → author chains — tiny ``nodes_by_label`` seeds
+    on a big document."""
+    tree = XMLTree("db", ordered=False)
+    for index in range(width):
+        row = tree.add_child(tree.root, "row")
+        tree.set_attribute(row, "k", str(index % 17))
+        if index % 3 == 0:
+            tree.add_child(row, "cell")
+    for shelf_index in range(3):
+        shelf = tree.add_child(tree.root, "shelf")
+        for book_index in range(2):
+            book = tree.add_child(shelf, "book")
+            tree.set_attribute(book, "title",
+                               f"T{shelf_index}-{book_index}")
+            author = tree.add_child(book, "author")
+            tree.set_attribute(author, "name", rng.choice("ABC"))
+            tree.set_attribute(author, "aff", rng.choice("UV"))
+    return tree
+
+
+def _selective_queries():
+    """Label-selective shapes: rooted chains, ``//`` hops, a union of
+    mixed-selectivity arms."""
+    return [
+        pattern_query(node("shelf", None,
+                           node("book", {"title": "$t"},
+                                node("author", {"name": "$n"})))),
+        pattern_query(descendant(node("author", {"name": "$n",
+                                                 "aff": "$a"}))),
+        pattern_query(node("db", None,
+                           descendant(node("book", {"title": "$t"})))),
+        union_query(
+            pattern_query(descendant(node("author", {"name": "$n"}))),
+            pattern_query(node("row", {"k": "$n"}))),
+    ]
+
+
+def _run_selective(args) -> int:
+    rng = random.Random(args.seed)
+    trees = [_selective_tree(rng, width=1500) for _ in range(6)]
+    queries = _selective_queries()
+    pairs = [(tree, query) for tree in trees for query in queries]
+    n = len(pairs)
+    nodes = sum(len(tree) for tree, _ in pairs)
+    print(f"selective workload  : {len(trees)} wide trees × "
+          f"{len(queries)} queries, {n} pairs, {nodes} tree-node visits "
+          f"per pass")
+
+    failures = []
+
+    def timed(operation):
+        best = float("inf")
+        outcome = None
+        for _ in range(args.repeat):
+            begun = time.perf_counter()
+            outcome = operation()
+            best = min(best, time.perf_counter() - begun)
+        return best, outcome
+
+    # Plans and freezes amortised: this bench isolates *evaluation*.
+    frozen_pairs = [(tree.freeze(), compile_query(query))
+                    for tree, query in pairs]
+
+    def forced_pass(strategy, stats):
+        previous = os.environ.get("REPRO_EVAL_STRATEGY")
+        os.environ["REPRO_EVAL_STRATEGY"] = strategy
+        try:
+            return [plan.rows(frozen, stats=stats)
+                    for frozen, plan in frozen_pairs]
+        finally:
+            if previous is None:
+                del os.environ["REPRO_EVAL_STRATEGY"]
+            else:
+                os.environ["REPRO_EVAL_STRATEGY"] = previous
+
+    join_stats = CacheStats()
+    join_time, join_rows = timed(lambda: forced_pass("join", join_stats))
+    recurrence_stats = CacheStats()
+    recurrence_time, recurrence_rows = timed(
+        lambda: forced_pass("recurrence", recurrence_stats))
+    interp_time, interp_answers = timed(
+        lambda: [query.answers(tree) for tree, query in pairs])
+
+    interpreter_eps = n / max(interp_time, 1e-9)
+    join_eps = n / max(join_time, 1e-9)
+    recurrence_eps = n / max(recurrence_time, 1e-9)
+    join_speedup = join_eps / interpreter_eps
+    print(f"interpreter         : {interpreter_eps:10.1f} evals/s")
+    print(f"recurrence (forced) : {recurrence_eps:10.1f} evals/s "
+          f"({recurrence_eps / interpreter_eps:5.1f}x)")
+    print(f"join (forced)       : {join_eps:10.1f} evals/s "
+          f"({join_speedup:5.1f}x)")
+
+    # Gate: *ordered* row parity between the strategies (null allocation
+    # downstream rides on row order), answer parity with the interpreter.
+    if join_rows != recurrence_rows:
+        mismatches = sum(1 for a, b in zip(join_rows, recurrence_rows)
+                         if a != b)
+        failures.append(f"strategy parity: {mismatches} of {n} pairs "
+                        "return different rows under join vs recurrence")
+    planned_answers = [
+        {tuple(row[slot] for slot in plan.free_slots) for row in rows}
+        for rows, (_, plan) in zip(join_rows, frozen_pairs)]
+    if planned_answers != interp_answers:  # both in free-variable order
+        mismatches = sum(1 for a, b in zip(planned_answers, interp_answers)
+                         if a != b)
+        failures.append(f"interpreter parity: {mismatches} of {n} pairs "
+                        "differ between join rows and the oracle")
+    if not failures:
+        print(f"parity              : all {n} pairs bit-identical across "
+              "join / recurrence / interpreter")
+
+    # Gate: exact strategy accounting — a forced pass moves only its own
+    # counter, once per pattern-plan run, every repeat included.
+    if join_stats.counts("plan_recurrence_runs") or \
+            recurrence_stats.counts("plan_join_runs"):
+        failures.append("strategy accounting: a forced pass recorded runs "
+                        "under the other strategy's counter")
+    joins = join_stats.counts("plan_join_runs")
+    recurrences = recurrence_stats.counts("plan_recurrence_runs")
+    if joins != recurrences or joins == 0 or joins % args.repeat:
+        failures.append(f"strategy accounting: {joins} join runs vs "
+                        f"{recurrences} recurrence runs over "
+                        f"{args.repeat} identical passes")
+    else:
+        print(f"strategy accounting : {joins // args.repeat} pattern runs "
+              f"per pass, counters exact over {args.repeat} passes")
+
+    # Gate: the tentpole's reason to exist — ≥10× the interpreter on
+    # label-selective queries (measured margin is far larger; 10 keeps the
+    # gate robust on noisy CI machines).
+    if join_speedup < 10.0:
+        failures.append(f"join speedup {join_speedup:.1f}x below the 10x "
+                        "floor on the selective workload")
+
+    _write_json(args.json, {
+        "bench": "patterns-selective",
+        "seed": args.seed,
+        "trees": len(trees),
+        "pairs": n,
+        "repeat": args.repeat,
+        "interpreter_eps": interpreter_eps,
+        "join_eps": join_eps,
+        "recurrence_eps": recurrence_eps,
+        "join_speedup": join_speedup,
+        "plan_join_runs_per_pass": joins // max(args.repeat, 1),
+        "failures": failures,
+    })
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _write_json(path, report) -> None:
@@ -57,7 +230,13 @@ def main(argv=None) -> int:
                         help="timing passes; the best one is reported")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write a machine-readable result file")
+    parser.add_argument("--selective", action="store_true",
+                        help="run the structural-join bench instead: wide "
+                             "trees, label-selective queries, forced "
+                             "strategies (bench kind patterns-selective)")
     args = parser.parse_args(argv)
+    if args.selective:
+        return _run_selective(args)
 
     started = time.perf_counter()
     # Timing runs on the heavy probe-selected workload (the same generator

@@ -49,6 +49,7 @@ THROUGHPUT_METRICS = {
                          "repeat_tps"),
     "service": ("throughput_rps",),
     "patterns": ("plan_eps", "plan_warm_eps"),
+    "patterns-selective": ("join_eps", "recurrence_eps"),
     "storage": ("ingest_dps", "read_dps", "fp_eps"),
 }
 
@@ -59,6 +60,7 @@ CONTEXT_METRICS = {
     "engine-generated": (),
     "service": ("latency_ms.p50", "latency_ms.p99"),
     "patterns": ("interpreter_eps",),
+    "patterns-selective": ("interpreter_eps",),
     "storage": ("bytes_per_node",),
 }
 

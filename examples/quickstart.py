@@ -97,11 +97,26 @@ def main() -> None:
     #    instead of re-interpreting the pattern AST per node.
     # ------------------------------------------------------------------ #
     engine.clear_result_cache()           # force a real (re-)evaluation
+    before = engine.stats
     engine.certain_answers(source, who_wrote_cc)
     stats = engine.stats
     print(f"Plan cache: {stats['plan_cache_hits']} hits, "
           f"{stats['plan_cache_misses']} compilations — interpretation is "
           f"paid once per query, not once per (query, node).")
+
+    # ------------------------------------------------------------------ #
+    # 7. Evaluation strategies: each plan run picks structural joins
+    #    (seeded from the snapshot's per-label indexes, interval joins
+    #    over the pre/post plane) or the bottom-up recurrence, whichever
+    #    the selectivity heuristic predicts is cheaper.  The counters
+    #    say which strategy actually served the re-asked question.
+    # ------------------------------------------------------------------ #
+    joins = stats["plan_join_runs"] - before["plan_join_runs"]
+    recurrences = (stats["plan_recurrence_runs"]
+                   - before["plan_recurrence_runs"])
+    print(f"Evaluation strategy for that request: {joins} structural-join "
+          f"run(s), {recurrences} recurrence run(s) "
+          f"(force either with REPRO_EVAL_STRATEGY=join|recurrence).")
 
 
 if __name__ == "__main__":

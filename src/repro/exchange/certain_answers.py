@@ -104,12 +104,30 @@ def certain_answers(setting: DataExchangeSetting, source_tree: XMLTree,
         plan = (compiled.query_plan(query) if compiled is not None
                 else shared_query_plan(query))
     with _span("engine.freeze"):
-        frozen = result.tree.freeze()
-    with _span("engine.plan_run"):
+        # The chase already froze the canonical solution for its own
+        # conformance check; reuse that snapshot instead of re-walking the
+        # tree (the span then shows what the reuse saves).
+        frozen = (result.frozen if result.frozen is not None
+                  else result.tree.freeze())
+    stats = compiled.stats if compiled is not None else None
+    with _span("engine.plan_run") as plan_span:
+        join_before = recurrence_before = 0
+        if stats is not None:
+            join_before = stats.counts("plan_join_runs")
+            recurrence_before = stats.counts("plan_recurrence_runs")
         answers = {
-            tup for tup in plan.answers(frozen, order)
+            tup for tup in plan.answers(frozen, order, stats=stats)
             if all(is_constant(value) for value in tup)
         }
+        if stats is not None:
+            joins = stats.counts("plan_join_runs") - join_before
+            recurrences = (stats.counts("plan_recurrence_runs")
+                           - recurrence_before)
+            plan_span.annotate(strategy=(
+                "mixed" if joins and recurrences
+                else "join" if joins
+                else "recurrence" if recurrences
+                else "none"))
     return CertainAnswers(True, answers, order, result.tree, result)
 
 

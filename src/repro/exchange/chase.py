@@ -41,6 +41,7 @@ from .setting import DataExchangeSetting
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from ..engine.compiled import CompiledSetting
+    from ..xmlmodel.frozen import FrozenTree
 
 __all__ = ["ChaseError", "ChaseResult", "chase", "canonical_solution"]
 
@@ -57,15 +58,33 @@ class ChaseStep:
 
 @dataclass
 class ChaseResult:
-    """Outcome of a chase sequence."""
+    """Outcome of a chase sequence.
+
+    ``frozen`` is the snapshot of ``tree`` the final conformance sweep
+    already paid for on success — downstream query evaluation reuses it
+    instead of freezing the canonical solution a second time.  It is a
+    cache, not part of the result's identity, and is dropped when the
+    result is pickled (the loader re-freezes on demand).
+    """
 
     success: bool
     tree: Optional[XMLTree]
     failure: Optional[str] = None
     steps: List[ChaseStep] = field(default_factory=list)
+    frozen: Optional["FrozenTree"] = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.success
+
+    def __getstate__(self) -> dict:
+        state = {name: getattr(self, name)
+                 for name in ("success", "tree", "failure", "steps")}
+        state["frozen"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
 
 
 def chase(target_dtd: DTD, tree: XMLTree,
@@ -89,10 +108,14 @@ def chase(target_dtd: DTD, tree: XMLTree,
                  max_depth=max_depth)
     except _ChaseFailure as failure:
         return ChaseResult(False, None, failure.reason, steps)
-    problems = target_dtd.conformance_violations(working, ordered=False)
+    # Freeze the repaired tree once: the final conformance sweep runs over
+    # the snapshot's columns, and the snapshot rides along in the result so
+    # query evaluation never re-freezes the canonical solution.
+    frozen = working.freeze()
+    problems = target_dtd.conformance_violations_frozen(frozen, ordered=False)
     if problems:  # pragma: no cover - defensive; the chase repairs everything or fails
         return ChaseResult(False, None, "; ".join(problems), steps)
-    return ChaseResult(True, working, None, steps)
+    return ChaseResult(True, working, None, steps, frozen)
 
 
 def canonical_solution(setting: DataExchangeSetting, source_tree: XMLTree,

@@ -24,6 +24,7 @@ from .std import STD
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
     from ..engine.compiled import CompiledSetting
+    from ..engine.stats import CacheStats
 
 __all__ = ["pattern_to_tree", "canonical_pre_solution", "PreSolutionError"]
 
@@ -108,20 +109,22 @@ def canonical_pre_solution(setting: DataExchangeSetting, source_tree: XMLTree,
     plans = (compiled.std_source_plans if compiled is not None
              else [shared_pattern_plan(dependency.source)
                    for dependency in setting.stds])
+    stats = compiled.stats if compiled is not None else None
     frozen = source_tree.freeze()
     for dependency, plan in zip(setting.stds, plans):
-        _instantiate_std(result, dependency, frozen, factory, plan)
+        _instantiate_std(result, dependency, frozen, factory, plan, stats)
     return result
 
 
 def _instantiate_std(result: XMLTree, dependency: STD, frozen: FrozenTree,
-                     factory: NullFactory, plan: PatternPlan) -> None:
+                     factory: NullFactory, plan: PatternPlan,
+                     stats: Optional["CacheStats"] = None) -> None:
     target = dependency.target
     assert isinstance(target, NodePattern)
     source_vars = dependency.source_variables()
     var_slots = [(name, plan.slot_of(name)) for name in source_vars]
     seen: set = set()
-    for row in plan.matches(frozen):
+    for row in plan.matches(frozen, stats=stats):
         # One instantiation per distinct tuple (s̄, s̄') of source values
         # (keyed on the value objects themselves — type-aware, never on
         # rendered representations).

@@ -13,13 +13,31 @@ cost **once per query** instead of once per (query, node):
   unbound slot), label tests are single ``int`` comparisons against the
   interned labels of a :class:`~repro.xmlmodel.frozen.FrozenTree`, and
   joins are slot-merge loops over those tuples;
-* the evaluator runs one bottom-up pass over the frozen tree's
-  ``post_order``, filling per-op match tables — ``//ϕ`` is lowered to the
-  recurrence ``desc(v) = ⋃_{c child of v} (inner(c) ∪ desc(c))``, so no
-  descendant set is ever enumerated;
+* **two evaluation strategies** share those lowered ops.  The *recurrence*
+  runs one bottom-up pass over the frozen tree's ``post_order``, filling
+  per-op match tables — ``//ϕ`` is lowered to the recurrence
+  ``desc(v) = ⋃_{c child of v} (inner(c) ∪ desc(c))``, so no descendant
+  set is ever enumerated.  The *structural join* is set-at-a-time over
+  the pre/post plane: each node op scans only its candidate seed
+  (``nodes_by_label`` for a labelled op, the smallest tested attribute
+  table for a wildcard with tests), ``/`` steps are merge joins over the
+  contiguous BFS child spans, and collapsed ``//`` chains are skip-ahead
+  staircase joins — one ``bisect`` into the inner matches sorted by pre
+  rank, bounded by ``pre[v] + size[v]`` and filtered by depth.  Both
+  strategies produce **bit-identical rows in bit-identical order** (the
+  join replays the recurrence's document-order gathers), so downstream
+  null allocation — and therefore canonical-solution fingerprints — never
+  depends on which one ran;
+* the strategy is chosen per ``matches()`` call by a cheap selectivity
+  heuristic (join when the summed seed sizes are at most half of
+  ``n × node-ops``), overridable via ``REPRO_EVAL_STRATEGY=join|
+  recurrence|auto``; callers that pass a ``stats`` recorder get
+  ``plan_join_runs`` / ``plan_recurrence_runs`` event counts;
 * :class:`PlanCache` is a bounded, counted, thread-safe LRU keyed by
   ``Query.fingerprint()`` — the engine and every service shard reuse plans
-  across requests.
+  across requests.  Per-tree spec resolution (label/attribute interning)
+  is cached on the plan itself, keyed weakly by the frozen snapshot, so
+  repeat evaluation of a hot document skips the rebind loop.
 
 Variable scoping matches the interpreter: members of a conjunction share
 slots by variable *name* (that is the join), while each ``∃x̄`` scope
@@ -36,6 +54,8 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
+from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import (Any, Dict, List, Mapping, Optional, Sequence, Set,
                     Tuple)
@@ -80,6 +100,56 @@ def _maybe_verify(plan: Any) -> Any:
         plancheck.verify_plan(plan)
         plan.verified = True
     return plan
+
+
+_STRATEGIES = ("auto", "join", "recurrence")
+
+
+def _strategy_override() -> str:
+    """The ``REPRO_EVAL_STRATEGY`` knob: ``join``, ``recurrence`` or
+    ``auto`` (the default — per-pattern selectivity heuristic).  Read per
+    call so tests and operators can flip it without recompiling plans."""
+    raw = os.environ.get("REPRO_EVAL_STRATEGY", "auto").strip().lower()
+    if not raw:
+        return "auto"
+    if raw not in _STRATEGIES:
+        raise ValueError(
+            f"REPRO_EVAL_STRATEGY={raw!r} is not one of {_STRATEGIES}")
+    return raw
+
+
+def _pick_strategy(resolved: Sequence[tuple], frozen: FrozenTree) -> str:
+    """``join`` or ``recurrence`` for one pattern evaluation.
+
+    The heuristic is deliberately cheap: sum the candidate-seed sizes of
+    the resolved node ops (the work the join pass scans) and compare
+    against ``n × node-ops`` (the work the recurrence pass scans).  Join
+    wins when its seeds cover at most half the recurrence's sweep — on a
+    label-selective pattern the seeds are tiny and the join is chosen; on
+    a wildcard-heavy pattern both sides degenerate to ``n`` per op and the
+    recurrence keeps its allocation-light single pass.
+    """
+    choice = _strategy_override()
+    if choice != "auto":
+        return choice
+    n = frozen.n
+    total = 0
+    node_ops = 0
+    for rop in resolved:
+        kind = rop[0]
+        if kind == "desc":
+            continue
+        node_ops += 1
+        if kind == "never":
+            continue
+        rlabel = rop[1]
+        if rlabel >= 0:
+            total += len(frozen.nodes_by_label[rlabel])
+        elif rop[2] or rop[3]:
+            total += min(len(table) for table, _ in rop[2] + rop[3])
+        else:
+            total += n
+    return "join" if total * 2 <= n * node_ops else "recurrence"
 
 
 # --------------------------------------------------------------------- #
@@ -145,6 +215,56 @@ def _lower_pattern(pattern: TreePattern, env: Dict[str, int],
     return len(ops) - 1
 
 
+def _collapse_desc(ops: Sequence[tuple], index: int) -> Tuple[int, int]:
+    """Walk a ``desc`` chain starting at op ``index`` down to its node op.
+
+    Returns ``(inner, k)``: the terminal node-op index and the chain
+    length.  ``desc^k(ϕ)`` at ``v`` is witnessed exactly by the matches of
+    ``ϕ`` at descendants ``w`` of ``v`` with ``depth[w] ≥ depth[v] + k``
+    — the whole chain evaluates as one staircase join with a depth floor.
+    """
+    hops = 0
+    while ops[index][0] == "desc":
+        hops += 1
+        index = ops[index][1]
+    return index, hops
+
+
+def _derive_join_ops(ops: Sequence[tuple]) -> Tuple[tuple, ...]:
+    """The structural-join program paired with a recurrence op sequence.
+
+    One entry per op, same indexes:
+
+      ``("node", child_specs)``   — specs mirror the op's child indexes;
+                                    each is ``("child", op_index)`` for a
+                                    child-span merge join or
+                                    ``("desc", inner_op_index, k)`` for a
+                                    collapsed ``//`` chain (staircase join
+                                    with depth floor ``depth[v] + 1 + k``);
+      ``("desc", inner, k)``      — a desc op itself, collapsed (consumed
+                                    only when the chain is the pattern
+                                    root: the final gather filters the
+                                    inner matches by ``depth[w] ≥ k``).
+
+    Derived at compile time (and statically verified next to the ops by
+    :mod:`repro.analysis.plancheck`), so evaluation never re-walks chains.
+    """
+    derived: List[tuple] = []
+    for op in ops:
+        if op[0] == "desc":
+            inner, hops = _collapse_desc(ops, op[1])
+            derived.append(("desc", inner, hops + 1))
+            continue
+        specs: List[tuple] = []
+        for child_index in op[4]:
+            if ops[child_index][0] == "desc":
+                specs.append(("desc",) + _collapse_desc(ops, child_index))
+            else:
+                specs.append(("child", child_index))
+        derived.append(("node", tuple(specs)))
+    return tuple(derived)
+
+
 def _merge_rows(first: Row, second: Row) -> Optional[Row]:
     """Slot-merge of two rows: ``None`` on a bound-slot conflict."""
     merged: Optional[List[Optional[Value]]] = None
@@ -174,18 +294,17 @@ def _join_rows(left: Sequence[Row], right: Sequence[Row]) -> Tuple[Row, ...]:
     return tuple(out)
 
 
-def _evaluate_ops(ops: Sequence[tuple], frozen: FrozenTree, width: int,
-                  base: Row) -> List[List[Tuple[Row, ...]]]:
-    """One bottom-up pass: per-op, per-node match tables over ``frozen``."""
-    n = frozen.n
-    labels = frozen.labels
+def _resolve_ops(ops: Sequence[tuple],
+                 frozen: FrozenTree) -> Tuple[tuple, ...]:
+    """Bind op specs to one tree: intern labels and attribute names once.
+
+    ``rlabel``: -1 = wildcard, -2 = label absent (op can never match).
+    The result depends only on the tree's interning tables, so it is
+    cached per (plan, frozen snapshot) — see :meth:`PatternPlan._bound_ops`
+    — and shared by both evaluation strategies.
+    """
     attr_tables = frozen.attr_tables
     attr_ids = frozen.attr_ids
-    child_start = frozen.child_start
-    child_end = frozen.child_end
-
-    # Bind the specs to this tree: intern labels and attribute names once.
-    # rlabel: -1 = wildcard, -2 = label absent (op can never match).
     resolved: List[tuple] = []
     for op in ops:
         if op[0] == "desc":
@@ -217,6 +336,21 @@ def _evaluate_ops(ops: Sequence[tuple], frozen: FrozenTree, width: int,
         else:
             resolved.append(("node", rlabel, tuple(rconst), tuple(rvar),
                              child_indexes))
+    return tuple(resolved)
+
+
+def _evaluate_ops(ops: Sequence[tuple], frozen: FrozenTree, width: int,
+                  base: Row,
+                  resolved: Optional[Sequence[tuple]] = None
+                  ) -> List[List[Tuple[Row, ...]]]:
+    """One bottom-up pass: per-op, per-node match tables over ``frozen``
+    (the recurrence strategy)."""
+    n = frozen.n
+    labels = frozen.labels
+    child_start = frozen.child_start
+    child_end = frozen.child_end
+    if resolved is None:
+        resolved = _resolve_ops(ops, frozen)
     tables: List[List[Tuple[Row, ...]]] = [[_EMPTY] * n for _ in ops]
 
     for v in frozen.post_order:
@@ -295,6 +429,174 @@ def _evaluate_ops(ops: Sequence[tuple], frozen: FrozenTree, width: int,
     return tables
 
 
+def _evaluate_join(ops: Sequence[tuple], join_ops: Sequence[tuple],
+                   root: int, frozen: FrozenTree, base: Row,
+                   resolved: Sequence[tuple]) -> Tuple[Row, ...]:
+    """Set-at-a-time structural-join evaluation over the pre/post plane.
+
+    Node ops run in index order (children before parents), each over its
+    candidate seed only; results live in sparse ``{position: rows}`` maps.
+    ``/`` steps bisect the inner op's BFS-ascending position list into the
+    parent's contiguous child span (a merge join); collapsed ``//`` chains
+    bisect the inner matches sorted by pre rank into the parent's subtree
+    interval ``(pre[v], pre[v] + size[v])`` and filter by the chain's
+    depth floor (a skip-ahead staircase join).
+
+    Row-order parity with the recurrence is load-bearing, not cosmetic:
+    the recurrence's ``desc`` gathers enumerate inner matches in document
+    (pre-) order and its final gather walks positions ascending, and
+    downstream null allocation (`presolution._instantiate_std`) keys off
+    that enumeration order.  The join path reproduces both orders exactly
+    — candidate seeds are scanned ascending, staircase gathers ascend in
+    pre rank — so the two strategies return identical tuples in identical
+    order.  Returns the deduplicated match rows of the pattern root
+    (what :meth:`PatternPlan.matches` would gather from the recurrence's
+    tables).
+    """
+    n = frozen.n
+    child_start = frozen.child_start
+    child_end = frozen.child_end
+    nodes_by_label = frozen.nodes_by_label
+
+    count = len(ops)
+    rows_of: List[Optional[Dict[int, Tuple[Row, ...]]]] = [None] * count
+    poslist: List[Optional[List[int]]] = [None] * count
+    pre_sorted: List[Optional[List[int]]] = [None] * count
+    pre_keys: List[Optional[List[int]]] = [None] * count
+
+    # Node ops consumed through a staircase join need their matches
+    # projected onto the pre axis once (sorted positions + parallel keys).
+    staircase_inner: Set[int] = set()
+    for jop in join_ops:
+        if jop[0] == "desc":
+            staircase_inner.add(jop[1])
+        else:
+            for spec in jop[1]:
+                if spec[0] == "desc":
+                    staircase_inner.add(spec[1])
+    # The interval plane is only needed for staircase joins — a pure
+    # child-chain pattern (no ``//``) runs entirely on seeds and child
+    # spans, so a fresh snapshot never pays the plane build for it.
+    if staircase_inner:
+        pre, _post = frozen.pre_post()
+        depths = frozen.depths()
+        sizes = frozen.subtree_sizes()
+    else:
+        pre = depths = sizes = ()
+
+    for index, rop in enumerate(resolved):
+        if rop[0] != "node":
+            continue  # "desc" collapses into its consumers; "never" stays empty
+        _, rlabel, rconst, rvar, _child_indexes = rop
+        specs = join_ops[index][1]
+        # Candidate seed, always scanned in ascending BFS position so the
+        # output maps iterate in the recurrence's gather order.
+        if rlabel >= 0:
+            candidates: Sequence[int] = nodes_by_label[rlabel]
+        elif rconst or rvar:
+            candidates = sorted(min((table for table, _ in rconst + rvar),
+                                    key=len))
+        else:
+            candidates = range(n)
+        out: Dict[int, Tuple[Row, ...]] = {}
+        for v in candidates:
+            ok = True
+            for table, constant in rconst:
+                if table.get(v) != constant:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            row = base
+            if rvar:
+                scratch: Optional[List[Optional[Value]]] = None
+                for table, slot in rvar:
+                    value = table.get(v)
+                    if value is None:
+                        ok = False
+                        break
+                    current = row[slot] if scratch is None else scratch[slot]
+                    if current is None:
+                        if scratch is None:
+                            scratch = list(row)
+                        scratch[slot] = value
+                    elif current != value:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if scratch is not None:
+                    row = tuple(scratch)
+            result: Tuple[Row, ...] = (row,)
+            for spec in specs:
+                target = spec[1]
+                inner_rows = rows_of[target]
+                gathered: List[Row] = []
+                if inner_rows:
+                    if spec[0] == "child":
+                        cs = child_start[v]
+                        ce = child_end[v]
+                        if cs < ce:
+                            plist = poslist[target]
+                            i = bisect_left(plist, cs)
+                            stop = len(plist)
+                            while i < stop:
+                                c = plist[i]
+                                if c >= ce:
+                                    break
+                                gathered.extend(inner_rows[c])
+                                i += 1
+                    else:  # ("desc", target, k): staircase with depth floor
+                        keys = pre_keys[target]
+                        positions = pre_sorted[target]
+                        pv = pre[v]
+                        lo = bisect_right(keys, pv)
+                        hi = bisect_left(keys, pv + sizes[v])
+                        floor = depths[v] + 1 + spec[2]
+                        for j in range(lo, hi):
+                            w = positions[j]
+                            if depths[w] >= floor:
+                                gathered.extend(inner_rows[w])
+                if not gathered:
+                    result = _EMPTY
+                    break
+                if len(gathered) > 1:
+                    gathered = list(dict.fromkeys(gathered))
+                result = _join_rows(result, gathered)
+                if not result:
+                    break
+            if result:
+                out[v] = result
+        rows_of[index] = out
+        poslist[index] = list(out)  # insertion order == ascending BFS
+        if index in staircase_inner:
+            ordered = sorted(out, key=pre.__getitem__)
+            pre_sorted[index] = ordered
+            pre_keys[index] = [pre[p] for p in ordered]
+
+    # Final gather — replicates PatternPlan.matches over the recurrence's
+    # root table: positions ascending for a node root; for a `//` root the
+    # (deduplicated) table at the tree root already equals the inner
+    # matches in pre order with the chain's depth floor applied.
+    gathered_all: List[Row] = []
+    root_jop = join_ops[root]
+    if root_jop[0] == "desc":
+        inner_rows = rows_of[root_jop[1]]
+        if inner_rows:
+            floor = root_jop[2]
+            for w in pre_sorted[root_jop[1]]:
+                if depths[w] >= floor:
+                    gathered_all.extend(inner_rows[w])
+    else:
+        inner_rows = rows_of[root]
+        if inner_rows:
+            for v in poslist[root]:
+                gathered_all.extend(inner_rows[v])
+    if len(gathered_all) > 1:
+        gathered_all = list(dict.fromkeys(gathered_all))
+    return tuple(gathered_all)
+
+
 class PatternPlan:
     """One tree-pattern formula lowered to slot-based ops.
 
@@ -304,13 +606,17 @@ class PatternPlan:
     slots unbound).
     """
 
-    __slots__ = ("pattern", "ops", "root", "width", "slots", "variables",
-                 "verified")
+    __slots__ = ("pattern", "ops", "join_ops", "root", "width", "slots",
+                 "variables", "verified", "_bind_cache")
 
     def __init__(self, pattern: TreePattern, ops: Tuple[tuple, ...],
                  root: int, width: int, slots: Dict[str, int]) -> None:
         self.pattern = pattern
         self.ops = ops
+        #: The structural-join program paired with ``ops`` (same indexes;
+        #: see :func:`_derive_join_ops`).  Derived once at compile time and
+        #: verified next to the recurrence ops by the plan verifier.
+        self.join_ops = _derive_join_ops(ops)
         self.root = root
         self.width = width
         self.slots = slots
@@ -320,10 +626,36 @@ class PatternPlan:
         #: this plan (stamped at compile time under ``REPRO_PLAN_VERIFY``;
         #: travels through pickle so workers skip re-verification).
         self.verified = False
+        #: Per-tree resolved ops, keyed weakly by the frozen snapshot so a
+        #: dropped tree never pins its bindings (and vice versa).  Two
+        #: threads racing resolve the same specs twice and one result wins
+        #: — resolution is pure, so the race is benign.
+        self._bind_cache: "weakref.WeakKeyDictionary[FrozenTree, Tuple[tuple, ...]]" = \
+            weakref.WeakKeyDictionary()
+
+    # Pickling (plans travel to process-pool workers inside compiled
+    # settings): the per-tree bind cache is request-local state — it stays
+    # behind and the worker starts with an empty one.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in self.__slots__
+                if name != "_bind_cache"}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._bind_cache = weakref.WeakKeyDictionary()
 
     def slot_of(self, name: str) -> int:
         """The slot index of a pattern variable."""
         return self.slots[name]
+
+    def _bound_ops(self, frozen: FrozenTree) -> Tuple[tuple, ...]:
+        """The ops resolved against ``frozen`` (cached per snapshot)."""
+        resolved = self._bind_cache.get(frozen)
+        if resolved is None:
+            resolved = _resolve_ops(self.ops, frozen)
+            self._bind_cache[frozen] = resolved
+        return resolved
 
     def _base_row(self, binding: Optional[Mapping[str, Value]]) -> Row:
         base: List[Optional[Value]] = [None] * self.width
@@ -335,13 +667,30 @@ class PatternPlan:
         return tuple(base)
 
     def matches(self, frozen: FrozenTree,
-                binding: Optional[Mapping[str, Value]] = None
-                ) -> Tuple[Row, ...]:
+                binding: Optional[Mapping[str, Value]] = None,
+                stats: Optional[Any] = None) -> Tuple[Row, ...]:
         """All rows under which *some* node of ``frozen`` witnesses the
         pattern (the plan analogue of
-        :func:`~repro.patterns.evaluate.match_anywhere`), deduplicated."""
-        tables = _evaluate_ops(self.ops, frozen, self.width,
-                               self._base_row(binding))
+        :func:`~repro.patterns.evaluate.match_anywhere`), deduplicated.
+
+        The evaluation strategy — structural join vs bottom-up recurrence
+        — is picked per call (:func:`_pick_strategy`, overridable via
+        ``REPRO_EVAL_STRATEGY``); both return bit-identical rows in
+        bit-identical order.  ``stats`` (a
+        :class:`~repro.engine.stats.CacheStats`) records one
+        ``plan_join_runs`` / ``plan_recurrence_runs`` event per call.
+        """
+        base = self._base_row(binding)
+        resolved = self._bound_ops(frozen)
+        strategy = _pick_strategy(resolved, frozen)
+        if strategy == "join":
+            if stats is not None:
+                stats.count("plan_join_runs")
+            return _evaluate_join(self.ops, self.join_ops, self.root,
+                                  frozen, base, resolved)
+        if stats is not None:
+            stats.count("plan_recurrence_runs")
+        tables = _evaluate_ops(self.ops, frozen, self.width, base, resolved)
         root_table = tables[self.root]
         gathered: List[Row] = []
         for found in root_table:
@@ -352,12 +701,12 @@ class PatternPlan:
         return tuple(gathered)
 
     def assignments(self, frozen: FrozenTree,
-                    binding: Optional[Mapping[str, Value]] = None
-                    ) -> List[Dict[str, Value]]:
+                    binding: Optional[Mapping[str, Value]] = None,
+                    stats: Optional[Any] = None) -> List[Dict[str, Value]]:
         """The matches as name-keyed dicts (parity with the interpreter)."""
         items = [(name, self.slots[name]) for name in self.variables]
         out = []
-        for row in self.matches(frozen, binding):
+        for row in self.matches(frozen, binding, stats=stats):
             out.append({name: row[slot] for name, slot in items
                         if row[slot] is not None})
         return out
@@ -391,8 +740,9 @@ class _Atom:
     def __init__(self, plan: PatternPlan) -> None:
         self.plan = plan
 
-    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
-        return self.plan.matches(frozen)
+    def rows(self, frozen: FrozenTree, width: int,
+             stats: Optional[Any] = None) -> Tuple[Row, ...]:
+        return self.plan.matches(frozen, stats=stats)
 
 
 class _Join:
@@ -401,10 +751,11 @@ class _Join:
     def __init__(self, members: Tuple[Any, ...]) -> None:
         self.members = members
 
-    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+    def rows(self, frozen: FrozenTree, width: int,
+             stats: Optional[Any] = None) -> Tuple[Row, ...]:
         result: Tuple[Row, ...] = ((None,) * width,)
         for member in self.members:
-            result = _join_rows(result, member.rows(frozen, width))
+            result = _join_rows(result, member.rows(frozen, width, stats))
             if not result:
                 return _EMPTY
         return result
@@ -417,11 +768,12 @@ class _Project:
         self.inner = inner
         self.cleared = cleared
 
-    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+    def rows(self, frozen: FrozenTree, width: int,
+             stats: Optional[Any] = None) -> Tuple[Row, ...]:
         cleared = self.cleared
         projected = [tuple(None if index in cleared else value
                            for index, value in enumerate(row))
-                     for row in self.inner.rows(frozen, width)]
+                     for row in self.inner.rows(frozen, width, stats)]
         if len(projected) > 1:
             projected = list(dict.fromkeys(projected))
         return tuple(projected)
@@ -433,10 +785,11 @@ class _Union:
     def __init__(self, members: Tuple[Any, ...]) -> None:
         self.members = members
 
-    def rows(self, frozen: FrozenTree, width: int) -> Tuple[Row, ...]:
+    def rows(self, frozen: FrozenTree, width: int,
+             stats: Optional[Any] = None) -> Tuple[Row, ...]:
         gathered: List[Row] = []
         for member in self.members:
-            gathered.extend(member.rows(frozen, width))
+            gathered.extend(member.rows(frozen, width, stats))
         if len(gathered) > 1:
             gathered = list(dict.fromkeys(gathered))
         return tuple(gathered)
@@ -517,13 +870,18 @@ class QueryPlan:
         #: never re-checked on unpickle.
         self.verified = False
 
-    def rows(self, frozen: FrozenTree) -> Tuple[Row, ...]:
-        """All satisfying assignments as slot rows (deduplicated)."""
-        return self.node.rows(frozen, self.width)
+    def rows(self, frozen: FrozenTree,
+             stats: Optional[Any] = None) -> Tuple[Row, ...]:
+        """All satisfying assignments as slot rows (deduplicated).
+
+        ``stats`` (a :class:`~repro.engine.stats.CacheStats`) receives one
+        ``plan_join_runs`` / ``plan_recurrence_runs`` event per atom
+        evaluated, recording which strategy served each pattern."""
+        return self.node.rows(frozen, self.width, stats)
 
     def answers(self, frozen: FrozenTree,
-                variable_order: Optional[Sequence[str]] = None
-                ) -> Set[Tuple[Value, ...]]:
+                variable_order: Optional[Sequence[str]] = None,
+                stats: Optional[Any] = None) -> Set[Tuple[Value, ...]]:
         """``Q(T)`` as a set of value tuples ordered by ``variable_order``
         (defaults to the free-variable order) — the plan analogue of
         :meth:`~repro.patterns.queries.Query.answers`."""
@@ -531,19 +889,21 @@ class QueryPlan:
                  else self.free_variables)
         slots = tuple(self._slot_by_name[name] for name in order)
         return {tuple(row[slot] for slot in slots)
-                for row in self.rows(frozen)}
+                for row in self.rows(frozen, stats)}
 
-    def evaluate(self, frozen: FrozenTree) -> List[Dict[str, Value]]:
+    def evaluate(self, frozen: FrozenTree,
+                 stats: Optional[Any] = None) -> List[Dict[str, Value]]:
         """Assignments of the free variables as dicts (parity with
         :meth:`~repro.patterns.queries.Query.evaluate`)."""
         pairs = tuple(zip(self.free_variables, self.free_slots))
         return [{name: row[slot] for name, slot in pairs
                  if row[slot] is not None}
-                for row in self.rows(frozen)]
+                for row in self.rows(frozen, stats)]
 
-    def holds(self, frozen: FrozenTree) -> bool:
+    def holds(self, frozen: FrozenTree,
+              stats: Optional[Any] = None) -> bool:
         """For Boolean queries: ``T ⊨ Q``."""
-        return bool(self.rows(frozen))
+        return bool(self.rows(frozen, stats))
 
     def __repr__(self) -> str:
         return (f"<QueryPlan width={self.width} "

@@ -14,9 +14,12 @@ the document-order and bottom-up ranks of node ``v``, and
     ``v`` is an ancestor of ``w``  iff  ``pre[v] < pre[w]`` and
     ``post[v] > post[w]``
 
-— the column pair the ROADMAP's structural-join work evaluates over.
-Both ranks are derived from the BFS arrays at ingest (one iterative DFS,
-no recursion) and verified against ``parents`` by the test-suite.
+— the column pair the structural-join evaluator ranges over.  The ranks
+are **not** derived here: :meth:`FrozenTree.pre_post` is the single
+source of truth (one iterative DFS, cached on the snapshot), the encoder
+persists whatever the snapshot already computed — or forces it once — and
+the decoder seeds the loaded snapshot's cache from the record sections,
+so a stored document is join-ready without ever re-deriving the plane.
 
 All multi-byte integers are little-endian regardless of host byte order;
 fingerprints never enter the record (they are the catalog key).  Label
@@ -33,10 +36,13 @@ import sys
 from array import array
 from typing import Dict, List, Sequence, Tuple
 
-from ..xmlmodel.frozen import FrozenTree
+from ..xmlmodel.frozen import FrozenTree, compute_pre_post
 from ..xmlmodel.values import Null, Value
 from .errors import StoreError
 
+# ``compute_pre_post`` moved to ``repro.xmlmodel.frozen`` (the snapshot
+# caches its own interval plane now); re-exported here for callers that
+# knew it as part of the record format.
 __all__ = ["encode_document", "decode_document", "decode_intervals",
            "compute_pre_post"]
 
@@ -86,33 +92,6 @@ def _value_from_record(raw: object) -> Value:
     return raw  # type: ignore[return-value]
 
 
-def compute_pre_post(child_start: Sequence[int], child_end: Sequence[int],
-                     n: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
-    """Pre/post ranks of every BFS position (iterative DFS, O(n)).
-
-    Leaves carry ``child_start == child_end == 0`` in the frozen layout,
-    which conveniently yields an empty child range.
-    """
-    pre = [0] * n
-    post = [0] * n
-    pre_rank = 0
-    post_rank = 0
-    stack: List[int] = [0] if n else []
-    # Encoding: positive entry = enter node, ~entry = leave node.
-    while stack:
-        node = stack.pop()
-        if node < 0:
-            post[~node] = post_rank
-            post_rank += 1
-            continue
-        pre[node] = pre_rank
-        pre_rank += 1
-        stack.append(~node)
-        for child in range(child_end[node] - 1, child_start[node] - 1, -1):
-            stack.append(child)
-    return tuple(pre), tuple(post)
-
-
 def _by_label_csr(labels: Sequence[int],
                   n_labels: int) -> Tuple[List[int], List[int]]:
     """The per-label node index in CSR form: ``positions[offsets[lid] :
@@ -135,7 +114,7 @@ def encode_document(frozen: FrozenTree) -> bytes:
     n = frozen.n
     if n >= 2 ** 31:  # pragma: no cover - 2G-node documents
         raise StoreError(f"document too large for the record format: {n} nodes")
-    pre, post = compute_pre_post(frozen.child_start, frozen.child_end, n)
+    pre, post = frozen.pre_post()
     offsets, positions = _by_label_csr(frozen.labels, len(frozen.label_names))
     attrs_json = {
         "names": list(frozen.attr_names),
@@ -229,6 +208,11 @@ def decode_document(record: memoryview) -> FrozenTree:
     frozen._by_label = tuple(
         positions[offsets[lid]:offsets[lid + 1]]
         for lid in range(len(label_names)))
+    # The record carries the pre/post plane the encoder persisted; seed the
+    # snapshot's cache so a loaded document is structural-join-ready
+    # without re-deriving the intervals.
+    frozen._pre_post = (_ints_from_bytes(sections[_SEC_PRE]),
+                        _ints_from_bytes(sections[_SEC_POST]))
     return frozen
 
 

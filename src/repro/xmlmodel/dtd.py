@@ -24,7 +24,8 @@ The module implements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional,
+                    Set, Tuple)
 
 from ..regexlang.ast import (Concat, Empty, Epsilon, Regex, Star, Symbol, Union,
                              concat, empty, epsilon, star, sym, union)
@@ -33,6 +34,9 @@ from ..regexlang.parse import parse_regex
 from ..regexlang.parikh import SemilinearSet, parikh_vector, semilinear_of
 from ..regexlang.univocal import RegexAnalysis, analyse, is_simple_regex
 from .tree import XMLTree
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .frozen import FrozenTree
 
 __all__ = ["DTD", "parse_dtd", "nested_relational_factors"]
 
@@ -178,6 +182,64 @@ class DTD:
                     problems.append(
                         f"node {node} ({label}): children {child_labels} "
                         f"not in π({self.content_model(label)})")
+        return problems
+
+    def conformance_violations_frozen(self, frozen: "FrozenTree",
+                                      ordered: Optional[bool] = None) -> List[str]:
+        """:meth:`conformance_violations` driven by a frozen snapshot.
+
+        Same checks and message shapes (node ids are the source-tree
+        idents), but the walk is columnar: nodes are visited label by
+        label via ``nodes_by_label``, so every element type pays exactly
+        one rule-cache lookup per call instead of one per node, and
+        attribute presence comes from the per-attribute tables instead of
+        per-node dict reconstruction.  Message *order* groups by label
+        rather than by node id.  This is the chase's final conformance
+        sweep: the repaired tree is frozen once and the snapshot rides on
+        into query evaluation.
+        """
+        if ordered is None:
+            ordered = frozen.ordered
+        problems: List[str] = []
+        if frozen.label(0) != self.root:
+            problems.append(
+                f"root is {frozen.label(0)!r}, expected {self.root!r}")
+        attrs_of: Dict[int, Set[str]] = {}
+        for aid, table in enumerate(frozen.attr_tables):
+            name = frozen.attr_names[aid]
+            for pos in table:
+                attrs_of.setdefault(pos, set()).add(name)
+        orig = frozen.orig_ids
+        for lid, label in enumerate(frozen.label_names):
+            positions = frozen.nodes_by_label[lid]
+            if not positions:
+                continue
+            if label not in self.rules:
+                problems.extend(
+                    f"node {orig[pos]}: unknown element type {label!r}"
+                    for pos in positions)
+                continue
+            expected_attrs = self.attributes_of(label)
+            cache = self._rule_cache(label)
+            model = self.content_model(label)
+            for pos in positions:
+                actual_attrs = attrs_of.get(pos, set())
+                if expected_attrs != actual_attrs:
+                    problems.append(
+                        f"node {orig[pos]} ({label}): attributes "
+                        f"{sorted(actual_attrs)} do not match "
+                        f"R({label}) = {sorted(expected_attrs)}")
+                child_labels = [frozen.label(c) for c in frozen.children(pos)]
+                if ordered:
+                    if not cache.nfa.accepts(child_labels):
+                        problems.append(
+                            f"node {orig[pos]} ({label}): children "
+                            f"{child_labels} not in L({model})")
+                else:
+                    if not cache.semilinear.contains(parikh_vector(child_labels)):
+                        problems.append(
+                            f"node {orig[pos]} ({label}): children "
+                            f"{child_labels} not in π({model})")
         return problems
 
     def conforms(self, tree: XMLTree, ordered: Optional[bool] = None) -> bool:

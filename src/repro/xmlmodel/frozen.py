@@ -15,8 +15,13 @@ A :class:`FrozenTree` is a read-only snapshot of an
 * attribute values live in per-attribute tables ``{node: value}`` keyed by
   the interned attribute id — one dict lookup per attribute test;
 * ``post_order`` is a precomputed bottom-up evaluation order (every node
-  after all of its descendants), which is what the compiled evaluator in
-  :mod:`repro.patterns.plan` iterates;
+  after all of its descendants), which is what the compiled recurrence
+  evaluator in :mod:`repro.patterns.plan` iterates;
+* :meth:`pre_post` derives (and caches) the **pre/post interval plane** of
+  the XPath-accelerator encoding — the single source of truth shared by
+  the storage record encoder (:mod:`repro.storage.encoding`) and the
+  structural-join evaluator; :meth:`depths` and :meth:`subtree_sizes` are
+  the companion columns the join evaluator ranges over;
 * :meth:`fingerprint` is computed **iteratively** and cached, and equals
   ``XMLTree.fingerprint()`` of the snapshotted tree — frozen and mutable
   views of the same document share cache identity.
@@ -29,14 +34,44 @@ times (once per plan node), which is where the layout earns its keep.
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from .values import Value, value_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .tree import XMLTree
 
-__all__ = ["FrozenTree"]
+__all__ = ["FrozenTree", "compute_pre_post"]
+
+
+def compute_pre_post(child_start: Sequence[int], child_end: Sequence[int],
+                     n: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Pre/post ranks of every BFS position (iterative DFS, O(n)).
+
+    ``pre[v]`` / ``post[v]`` are the document-order and bottom-up ranks of
+    node ``v``; ``v`` is an ancestor of ``w`` iff ``pre[v] < pre[w]`` and
+    ``post[v] > post[w]`` (the XPath-accelerator plane).  Leaves carry
+    ``child_start == child_end == 0`` in the frozen layout, which
+    conveniently yields an empty child range.
+    """
+    pre = [0] * n
+    post = [0] * n
+    pre_rank = 0
+    post_rank = 0
+    stack: List[int] = [0] if n else []
+    # Encoding: positive entry = enter node, ~entry = leave node.
+    while stack:
+        node = stack.pop()
+        if node < 0:
+            post[~node] = post_rank
+            post_rank += 1
+            continue
+        pre[node] = pre_rank
+        pre_rank += 1
+        stack.append(~node)
+        for child in range(child_end[node] - 1, child_start[node] - 1, -1):
+            stack.append(child)
+    return tuple(pre), tuple(post)
 
 
 class FrozenTree:
@@ -55,6 +90,10 @@ class FrozenTree:
         "attr_names", "attr_ids", "attr_tables",
         "orig_ids",
         "_by_label", "_fingerprint",
+        "_pre_post", "_depths", "_sizes",
+        # Weak-referenceable: compiled pattern plans key their per-tree
+        # bind caches on the snapshot without pinning it alive.
+        "__weakref__",
     )
 
     def __init__(self, *, ordered: bool, labels: Tuple[int, ...],
@@ -79,20 +118,65 @@ class FrozenTree:
         self.orig_ids = orig_ids
         self._by_label: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._fingerprint: Optional[str] = None
+        self._pre_post: Optional[Tuple[Tuple[int, ...],
+                                       Tuple[int, ...]]] = None
+        self._depths: Optional[Tuple[int, ...]] = None
+        self._sizes: Optional[Tuple[int, ...]] = None
 
     @property
     def nodes_by_label(self) -> Tuple[Tuple[int, ...], ...]:
         """``nodes_by_label[label_id]``: every node position carrying the
-        label, ascending.  Built lazily on first use (the bottom-up plan
-        evaluator does not consult it; candidate-driven matching for rooted
-        patterns is the ROADMAP follow-up that will) and cached — the
-        snapshot is immutable."""
+        label, ascending.  Built lazily on first use and cached — the
+        snapshot is immutable.  This is the candidate seed of the
+        structural-join evaluator in :mod:`repro.patterns.plan` (a node op
+        with a selective label scans these positions instead of every
+        node)."""
         if self._by_label is None:
             index: List[List[int]] = [[] for _ in self.label_names]
             for pos, lid in enumerate(self.labels):
                 index[lid].append(pos)
             self._by_label = tuple(tuple(ns) for ns in index)
         return self._by_label
+
+    def pre_post(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """The cached ``(pre, post)`` interval columns of this snapshot.
+
+        Computed once per tree (:func:`compute_pre_post`) and shared by
+        every consumer — the structural-join evaluator ranges over them per
+        query, and the storage encoder persists the very same columns, so
+        freezing + ingesting a document never derives the plane twice.  The
+        store's decoder seeds this cache from the record sections.
+        """
+        if self._pre_post is None:
+            self._pre_post = compute_pre_post(self.child_start,
+                                              self.child_end, self.n)
+        return self._pre_post
+
+    def depths(self) -> Tuple[int, ...]:
+        """Root distance of every position (cached; one forward pass —
+        parents always carry smaller BFS ids than their children)."""
+        if self._depths is None:
+            depths = [0] * self.n
+            parents = self.parents
+            for pos in range(1, self.n):
+                depths[pos] = depths[parents[pos]] + 1
+            self._depths = tuple(depths)
+        return self._depths
+
+    def subtree_sizes(self) -> Tuple[int, ...]:
+        """Inclusive subtree node counts (cached; one backward pass).
+
+        With the pre ranks of :meth:`pre_post`, the descendants of ``v``
+        are exactly the positions whose pre rank falls in the half-open
+        interval ``(pre[v], pre[v] + size[v])`` — the right bound of every
+        staircase-join range."""
+        if self._sizes is None:
+            sizes = [1] * self.n
+            parents = self.parents
+            for pos in range(self.n - 1, 0, -1):
+                sizes[parents[pos]] += sizes[pos]
+            self._sizes = tuple(sizes)
+        return self._sizes
 
     # ------------------------------------------------------------------ #
     # Construction

@@ -1,0 +1,274 @@
+"""The structural-join evaluator: adversarial parity, strategy routing,
+bind caching and the accounting/plumbing the tentpole added around it.
+
+The generated property sweep (tests/test_properties_generated.py) forces
+both strategies across hundreds of scenarios, but its queries are linear
+root-down paths — no ``//``, no wildcard.  This file attacks exactly the
+shapes the sweep cannot reach: nested descendant chains, descendant arms
+under branching nodes, wildcard ops seeded from attribute tables, empty
+``nodes_by_label`` seeds, and union arms of mixed selectivity — each
+checked for *ordered* row parity (downstream null allocation depends on
+row order, not only the row set) plus interpreter agreement.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro import ExchangeEngine, XMLTree
+from repro.engine.stats import CacheStats
+from repro.exchange import canonical_solution
+from repro.generators import generate_scenario
+from repro.patterns import (assignment_key, compile_pattern, compile_query,
+                            descendant, match_anywhere, node, pattern_query,
+                            union_query, wildcard)
+from repro.patterns.plan import _pick_strategy
+from repro.storage.encoding import (decode_document, decode_intervals,
+                                    encode_document)
+from repro.workloads import library
+
+
+def _random_tree(seed: int, size: int = 60) -> XMLTree:
+    """A skewed random tree: 'row' is everywhere, 'book'/'author' are rare
+    (selective seeds), 'shelf' sits mid-frequency, some nodes carry
+    attributes shared across labels (wildcard-seed fodder)."""
+    rng = random.Random(seed)
+    tree = XMLTree("db", ordered=False)
+    nodes = [tree.root]
+    for _ in range(size):
+        parent = rng.choice(nodes)
+        label = rng.choices(["row", "shelf", "book", "author", "misc"],
+                            weights=[10, 4, 2, 2, 3])[0]
+        child = tree.add_child(parent, label)
+        if rng.random() < 0.5:
+            tree.set_attribute(child, "name",
+                               rng.choice(["A", "B", "C"]))
+        if rng.random() < 0.3:
+            tree.set_attribute(child, "aff", rng.choice(["U", "V"]))
+        nodes.append(child)
+    return tree
+
+
+#: The shapes the generated sweep cannot produce.
+ADVERSARIAL_PATTERNS = [
+    # Nested // chain (collapses to one staircase with a depth floor).
+    descendant(descendant(node("author", {"name": "$n"}))),
+    # // chain as the child of a selective node.
+    node("db", None, descendant(node("author", {"name": "$n"}))),
+    node("shelf", None, descendant(node("book", None,
+                                        node("author", {"name": "$n"})))),
+    # Wildcard with tests: seeded from the smallest attribute table.
+    wildcard({"name": "$n", "aff": "$a"}),
+    # Wildcard root whose // child shares a variable (join across arms).
+    wildcard({"name": "$n"}, descendant(wildcard({"name": "$n"}))),
+    # Bare wildcard with a child-span merge join below it.
+    wildcard(None, node("author", {"name": "$n"})),
+    # Empty nodes_by_label seed: the label occurs nowhere.
+    node("zz", {"name": "$n"}),
+    descendant(node("zz")),
+    # Mixed-selectivity branching: rare arm + ubiquitous arm at one node.
+    node("db", None, descendant(node("book")), descendant(node("row"))),
+]
+
+
+class TestAdversarialParity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_join_equals_recurrence_rowwise(self, seed, monkeypatch):
+        tree = _random_tree(seed)
+        frozen = tree.freeze()
+        for pattern in ADVERSARIAL_PATTERNS:
+            plan = compile_pattern(pattern)
+            monkeypatch.setenv("REPRO_EVAL_STRATEGY", "join")
+            joined = plan.matches(frozen)
+            monkeypatch.setenv("REPRO_EVAL_STRATEGY", "recurrence")
+            recurred = plan.matches(frozen)
+            monkeypatch.delenv("REPRO_EVAL_STRATEGY")
+            # Ordered tuple equality: bit-identical rows, bit-identical order.
+            assert joined == recurred, f"seed={seed} pattern={pattern}"
+            interpreted = sorted(map(assignment_key,
+                                     match_anywhere(tree, pattern)))
+            planned = sorted(map(assignment_key, plan.assignments(frozen)))
+            assert planned == interpreted, f"seed={seed} pattern={pattern}"
+
+    def test_union_arms_of_mixed_selectivity(self, monkeypatch):
+        tree = _random_tree(99, size=120)
+        frozen = tree.freeze()
+        query = union_query(
+            pattern_query(descendant(node("author", {"name": "$n"}))),
+            pattern_query(descendant(node("row", {"name": "$n"}))),
+        )
+        plan = compile_query(query)
+        monkeypatch.setenv("REPRO_EVAL_STRATEGY", "join")
+        joined = plan.rows(frozen)
+        monkeypatch.setenv("REPRO_EVAL_STRATEGY", "recurrence")
+        recurred = plan.rows(frozen)
+        monkeypatch.delenv("REPRO_EVAL_STRATEGY")
+        assert joined == recurred
+        # Under "auto" the arms may route differently; answers must not care.
+        stats = CacheStats()
+        auto_rows = plan.rows(frozen, stats=stats)
+        assert auto_rows == joined
+        assert (stats.counts("plan_join_runs")
+                + stats.counts("plan_recurrence_runs")) == 2  # one per arm
+
+    def test_rare_label_on_wide_tree_routes_to_join(self):
+        tree = XMLTree("db", ordered=False)
+        for _ in range(400):
+            tree.add_child(tree.root, "row")
+        shelf = tree.add_child(tree.root, "shelf")
+        book = tree.add_child(shelf, "book")
+        tree.set_attribute(tree.add_child(book, "author"), "name", "A")
+        frozen = tree.freeze()
+        plan = compile_pattern(
+            node("shelf", None, node("book", None,
+                                     node("author", {"name": "$n"}))))
+        assert _pick_strategy(plan._bound_ops(frozen), frozen) == "join"
+        stats = CacheStats()
+        rows = plan.matches(frozen, stats=stats)
+        assert stats.counts("plan_join_runs") == 1
+        assert stats.counts("plan_recurrence_runs") == 0
+        assert [row[plan.slot_of("n")] for row in rows] == ["A"]
+
+    def test_wildcard_heavy_pattern_routes_to_recurrence(self):
+        tree = _random_tree(3)
+        frozen = tree.freeze()
+        plan = compile_pattern(wildcard(None, wildcard()))
+        assert _pick_strategy(plan._bound_ops(frozen), frozen) == "recurrence"
+
+    def test_invalid_strategy_override_raises(self, monkeypatch):
+        plan = compile_pattern(node("db"))
+        frozen = XMLTree("db").freeze()
+        monkeypatch.setenv("REPRO_EVAL_STRATEGY", "quantum")
+        with pytest.raises(ValueError, match="REPRO_EVAL_STRATEGY"):
+            plan.matches(frozen)
+
+
+class TestBindCache:
+    def test_resolution_cached_per_snapshot(self):
+        plan = compile_pattern(node("db", None, node("book", {"title": "$t"})))
+        frozen = _random_tree(1).freeze()
+        first = plan._bound_ops(frozen)
+        assert plan._bound_ops(frozen) is first  # cached, not re-resolved
+        other = _random_tree(2).freeze()
+        assert plan._bound_ops(other) is not first
+        assert len(plan._bind_cache) == 2
+
+    def test_bind_cache_entries_die_with_the_snapshot(self):
+        plan = compile_pattern(node("db"))
+        frozen = _random_tree(1).freeze()
+        plan._bound_ops(frozen)
+        assert len(plan._bind_cache) == 1
+        del frozen
+        assert len(plan._bind_cache) == 0  # weakly keyed
+
+    def test_pickle_drops_bind_cache_keeps_join_ops(self):
+        plan = compile_pattern(
+            node("db", None, descendant(node("author", {"name": "$n"}))))
+        tree = _random_tree(4)
+        frozen = tree.freeze()
+        before = plan.matches(frozen)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert len(clone._bind_cache) == 0
+        assert clone.join_ops == plan.join_ops
+        assert clone.matches(frozen) == before
+
+
+class TestEngineAccounting:
+    def test_engine_result_cache_carries_strategy_counters(self):
+        engine = ExchangeEngine(library.library_setting())
+        tree = library.figure_1_source()
+        query = library.query_writer_of("Computational Complexity")
+        result = engine.certain_answers(tree, query)
+        assert result.ok
+        assert "plan_join_runs" in result.cache
+        assert "plan_recurrence_runs" in result.cache
+        runs = (result.cache["plan_join_runs"]
+                + result.cache["plan_recurrence_runs"])
+        assert runs > 0  # STD source plans + the query's atoms all counted
+        summary = engine.stats_summary()
+        assert summary.plan_join_runs == result.cache["plan_join_runs"]
+        assert summary.plan_recurrence_runs == \
+            result.cache["plan_recurrence_runs"]
+
+    def test_generated_scenario_counters_accumulate(self):
+        scenario = generate_scenario(7)
+        engine = ExchangeEngine(scenario.setting)
+        for tree in scenario.source_trees:
+            for query in scenario.queries:
+                engine.certain_answers(tree, query)
+        stats = engine.stats
+        assert stats["plan_join_runs"] + stats["plan_recurrence_runs"] > 0
+        # Counters only ever come from CacheStats events: both keys exist
+        # even when one strategy never fired.
+        assert set(["plan_join_runs", "plan_recurrence_runs"]) <= set(stats)
+
+
+class TestPrePostPlane:
+    def test_pre_post_cached_and_characterises_ancestry(self):
+        tree = _random_tree(11)
+        frozen = tree.freeze()
+        pre, post = frozen.pre_post()
+        assert frozen.pre_post() is frozen._pre_post  # computed once
+        assert sorted(pre) == list(range(frozen.n))
+        assert sorted(post) == list(range(frozen.n))
+        depths = frozen.depths()
+        sizes = frozen.subtree_sizes()
+        assert sizes[0] == frozen.n and depths[0] == 0
+        # pre/post plane vs the parent chain, exhaustively.
+        def ancestors(pos):
+            chain = set()
+            while frozen.parent(pos) is not None:
+                pos = frozen.parent(pos)
+                chain.add(pos)
+            return chain
+        for w in range(frozen.n):
+            plane = {v for v in range(frozen.n)
+                     if pre[v] < pre[w] and post[v] > post[w]}
+            assert plane == ancestors(w), f"node {w}"
+        # Descendant intervals: exactly size[v]-1 proper descendants.
+        for v in range(frozen.n):
+            in_interval = sum(1 for w in range(frozen.n)
+                              if pre[v] < pre[w] < pre[v] + sizes[v])
+            assert in_interval == sizes[v] - 1
+
+    def test_storage_roundtrip_seeds_the_plane(self):
+        frozen = _random_tree(12).freeze()
+        record = memoryview(encode_document(frozen))
+        decoded = decode_document(record)
+        assert decoded._pre_post is not None  # seeded, not lazily re-derived
+        assert decoded._pre_post == frozen.pre_post()
+        assert decode_intervals(record) == frozen.pre_post()
+
+
+class TestFrozenConformance:
+    def test_matches_tree_walk_on_conforming_and_violating_trees(self):
+        dtd = library.target_dtd()
+        solved = canonical_solution(library.library_setting(),
+                                    library.figure_1_source())
+        assert solved.success
+        good = solved.tree
+        assert dtd.conformance_violations_frozen(good.freeze(),
+                                                 ordered=False) == []
+        assert dtd.conformance_violations(good, ordered=False) == []
+        # Break it two ways: an alien attribute and an alien child.
+        bad = good.copy()
+        some_node = next(iter(bad.nodes()))
+        bad.set_attribute(some_node, "alien", "x")
+        bad.add_child(bad.root, "martian")
+        tree_walk = dtd.conformance_violations(bad, ordered=False)
+        frozen_walk = dtd.conformance_violations_frozen(bad.freeze(),
+                                                        ordered=False)
+        # Same violations (message order groups by label in the frozen walk).
+        assert sorted(tree_walk) == sorted(frozen_walk)
+        assert frozen_walk  # actually caught something
+
+    def test_chase_result_carries_frozen_and_pickle_drops_it(self):
+        solved = canonical_solution(library.library_setting(),
+                                    library.figure_1_source())
+        assert solved.success
+        assert solved.frozen is not None
+        assert solved.frozen.fingerprint() == solved.tree.fingerprint()
+        clone = pickle.loads(pickle.dumps(solved))
+        assert clone.frozen is None  # a cache, not part of the identity
+        assert clone.tree.fingerprint() == solved.tree.fingerprint()
